@@ -1,0 +1,34 @@
+// Command click-align inserts Align elements wherever a configuration's
+// expected packet-data alignment fails an element's requirement (§7.1),
+// removes redundant Aligns, and records the proven alignments in an
+// AlignmentInfo element.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-align", err)
+	}
+	res, err := opt.AlignPass(g, reg)
+	if err != nil {
+		tool.Fail("click-align", err)
+	}
+	fmt.Fprintf(os.Stderr, "click-align: inserted %d, removed %d Align element(s)\n", res.Inserted, res.Removed)
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-align", err)
+	}
+}

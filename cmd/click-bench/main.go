@@ -1,0 +1,36 @@
+// Command click-bench regenerates the paper's tables and figures
+// (§4, §8) on the simulated testbed. Run with -experiment all for the
+// full evaluation, or name one of: fastclassifier, vcall, fig8, fig9,
+// fig10, fig11, fig12, fig13, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	name := flag.String("experiment", "all", "experiment to run")
+	flag.Parse()
+
+	fn, ok := experiments.Experiments[*name]
+	if !ok {
+		var names []string
+		for n := range experiments.Experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "click-bench: unknown experiment %q (have: %s)\n",
+			*name, strings.Join(names, ", "))
+		os.Exit(1)
+	}
+	if err := fn(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "click-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command click-check verifies a configuration: element classes exist,
+// port counts are legal, the push/pull assignment is consistent, and
+// every port is properly connected. It exits nonzero if problems are
+// found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	runtime := flag.Bool("runtime", false, "also require every class to be instantiable")
+	flag.Parse()
+
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-check", err)
+	}
+	var errs []error
+	if *runtime {
+		errs = opt.CheckInstantiable(g, reg)
+	} else {
+		errs = opt.Check(g, reg)
+	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "click-check: %v\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "click-check: configuration OK")
+}

@@ -1,0 +1,38 @@
+// Command click-devirtualize replaces virtual packet-transfer calls
+// with direct calls (§6.1), generating one specialized class per group
+// of elements that can share code. It should be the last optimizer in a
+// chain, since it cements the configuration's element order.
+package main
+
+import (
+	"flag"
+	"strings"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	exclude := flag.String("x", "", "comma-separated element names to leave virtual")
+	flag.Parse()
+
+	excl := map[string]bool{}
+	for _, n := range strings.Split(*exclude, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			excl[n] = true
+		}
+	}
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-devirtualize", err)
+	}
+	if err := opt.Devirtualize(g, reg, excl); err != nil {
+		tool.Fail("click-devirtualize", err)
+	}
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-devirtualize", err)
+	}
+}

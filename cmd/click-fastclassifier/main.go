@@ -1,0 +1,30 @@
+// Command click-fastclassifier compiles a configuration's classifiers
+// into specialized element classes (§4). It reads a configuration on
+// standard input and writes the rewritten configuration, with the
+// generated source attached as an archive, to standard output.
+package main
+
+import (
+	"flag"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-fastclassifier", err)
+	}
+	if err := opt.FastClassifier(g, reg); err != nil {
+		tool.Fail("click-fastclassifier", err)
+	}
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-fastclassifier", err)
+	}
+}

@@ -1,0 +1,24 @@
+// Command click-flatten compiles away compound element abstractions,
+// writing the flat configuration to standard output. (Elaboration
+// always flattens, so this tool is parse-and-unparse.)
+package main
+
+import (
+	"flag"
+
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	g, err := tool.ReadConfig(*file, tool.Registry())
+	if err != nil {
+		tool.Fail("click-flatten", err)
+	}
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-flatten", err)
+	}
+}

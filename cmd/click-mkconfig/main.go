@@ -1,0 +1,43 @@
+// Command click-mkconfig emits the repository's standard configurations:
+// the Figure 1 IP router (any interface count), the minimal "Simple"
+// forwarding configuration, the §4 firewall, and the click-xform
+// pattern files.
+//
+//	click-mkconfig -config iprouter -n 2 > router.click
+//	click-mkconfig -config patterns > combo.patterns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/iprouter"
+)
+
+func main() {
+	which := flag.String("config", "iprouter", "iprouter | simple | firewall | patterns | arpelim")
+	n := flag.Int("n", 2, "number of interfaces (iprouter/simple)")
+	flag.Parse()
+
+	switch *which {
+	case "iprouter":
+		fmt.Print(iprouter.Config(iprouter.Interfaces(*n)))
+	case "simple":
+		ifs := iprouter.Interfaces(*n)
+		fmt.Print(iprouter.SimpleConfig(ifs, iprouter.ForwardPairs(*n)))
+	case "firewall":
+		fmt.Printf("// The Section 4 17-rule firewall on a standalone filter path.\n")
+		fmt.Printf("allowed :: InfiniteSource(1000, 1, 10.0.0.2, 53) -> Strip(14) -> f :: IPFilter(%s) -> c :: Counter -> Discard;\n",
+			iprouter.FirewallConfigArg())
+		fmt.Printf("denied :: InfiniteSource(1000, 1, 10.9.9.9, 23) -> Strip(14) -> f;\n")
+	case "patterns":
+		fmt.Print(strings.TrimLeft(iprouter.ComboPatterns, "\n"))
+	case "arpelim":
+		fmt.Print(strings.TrimLeft(iprouter.ARPElimPatterns, "\n"))
+	default:
+		fmt.Fprintf(os.Stderr, "click-mkconfig: unknown config %q\n", *which)
+		os.Exit(1)
+	}
+}

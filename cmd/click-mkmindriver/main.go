@@ -1,0 +1,34 @@
+// Command click-mkmindriver computes the minimal set of element classes
+// a configuration needs and emits the corresponding driver manifest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	list := flag.Bool("l", false, "print only the class list")
+	flag.Parse()
+
+	g, err := tool.ReadConfig(*file, tool.Registry())
+	if err != nil {
+		tool.Fail("click-mkmindriver", err)
+	}
+	classes, src, err := opt.MinDriver(g, tool.Registry())
+	if err != nil {
+		tool.Fail("click-mkmindriver", err)
+	}
+	if *list {
+		for _, c := range classes {
+			fmt.Println(c)
+		}
+		return
+	}
+	os.Stdout.WriteString(src)
+}

@@ -1,0 +1,23 @@
+// Command click-pretty renders a configuration as HTML: a table of
+// element declarations and a cross-linked connection list.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	title := flag.String("title", "Click configuration", "page title")
+	flag.Parse()
+
+	g, err := tool.ReadConfig(*file, tool.Registry())
+	if err != nil {
+		tool.Fail("click-pretty", err)
+	}
+	fmt.Print(opt.Pretty(g, *title))
+}

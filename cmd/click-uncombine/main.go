@@ -1,0 +1,34 @@
+// Command click-uncombine extracts one router from a combined
+// configuration (§7.2), restoring the device elements at its ends of
+// each inter-router link.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "combined configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	router := flag.String("r", "", "router name to extract (required)")
+	flag.Parse()
+
+	if *router == "" {
+		tool.Fail("click-uncombine", fmt.Errorf("-r ROUTER is required"))
+	}
+	g, err := tool.ReadConfig(*file, tool.Registry())
+	if err != nil {
+		tool.Fail("click-uncombine", err)
+	}
+	extracted, err := opt.Uncombine(g, *router)
+	if err != nil {
+		tool.Fail("click-uncombine", err)
+	}
+	if err := tool.WriteConfig(extracted, *out); err != nil {
+		tool.Fail("click-uncombine", err)
+	}
+}

@@ -1,0 +1,30 @@
+// Command click-undead removes dead code from a configuration (§6.3):
+// StaticSwitch branches no packet can take, elements cut off from
+// every packet source or sink, and severed Idle plumbing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-undead", err)
+	}
+	n := opt.Undead(g, reg)
+	fmt.Fprintf(os.Stderr, "click-undead: removed %d element(s)\n", n)
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-undead", err)
+	}
+}

@@ -1,0 +1,47 @@
+// Command click-xform replaces occurrences of pattern subgraphs with
+// replacement subgraphs (§6.2). Patterns are written as compound
+// element classes: class N pairs with class N_Replacement; configs may
+// use $wildcards. The builtin combination-element patterns apply when
+// no pattern file is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/iprouter"
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	patFile := flag.String("p", "", "pattern file (default: builtin combo patterns)")
+	flag.Parse()
+
+	src := iprouter.ComboPatterns
+	name := "<builtin combo patterns>"
+	if *patFile != "" {
+		data, err := os.ReadFile(*patFile)
+		if err != nil {
+			tool.Fail("click-xform", err)
+		}
+		src, name = string(data), *patFile
+	}
+	pairs, err := opt.ParsePatterns(src, name)
+	if err != nil {
+		tool.Fail("click-xform", err)
+	}
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-xform", err)
+	}
+	n := opt.Xform(g, pairs)
+	fmt.Fprintf(os.Stderr, "click-xform: %d replacement(s)\n", n)
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-xform", err)
+	}
+}

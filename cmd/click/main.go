@@ -1,0 +1,86 @@
+// Command click runs a router configuration. Without simulated devices
+// the configuration must drive itself (InfiniteSource and friends); the
+// -rounds flag bounds the task loop. Archives produced by the optimizer
+// tools are installed (generated element classes registered) before the
+// configuration is parsed, as the Click driver compiles and links
+// attached code (§5.2).
+//
+// Usage:
+//
+//	click [-f config] [-rounds n] [-h element.handler]... [-report]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tool"
+)
+
+type handlerList []string
+
+func (h *handlerList) String() string     { return strings.Join(*h, ",") }
+func (h *handlerList) Set(s string) error { *h = append(*h, s); return nil }
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	rounds := flag.Int("rounds", 100000, "maximum task-loop rounds")
+	report := flag.Bool("report", true, "print element counters on exit")
+	var reads handlerList
+	flag.Var(&reads, "h", "read handler \"element.name\" after the run (repeatable)")
+	flag.Parse()
+
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click", err)
+	}
+	rt, err := core.Build(g, reg, core.BuildOptions{})
+	if err != nil {
+		tool.Fail("click", err)
+	}
+	ran := rt.RunUntilIdle(*rounds)
+	fmt.Fprintf(os.Stderr, "click: ran %d active task rounds\n", ran)
+	defer rt.Close()
+
+	for _, path := range reads {
+		v, err := rt.ReadHandler(path)
+		if err != nil {
+			tool.Fail("click", err)
+		}
+		fmt.Printf("%s: %s\n", path, v)
+	}
+	if *report && len(reads) == 0 {
+		printReport(rt)
+	}
+}
+
+// printReport dumps every element's counter-like handlers, the way
+// read-handler dumps of a live Click look.
+func printReport(rt *core.Router) {
+	for _, i := range rt.Graph.LiveIndices() {
+		name := rt.Graph.Element(i).Name
+		names, err := rt.HandlerNames(name)
+		if err != nil {
+			continue
+		}
+		var parts []string
+		for _, h := range names {
+			switch h {
+			case "class", "config", "name", "program", "table":
+				continue // verbose or implicit
+			}
+			v, err := rt.ReadHandler(name + "." + h)
+			if err != nil {
+				continue // write-only
+			}
+			parts = append(parts, fmt.Sprintf("%s %s", h, v))
+		}
+		if len(parts) > 0 {
+			fmt.Printf("%-20s %-16s %s\n", name, rt.Graph.Element(i).Class, strings.Join(parts, ", "))
+		}
+	}
+}

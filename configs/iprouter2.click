@@ -1,0 +1,40 @@
+// Click IP router (Figure 1), generated configuration.
+
+rt :: LookupIPRoute(10.0.0.0/24 0, 10.0.1.0/24 1);
+
+// Interface 0: eth0 (10.0.0.1, 00:00:c0:00:00:01)
+fd0 :: PollDevice(eth0);
+td0 :: ToDevice(eth0);
+c0 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out0 :: Queue;
+arpq0 :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01);
+fd0 -> c0;
+c0 [0] -> ARPResponder(10.0.0.1, 00:00:c0:00:00:01) -> out0;
+c0 [1] -> [1] arpq0;
+c0 [2] -> Paint(1) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255) -> GetIPAddress(16) -> rt;
+c0 [3] -> Discard;
+rt [0] -> DropBroadcasts -> cp0 :: CheckPaint(1) -> gio0 :: IPGWOptions(10.0.0.1) -> FixIPSrc(10.0.0.1) -> dt0 :: DecIPTTL -> fr0 :: IPFragmenter(1500) -> [0] arpq0;
+arpq0 -> out0 -> td0;
+cp0 [1] -> ICMPError(10.0.0.1, redirect, 1) -> rt;
+gio0 [1] -> ICMPError(10.0.0.1, parameterproblem, 0) -> rt;
+dt0 [1] -> ICMPError(10.0.0.1, timeexceeded, 0) -> rt;
+fr0 [1] -> ICMPError(10.0.0.1, unreachable, 4) -> rt;
+
+// Interface 1: eth1 (10.0.1.1, 00:00:c0:00:01:01)
+fd1 :: PollDevice(eth1);
+td1 :: ToDevice(eth1);
+c1 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out1 :: Queue;
+arpq1 :: ARPQuerier(10.0.1.1, 00:00:c0:00:01:01);
+fd1 -> c1;
+c1 [0] -> ARPResponder(10.0.1.1, 00:00:c0:00:01:01) -> out1;
+c1 [1] -> [1] arpq1;
+c1 [2] -> Paint(2) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255) -> GetIPAddress(16) -> rt;
+c1 [3] -> Discard;
+rt [1] -> DropBroadcasts -> cp1 :: CheckPaint(2) -> gio1 :: IPGWOptions(10.0.1.1) -> FixIPSrc(10.0.1.1) -> dt1 :: DecIPTTL -> fr1 :: IPFragmenter(1500) -> [0] arpq1;
+arpq1 -> out1 -> td1;
+cp1 [1] -> ICMPError(10.0.1.1, redirect, 1) -> rt;
+gio1 [1] -> ICMPError(10.0.1.1, parameterproblem, 0) -> rt;
+dt1 [1] -> ICMPError(10.0.1.1, timeexceeded, 0) -> rt;
+fr1 [1] -> ICMPError(10.0.1.1, unreachable, 4) -> rt;
+

@@ -1,0 +1,148 @@
+// Click IP router (Figure 1), generated configuration.
+
+rt :: LookupIPRoute(10.0.0.0/24 0, 10.0.1.0/24 1, 10.0.2.0/24 2, 10.0.3.0/24 3, 10.0.4.0/24 4, 10.0.5.0/24 5, 10.0.6.0/24 6, 10.0.7.0/24 7);
+
+// Interface 0: eth0 (10.0.0.1, 00:00:c0:00:00:01)
+fd0 :: PollDevice(eth0);
+td0 :: ToDevice(eth0);
+c0 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out0 :: Queue;
+arpq0 :: ARPQuerier(10.0.0.1, 00:00:c0:00:00:01);
+fd0 -> c0;
+c0 [0] -> ARPResponder(10.0.0.1, 00:00:c0:00:00:01) -> out0;
+c0 [1] -> [1] arpq0;
+c0 [2] -> Paint(1) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c0 [3] -> Discard;
+rt [0] -> DropBroadcasts -> cp0 :: CheckPaint(1) -> gio0 :: IPGWOptions(10.0.0.1) -> FixIPSrc(10.0.0.1) -> dt0 :: DecIPTTL -> fr0 :: IPFragmenter(1500) -> [0] arpq0;
+arpq0 -> out0 -> td0;
+cp0 [1] -> ICMPError(10.0.0.1, redirect, 1) -> rt;
+gio0 [1] -> ICMPError(10.0.0.1, parameterproblem, 0) -> rt;
+dt0 [1] -> ICMPError(10.0.0.1, timeexceeded, 0) -> rt;
+fr0 [1] -> ICMPError(10.0.0.1, unreachable, 4) -> rt;
+
+// Interface 1: eth1 (10.0.1.1, 00:00:c0:00:01:01)
+fd1 :: PollDevice(eth1);
+td1 :: ToDevice(eth1);
+c1 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out1 :: Queue;
+arpq1 :: ARPQuerier(10.0.1.1, 00:00:c0:00:01:01);
+fd1 -> c1;
+c1 [0] -> ARPResponder(10.0.1.1, 00:00:c0:00:01:01) -> out1;
+c1 [1] -> [1] arpq1;
+c1 [2] -> Paint(2) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c1 [3] -> Discard;
+rt [1] -> DropBroadcasts -> cp1 :: CheckPaint(2) -> gio1 :: IPGWOptions(10.0.1.1) -> FixIPSrc(10.0.1.1) -> dt1 :: DecIPTTL -> fr1 :: IPFragmenter(1500) -> [0] arpq1;
+arpq1 -> out1 -> td1;
+cp1 [1] -> ICMPError(10.0.1.1, redirect, 1) -> rt;
+gio1 [1] -> ICMPError(10.0.1.1, parameterproblem, 0) -> rt;
+dt1 [1] -> ICMPError(10.0.1.1, timeexceeded, 0) -> rt;
+fr1 [1] -> ICMPError(10.0.1.1, unreachable, 4) -> rt;
+
+// Interface 2: eth2 (10.0.2.1, 00:00:c0:00:02:01)
+fd2 :: PollDevice(eth2);
+td2 :: ToDevice(eth2);
+c2 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out2 :: Queue;
+arpq2 :: ARPQuerier(10.0.2.1, 00:00:c0:00:02:01);
+fd2 -> c2;
+c2 [0] -> ARPResponder(10.0.2.1, 00:00:c0:00:02:01) -> out2;
+c2 [1] -> [1] arpq2;
+c2 [2] -> Paint(3) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c2 [3] -> Discard;
+rt [2] -> DropBroadcasts -> cp2 :: CheckPaint(3) -> gio2 :: IPGWOptions(10.0.2.1) -> FixIPSrc(10.0.2.1) -> dt2 :: DecIPTTL -> fr2 :: IPFragmenter(1500) -> [0] arpq2;
+arpq2 -> out2 -> td2;
+cp2 [1] -> ICMPError(10.0.2.1, redirect, 1) -> rt;
+gio2 [1] -> ICMPError(10.0.2.1, parameterproblem, 0) -> rt;
+dt2 [1] -> ICMPError(10.0.2.1, timeexceeded, 0) -> rt;
+fr2 [1] -> ICMPError(10.0.2.1, unreachable, 4) -> rt;
+
+// Interface 3: eth3 (10.0.3.1, 00:00:c0:00:03:01)
+fd3 :: PollDevice(eth3);
+td3 :: ToDevice(eth3);
+c3 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out3 :: Queue;
+arpq3 :: ARPQuerier(10.0.3.1, 00:00:c0:00:03:01);
+fd3 -> c3;
+c3 [0] -> ARPResponder(10.0.3.1, 00:00:c0:00:03:01) -> out3;
+c3 [1] -> [1] arpq3;
+c3 [2] -> Paint(4) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c3 [3] -> Discard;
+rt [3] -> DropBroadcasts -> cp3 :: CheckPaint(4) -> gio3 :: IPGWOptions(10.0.3.1) -> FixIPSrc(10.0.3.1) -> dt3 :: DecIPTTL -> fr3 :: IPFragmenter(1500) -> [0] arpq3;
+arpq3 -> out3 -> td3;
+cp3 [1] -> ICMPError(10.0.3.1, redirect, 1) -> rt;
+gio3 [1] -> ICMPError(10.0.3.1, parameterproblem, 0) -> rt;
+dt3 [1] -> ICMPError(10.0.3.1, timeexceeded, 0) -> rt;
+fr3 [1] -> ICMPError(10.0.3.1, unreachable, 4) -> rt;
+
+// Interface 4: eth4 (10.0.4.1, 00:00:c0:00:04:01)
+fd4 :: PollDevice(eth4);
+td4 :: ToDevice(eth4);
+c4 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out4 :: Queue;
+arpq4 :: ARPQuerier(10.0.4.1, 00:00:c0:00:04:01);
+fd4 -> c4;
+c4 [0] -> ARPResponder(10.0.4.1, 00:00:c0:00:04:01) -> out4;
+c4 [1] -> [1] arpq4;
+c4 [2] -> Paint(5) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c4 [3] -> Discard;
+rt [4] -> DropBroadcasts -> cp4 :: CheckPaint(5) -> gio4 :: IPGWOptions(10.0.4.1) -> FixIPSrc(10.0.4.1) -> dt4 :: DecIPTTL -> fr4 :: IPFragmenter(1500) -> [0] arpq4;
+arpq4 -> out4 -> td4;
+cp4 [1] -> ICMPError(10.0.4.1, redirect, 1) -> rt;
+gio4 [1] -> ICMPError(10.0.4.1, parameterproblem, 0) -> rt;
+dt4 [1] -> ICMPError(10.0.4.1, timeexceeded, 0) -> rt;
+fr4 [1] -> ICMPError(10.0.4.1, unreachable, 4) -> rt;
+
+// Interface 5: eth5 (10.0.5.1, 00:00:c0:00:05:01)
+fd5 :: PollDevice(eth5);
+td5 :: ToDevice(eth5);
+c5 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out5 :: Queue;
+arpq5 :: ARPQuerier(10.0.5.1, 00:00:c0:00:05:01);
+fd5 -> c5;
+c5 [0] -> ARPResponder(10.0.5.1, 00:00:c0:00:05:01) -> out5;
+c5 [1] -> [1] arpq5;
+c5 [2] -> Paint(6) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c5 [3] -> Discard;
+rt [5] -> DropBroadcasts -> cp5 :: CheckPaint(6) -> gio5 :: IPGWOptions(10.0.5.1) -> FixIPSrc(10.0.5.1) -> dt5 :: DecIPTTL -> fr5 :: IPFragmenter(1500) -> [0] arpq5;
+arpq5 -> out5 -> td5;
+cp5 [1] -> ICMPError(10.0.5.1, redirect, 1) -> rt;
+gio5 [1] -> ICMPError(10.0.5.1, parameterproblem, 0) -> rt;
+dt5 [1] -> ICMPError(10.0.5.1, timeexceeded, 0) -> rt;
+fr5 [1] -> ICMPError(10.0.5.1, unreachable, 4) -> rt;
+
+// Interface 6: eth6 (10.0.6.1, 00:00:c0:00:06:01)
+fd6 :: PollDevice(eth6);
+td6 :: ToDevice(eth6);
+c6 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out6 :: Queue;
+arpq6 :: ARPQuerier(10.0.6.1, 00:00:c0:00:06:01);
+fd6 -> c6;
+c6 [0] -> ARPResponder(10.0.6.1, 00:00:c0:00:06:01) -> out6;
+c6 [1] -> [1] arpq6;
+c6 [2] -> Paint(7) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c6 [3] -> Discard;
+rt [6] -> DropBroadcasts -> cp6 :: CheckPaint(7) -> gio6 :: IPGWOptions(10.0.6.1) -> FixIPSrc(10.0.6.1) -> dt6 :: DecIPTTL -> fr6 :: IPFragmenter(1500) -> [0] arpq6;
+arpq6 -> out6 -> td6;
+cp6 [1] -> ICMPError(10.0.6.1, redirect, 1) -> rt;
+gio6 [1] -> ICMPError(10.0.6.1, parameterproblem, 0) -> rt;
+dt6 [1] -> ICMPError(10.0.6.1, timeexceeded, 0) -> rt;
+fr6 [1] -> ICMPError(10.0.6.1, unreachable, 4) -> rt;
+
+// Interface 7: eth7 (10.0.7.1, 00:00:c0:00:07:01)
+fd7 :: PollDevice(eth7);
+td7 :: ToDevice(eth7);
+c7 :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+out7 :: Queue;
+arpq7 :: ARPQuerier(10.0.7.1, 00:00:c0:00:07:01);
+fd7 -> c7;
+c7 [0] -> ARPResponder(10.0.7.1, 00:00:c0:00:07:01) -> out7;
+c7 [1] -> [1] arpq7;
+c7 [2] -> Paint(8) -> Strip(14) -> CheckIPHeader(10.0.0.255 10.0.1.255 10.0.2.255 10.0.3.255 10.0.4.255 10.0.5.255 10.0.6.255 10.0.7.255) -> GetIPAddress(16) -> rt;
+c7 [3] -> Discard;
+rt [7] -> DropBroadcasts -> cp7 :: CheckPaint(8) -> gio7 :: IPGWOptions(10.0.7.1) -> FixIPSrc(10.0.7.1) -> dt7 :: DecIPTTL -> fr7 :: IPFragmenter(1500) -> [0] arpq7;
+arpq7 -> out7 -> td7;
+cp7 [1] -> ICMPError(10.0.7.1, redirect, 1) -> rt;
+gio7 [1] -> ICMPError(10.0.7.1, parameterproblem, 0) -> rt;
+dt7 [1] -> ICMPError(10.0.7.1, timeexceeded, 0) -> rt;
+fr7 [1] -> ICMPError(10.0.7.1, unreachable, 4) -> rt;
+

@@ -1,0 +1,6 @@
+// Minimal Click configuration: devices and one queue per path.
+
+fd0 :: PollDevice(eth0) -> q0 :: Queue -> td4 :: ToDevice(eth4);
+fd1 :: PollDevice(eth1) -> q1 :: Queue -> td5 :: ToDevice(eth5);
+fd2 :: PollDevice(eth2) -> q2 :: Queue -> td6 :: ToDevice(eth6);
+fd3 :: PollDevice(eth3) -> q3 :: Queue -> td7 :: ToDevice(eth7);

@@ -1,0 +1,52 @@
+package classifier_test
+
+import (
+	"fmt"
+
+	"repro/internal/classifier"
+)
+
+// The Figure 3 classifier: "Classifier(12/0800, -)" sends IP packets to
+// output 0 and everything else to output 1. After optimization the
+// whole tree is a single masked-word comparison.
+func ExampleBuildClassifierProgram() {
+	prog, err := classifier.BuildClassifierProgram([]string{"12/0800", "-"})
+	if err != nil {
+		panic(err)
+	}
+	prog.Optimize()
+	fmt.Println("nodes:", len(prog.Exprs))
+
+	ipPacket := make([]byte, 20)
+	ipPacket[12], ipPacket[13] = 0x08, 0x00
+	port, _, _ := prog.Match(ipPacket)
+	fmt.Println("IP packet -> output", port)
+
+	arpPacket := make([]byte, 20)
+	arpPacket[12], arpPacket[13] = 0x08, 0x06
+	port, _, _ = prog.Match(arpPacket)
+	fmt.Println("ARP packet -> output", port)
+	// Output:
+	// nodes: 1
+	// IP packet -> output 0
+	// ARP packet -> output 1
+}
+
+// Compiling a tree produces the click-fastclassifier form: identical
+// semantics, inlined constants.
+func ExampleCompile() {
+	prog, _ := classifier.BuildIPClassifierProgram([]string{"udp && dst port 53", "-"})
+	prog.Optimize()
+	comp := classifier.Compile(prog)
+
+	// A 20-byte IP header + 8-byte UDP header addressed to port 53.
+	pkt := make([]byte, 28)
+	pkt[0] = 0x45 // version 4, IHL 5
+	pkt[9] = 17   // UDP
+	pkt[22], pkt[23] = 0, 53
+	a, _, _ := prog.Match(pkt)
+	b, _, _ := comp.Match(pkt)
+	fmt.Println("interpreter:", a, "compiled:", b)
+	// Output:
+	// interpreter: 0 compiled: 0
+}

@@ -1,0 +1,607 @@
+package classifier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/packet"
+)
+
+// This file parses the tcpdump-like predicate language of IPClassifier
+// and IPFilter — the paper's example is "src 10.0.0.2 & tcp src port
+// 25". Packets reaching these elements start at the IPv4 header
+// (Ethernet header already stripped), so all offsets are relative to
+// the IP header.
+//
+// Supported primitives:
+//
+//	ip proto <name|number>      tcp | udp | icmp (shorthands allowed)
+//	[src|dst] host A            host without src/dst matches either
+//	src A / dst A               shorthand for src/dst host
+//	[src|dst] net A/len         prefix match (also without src/dst)
+//	[src|dst] port P            implies (tcp or udp), no IP options,
+//	                            not a fragment; P may be a service name
+//	icmp type T                 implies icmp
+//	ip frag                     fragments (offset != 0 or MF set)
+//	ip ttl N                    exact TTL (used by tests)
+//	true | any | all | -        matches everything
+//	false | none                matches nothing
+//
+// Combinators: and/&&/&, or/||/|, not/!, parentheses; juxtaposition of
+// primitives means "and" (tcpdump style).
+
+// Boolean expression AST.
+type boolExpr interface{ isBoolExpr() }
+
+type testExprNode struct{ e Expr } // a single word test
+type andExprNode struct{ l, r boolExpr }
+type orExprNode struct{ l, r boolExpr }
+type notExprNode struct{ x boolExpr }
+type constExprNode struct{ v bool }
+
+func (testExprNode) isBoolExpr()  {}
+func (andExprNode) isBoolExpr()   {}
+func (orExprNode) isBoolExpr()    {}
+func (notExprNode) isBoolExpr()   {}
+func (constExprNode) isBoolExpr() {}
+
+// IP header word tests (offsets relative to IP header start).
+func protoTest(proto int) boolExpr {
+	// Word at offset 8 covers TTL, protocol, checksum.
+	return testExprNode{Expr{Offset: 8, Mask: 0x00ff0000, Value: uint32(proto) << 16}}
+}
+
+func ttlTest(ttl int) boolExpr {
+	return testExprNode{Expr{Offset: 8, Mask: 0xff000000, Value: uint32(ttl) << 24}}
+}
+
+func srcHostTest(ip packet.IP4) boolExpr {
+	return testExprNode{Expr{Offset: 12, Mask: 0xffffffff, Value: ip.Uint32()}}
+}
+
+func dstHostTest(ip packet.IP4) boolExpr {
+	return testExprNode{Expr{Offset: 16, Mask: 0xffffffff, Value: ip.Uint32()}}
+}
+
+func netTest(offset int32, ip packet.IP4, prefixLen int) boolExpr {
+	mask := uint32(0)
+	if prefixLen > 0 {
+		mask = ^uint32(0) << (32 - prefixLen)
+	}
+	return testExprNode{Expr{Offset: offset, Mask: mask, Value: ip.Uint32() & mask}}
+}
+
+// ihl5Test: header length exactly 20 bytes (no IP options), so the
+// transport header sits at offset 20.
+func ihl5Test() boolExpr {
+	return testExprNode{Expr{Offset: 0, Mask: 0x0f000000, Value: 0x05000000}}
+}
+
+// notFragTest: fragment offset 0 and MF clear, so transport ports are
+// present.
+func notFragTest() boolExpr {
+	return testExprNode{Expr{Offset: 4, Mask: 0x00003fff, Value: 0}}
+}
+
+func fragTest() boolExpr { return notExprNode{notFragTest()} }
+
+func srcPortTest(port int) boolExpr {
+	return testExprNode{Expr{Offset: 20, Mask: 0xffff0000, Value: uint32(port) << 16}}
+}
+
+func dstPortTest(port int) boolExpr {
+	return testExprNode{Expr{Offset: 20, Mask: 0x0000ffff, Value: uint32(port)}}
+}
+
+func icmpTypeTest(typ int) boolExpr {
+	return testExprNode{Expr{Offset: 20, Mask: 0xff000000, Value: uint32(typ) << 24}}
+}
+
+// tcpFlagTest matches a TCP flag bit (byte 13 of the TCP header at IP
+// offset 33; its word at offset 32 covers data-offset/flags/window).
+func tcpFlagTest(bit uint32) boolExpr {
+	return testExprNode{Expr{Offset: 32, Mask: bit << 16, Value: bit << 16}}
+}
+
+var tcpFlagNames = map[string]uint32{
+	"fin": 0x01, "syn": 0x02, "rst": 0x04, "psh": 0x08, "ack": 0x10, "urg": 0x20,
+}
+
+func and2(l, r boolExpr) boolExpr { return andExprNode{l, r} }
+func or2(l, r boolExpr) boolExpr  { return orExprNode{l, r} }
+
+// transportGuard wraps a transport-header test with the conditions
+// under which the header is actually at offset 20.
+func transportGuard(t boolExpr) boolExpr {
+	return and2(notFragTest(), and2(ihl5Test(), t))
+}
+
+var serviceNames = map[string]int{
+	"ftp-data": 20, "ftp": 21, "ssh": 22, "telnet": 23, "smtp": 25,
+	"dns": 53, "domain": 53, "bootps": 67, "bootpc": 68, "tftp": 69,
+	"finger": 79, "www": 80, "http": 80, "pop3": 110, "auth": 113,
+	"nntp": 119, "ntp": 123, "netbios-ns": 137, "netbios-dgm": 138,
+	"netbios-ssn": 139, "imap": 143, "snmp": 161, "snmp-trap": 162,
+	"bgp": 179, "https": 443, "rip": 520,
+}
+
+var protoNames = map[string]int{
+	"icmp": packet.IPProtoICMP, "tcp": packet.IPProtoTCP, "udp": packet.IPProtoUDP,
+}
+
+var icmpTypeNames = map[string]int{
+	"echo-reply": packet.ICMPEchoReply, "echo": packet.ICMPEchoRequest,
+	"unreachable": packet.ICMPUnreachable, "redirect": packet.ICMPRedirect,
+	"time-exceeded": packet.ICMPTimeExceeded, "parameter-problem": packet.ICMPParameterProb,
+}
+
+type ipParser struct {
+	toks []string
+	pos  int
+}
+
+func tokenizeIPExpr(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '!':
+			toks = append(toks, string(c))
+			i++
+		case c == '&':
+			if i+1 < len(s) && s[i+1] == '&' {
+				toks = append(toks, "&&")
+				i += 2
+			} else {
+				toks = append(toks, "&")
+				i++
+			}
+		case c == '|':
+			if i+1 < len(s) && s[i+1] == '|' {
+				toks = append(toks, "||")
+				i += 2
+			} else {
+				toks = append(toks, "|")
+				i++
+			}
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n()!&|", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *ipParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *ipParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+// ParseIPExpr parses one predicate expression.
+func ParseIPExpr(s string) (boolExpr, error) {
+	p := &ipParser{toks: tokenizeIPExpr(s)}
+	if len(p.toks) == 0 {
+		return nil, fmt.Errorf("classifier: empty IP expression")
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("classifier: trailing tokens %q in IP expression", strings.Join(p.toks[p.pos:], " "))
+	}
+	return e, nil
+}
+
+func (p *ipParser) parseOr() (boolExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" || p.peek() == "||" || p.peek() == "|" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = or2(l, r)
+	}
+	return l, nil
+}
+
+func (p *ipParser) parseAnd() (boolExpr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == "and" || t == "&&" || t == "&" {
+			p.next()
+			t = p.peek()
+		} else if t == "" || t == ")" || t == "or" || t == "||" || t == "|" {
+			return l, nil
+		}
+		_ = t
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = and2(l, r)
+	}
+}
+
+func (p *ipParser) parseUnary() (boolExpr, error) {
+	switch t := p.peek(); t {
+	case "not", "!":
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExprNode{x}, nil
+	case "(":
+		p.next()
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("classifier: missing ')'")
+		}
+		return x, nil
+	case "":
+		return nil, fmt.Errorf("classifier: unexpected end of IP expression")
+	}
+	return p.parsePrimitive()
+}
+
+func (p *ipParser) parsePrimitive() (boolExpr, error) {
+	t := p.next()
+	switch t {
+	case "true", "any", "all", "-":
+		return constExprNode{true}, nil
+	case "false", "none":
+		return constExprNode{false}, nil
+	case "tcp":
+		// Optional flag primitive: "tcp syn", "tcp ack", ... (Click's
+		// "tcp opt" syntax without the noise word).
+		flagTok := p.peek()
+		if flagTok == "opt" {
+			p.next()
+			flagTok = p.peek()
+		}
+		if bit, ok := tcpFlagNames[flagTok]; ok {
+			p.next()
+			return and2(protoTest(packet.IPProtoTCP), transportGuard(tcpFlagTest(bit))), nil
+		}
+		return protoTest(packet.IPProtoTCP), nil
+	case "udp":
+		return protoTest(protoNames[t]), nil
+	case "icmp":
+		if p.peek() == "type" {
+			p.next()
+			return p.parseICMPType()
+		}
+		return protoTest(packet.IPProtoICMP), nil
+	case "ip":
+		switch k := p.next(); k {
+		case "proto":
+			pt := p.next()
+			if n, ok := protoNames[pt]; ok {
+				return protoTest(n), nil
+			}
+			n, err := strconv.Atoi(pt)
+			if err != nil || n < 0 || n > 255 {
+				return nil, fmt.Errorf("classifier: bad protocol %q", pt)
+			}
+			return protoTest(n), nil
+		case "frag":
+			return fragTest(), nil
+		case "ttl":
+			n, err := strconv.Atoi(p.next())
+			if err != nil || n < 0 || n > 255 {
+				return nil, fmt.Errorf("classifier: bad ttl")
+			}
+			return ttlTest(n), nil
+		default:
+			return nil, fmt.Errorf("classifier: unknown 'ip %s'", k)
+		}
+	case "src", "dst":
+		return p.parseDirectional(t)
+	case "host":
+		ip, err := packet.ParseIP4(p.next())
+		if err != nil {
+			return nil, err
+		}
+		return or2(srcHostTest(ip), dstHostTest(ip)), nil
+	case "net":
+		ip, plen, err := p.parseNet()
+		if err != nil {
+			return nil, err
+		}
+		return or2(netTest(12, ip, plen), netTest(16, ip, plen)), nil
+	case "port":
+		n, err := p.parsePortNum()
+		if err != nil {
+			return nil, err
+		}
+		return and2(tcpOrUDP(), transportGuard(or2(srcPortTest(n), dstPortTest(n)))), nil
+	}
+	return nil, fmt.Errorf("classifier: unknown primitive %q", t)
+}
+
+func tcpOrUDP() boolExpr {
+	return or2(protoTest(packet.IPProtoTCP), protoTest(packet.IPProtoUDP))
+}
+
+// parseDirectional handles "src ..."/"dst ...": host, net, port, or a
+// bare address.
+func (p *ipParser) parseDirectional(dir string) (boolExpr, error) {
+	hostAt := srcHostTest
+	netOff := int32(12)
+	portAt := srcPortTest
+	if dir == "dst" {
+		hostAt = dstHostTest
+		netOff = 16
+		portAt = dstPortTest
+	}
+	switch k := p.peek(); k {
+	case "host":
+		p.next()
+		ip, err := packet.ParseIP4(p.next())
+		if err != nil {
+			return nil, err
+		}
+		return hostAt(ip), nil
+	case "net":
+		p.next()
+		ip, plen, err := p.parseNet()
+		if err != nil {
+			return nil, err
+		}
+		return netTest(netOff, ip, plen), nil
+	case "port":
+		p.next()
+		n, err := p.parsePortNum()
+		if err != nil {
+			return nil, err
+		}
+		return and2(tcpOrUDP(), transportGuard(portAt(n))), nil
+	default:
+		// Bare address, possibly with a prefix length.
+		tok := p.next()
+		if slash := strings.IndexByte(tok, '/'); slash >= 0 {
+			ip, err := packet.ParseIP4(tok[:slash])
+			if err != nil {
+				return nil, err
+			}
+			plen, err := strconv.Atoi(tok[slash+1:])
+			if err != nil || plen < 0 || plen > 32 {
+				return nil, fmt.Errorf("classifier: bad prefix length in %q", tok)
+			}
+			return netTest(netOff, ip, plen), nil
+		}
+		ip, err := packet.ParseIP4(tok)
+		if err != nil {
+			return nil, fmt.Errorf("classifier: expected host/net/port/address after %q: %v", dir, err)
+		}
+		return hostAt(ip), nil
+	}
+}
+
+func (p *ipParser) parseNet() (packet.IP4, int, error) {
+	tok := p.next()
+	addr := tok
+	plen := 32
+	if slash := strings.IndexByte(tok, '/'); slash >= 0 {
+		addr = tok[:slash]
+		n, err := strconv.Atoi(tok[slash+1:])
+		if err != nil || n < 0 || n > 32 {
+			return packet.IP4{}, 0, fmt.Errorf("classifier: bad prefix length in %q", tok)
+		}
+		plen = n
+	} else if p.peek() == "mask" {
+		p.next()
+		maskIP, err := packet.ParseIP4(p.next())
+		if err != nil {
+			return packet.IP4{}, 0, err
+		}
+		m := maskIP.Uint32()
+		plen = 0
+		for m&0x80000000 != 0 {
+			plen++
+			m <<= 1
+		}
+		if m != 0 {
+			return packet.IP4{}, 0, fmt.Errorf("classifier: non-contiguous netmask %v", maskIP)
+		}
+	}
+	ip, err := packet.ParseIP4(addr)
+	if err != nil {
+		return packet.IP4{}, 0, err
+	}
+	return ip, plen, nil
+}
+
+func (p *ipParser) parsePortNum() (int, error) {
+	tok := p.next()
+	if n, ok := serviceNames[tok]; ok {
+		return n, nil
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 || n > 65535 {
+		return 0, fmt.Errorf("classifier: bad port %q", tok)
+	}
+	return n, nil
+}
+
+func (p *ipParser) parseICMPType() (boolExpr, error) {
+	tok := p.next()
+	var typ int
+	if n, ok := icmpTypeNames[tok]; ok {
+		typ = n
+	} else {
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 0 || n > 255 {
+			return nil, fmt.Errorf("classifier: bad icmp type %q", tok)
+		}
+		typ = n
+	}
+	return and2(protoTest(packet.IPProtoICMP), transportGuard(icmpTypeTest(typ))), nil
+}
+
+// compileBool lowers a boolean expression into tree nodes, appending to
+// pr.Exprs bottom-up; succ/fail are the branch destinations.
+func compileBool(pr *Program, e boolExpr, succ, fail Target) Target {
+	switch e := e.(type) {
+	case constExprNode:
+		if e.v {
+			return succ
+		}
+		return fail
+	case testExprNode:
+		ex := e.e
+		ex.Yes, ex.No = succ, fail
+		pr.Exprs = append(pr.Exprs, ex)
+		return Target(len(pr.Exprs) - 1)
+	case notExprNode:
+		return compileBool(pr, e.x, fail, succ)
+	case andExprNode:
+		rEntry := compileBool(pr, e.r, succ, fail)
+		return compileBool(pr, e.l, rEntry, fail)
+	case orExprNode:
+		rEntry := compileBool(pr, e.r, succ, fail)
+		return compileBool(pr, e.l, succ, rEntry)
+	}
+	panic("classifier: unknown boolExpr")
+}
+
+// BuildIPClassifierProgram compiles IPClassifier arguments: one
+// predicate per output port, first match wins, unmatched packets are
+// dropped.
+func BuildIPClassifierProgram(exprs []string) (*Program, error) {
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("classifier: no expressions")
+	}
+	pr := &Program{NOutputs: len(exprs)}
+	fail := Drop
+	for i := len(exprs) - 1; i >= 0; i-- {
+		ast, err := ParseIPExpr(exprs[i])
+		if err != nil {
+			return nil, fmt.Errorf("expression %d: %v", i, err)
+		}
+		fail = compileBool(pr, ast, LeafPort(i), fail)
+	}
+	pr.Entry = fail
+	pr.renumber()
+	pr.computeSafeLength()
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Rule is one IPFilter rule: matching packets go to output Port, or are
+// dropped when Port < 0.
+type Rule struct {
+	Port int
+	Expr string
+}
+
+// ParseIPFilterRules parses IPFilter arguments. Each rule starts with an
+// action: "allow" (output 0), "deny"/"drop" (discard), or an output
+// port number, followed by a predicate expression — Click's IPFilter
+// action set.
+func ParseIPFilterRules(args []string) ([]Rule, error) {
+	var rules []Rule
+	for i, arg := range args {
+		fields := strings.SplitN(strings.TrimSpace(arg), " ", 2)
+		if len(fields) == 0 || fields[0] == "" {
+			return nil, fmt.Errorf("rule %d: empty", i)
+		}
+		action := fields[0]
+		rest := ""
+		if len(fields) == 2 {
+			rest = fields[1]
+		}
+		switch {
+		case action == "allow":
+			rules = append(rules, Rule{Port: 0, Expr: rest})
+		case action == "deny" || action == "drop":
+			rules = append(rules, Rule{Port: -1, Expr: rest})
+		default:
+			port, err := strconv.Atoi(action)
+			if err != nil || port < 0 {
+				return nil, fmt.Errorf("rule %d: action must be allow/deny/drop/PORT, got %q", i, action)
+			}
+			rules = append(rules, Rule{Port: port, Expr: rest})
+		}
+	}
+	return rules, nil
+}
+
+// IPFilterOutputs returns the number of output ports a rule list uses.
+func IPFilterOutputs(rules []Rule) int {
+	max := 0
+	for _, r := range rules {
+		if r.Port+1 > max {
+			max = r.Port + 1
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	return max
+}
+
+// BuildIPFilterProgram compiles IPFilter rules: matching packets emerge
+// on the rule's output port (allow = 0), denied packets are dropped;
+// the implicit final rule denies everything (firewall convention).
+func BuildIPFilterProgram(args []string) (*Program, error) {
+	rules, err := ParseIPFilterRules(args)
+	if err != nil {
+		return nil, err
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("classifier: no rules")
+	}
+	pr := &Program{NOutputs: IPFilterOutputs(rules)}
+	fail := Drop
+	for i := len(rules) - 1; i >= 0; i-- {
+		ast, err := ParseIPExpr(rules[i].Expr)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %v", i, err)
+		}
+		action := Drop
+		if rules[i].Port >= 0 {
+			action = LeafPort(rules[i].Port)
+		}
+		fail = compileBool(pr, ast, action, fail)
+	}
+	pr.Entry = fail
+	pr.renumber()
+	pr.computeSafeLength()
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}

@@ -1,0 +1,220 @@
+package classifier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses the generic Classifier's pattern syntax. Each
+// configuration argument is one pattern, matched in order; a packet is
+// emitted on the output port of the first pattern it matches, or
+// dropped. A pattern is a whitespace-separated list of terms:
+//
+//	offset/hexvalue        bytes at offset equal hexvalue
+//	offset/hexvalue%mask   masked comparison
+//	!term                  negated term
+//	-                      match every packet
+//
+// Hex digits may be '?' wildcards ("12/08??" matches any low byte).
+// "Classifier(12/0800, -)" is Figure 3's example: IP packets to output
+// 0, everything else to output 1.
+
+type term struct {
+	offset  int    // byte offset
+	value   []byte // comparison bytes
+	mask    []byte // comparison mask, same length
+	negated bool
+}
+
+// parsePattern parses one pattern into terms; a nil slice means
+// match-all ("-").
+func parsePattern(pat string) ([]term, error) {
+	pat = strings.TrimSpace(pat)
+	if pat == "-" {
+		return nil, nil
+	}
+	fields := strings.Fields(pat)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("classifier: empty pattern")
+	}
+	var terms []term
+	for _, f := range fields {
+		t, err := parseTerm(f)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}
+
+func parseTerm(f string) (term, error) {
+	var t term
+	s := f
+	if strings.HasPrefix(s, "!") {
+		t.negated = true
+		s = s[1:]
+	}
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return t, fmt.Errorf("classifier: term %q missing '/'", f)
+	}
+	off, err := strconv.Atoi(s[:slash])
+	if err != nil || off < 0 {
+		return t, fmt.Errorf("classifier: bad offset in term %q", f)
+	}
+	t.offset = off
+	valStr := s[slash+1:]
+	maskStr := ""
+	if pct := strings.IndexByte(valStr, '%'); pct >= 0 {
+		maskStr = valStr[pct+1:]
+		valStr = valStr[:pct]
+	}
+	if len(valStr) == 0 || len(valStr)%2 != 0 {
+		return t, fmt.Errorf("classifier: value in term %q must be a whole number of hex bytes", f)
+	}
+	t.value = make([]byte, len(valStr)/2)
+	t.mask = make([]byte, len(valStr)/2)
+	for i := 0; i < len(valStr); i += 2 {
+		hi, hiMask, err := hexNibble(valStr[i])
+		if err != nil {
+			return t, fmt.Errorf("classifier: term %q: %v", f, err)
+		}
+		lo, loMask, err := hexNibble(valStr[i+1])
+		if err != nil {
+			return t, fmt.Errorf("classifier: term %q: %v", f, err)
+		}
+		t.value[i/2] = hi<<4 | lo
+		t.mask[i/2] = hiMask<<4 | loMask
+	}
+	if maskStr != "" {
+		if len(maskStr) != len(valStr) {
+			return t, fmt.Errorf("classifier: mask length differs from value in term %q", f)
+		}
+		for i := 0; i < len(maskStr); i += 2 {
+			hi, _, err := hexNibble(maskStr[i])
+			if err != nil {
+				return t, fmt.Errorf("classifier: term %q: %v", f, err)
+			}
+			lo, _, err := hexNibble(maskStr[i+1])
+			if err != nil {
+				return t, fmt.Errorf("classifier: term %q: %v", f, err)
+			}
+			t.mask[i/2] &= hi<<4 | lo
+		}
+	}
+	for i := range t.value {
+		t.value[i] &= t.mask[i]
+	}
+	return t, nil
+}
+
+func hexNibble(c byte) (val, mask byte, err error) {
+	switch {
+	case c == '?':
+		return 0, 0, nil
+	case c >= '0' && c <= '9':
+		return c - '0', 0xf, nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, 0xf, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, 0xf, nil
+	}
+	return 0, 0, fmt.Errorf("bad hex digit %q", string(c))
+}
+
+// wordTests converts a term into word-aligned Expr comparisons (Offset,
+// Mask, Value triples without edges).
+func (t term) wordTests() []Expr {
+	var out []Expr
+	end := t.offset + len(t.value)
+	for wordOff := t.offset &^ 3; wordOff < end; wordOff += 4 {
+		var mask, val uint32
+		nonzero := false
+		for b := 0; b < 4; b++ {
+			byteOff := wordOff + b
+			mask <<= 8
+			val <<= 8
+			if byteOff >= t.offset && byteOff < end {
+				m := t.mask[byteOff-t.offset]
+				v := t.value[byteOff-t.offset]
+				mask |= uint32(m)
+				val |= uint32(v)
+				if m != 0 {
+					nonzero = true
+				}
+			}
+		}
+		if nonzero {
+			out = append(out, Expr{Offset: int32(wordOff), Mask: mask, Value: val})
+		}
+	}
+	return out
+}
+
+// BuildClassifierProgram compiles Classifier patterns into an
+// unoptimized decision tree: each pattern's tests chain to its leaf,
+// with every failure edge pointing at the next pattern's entry — the
+// structure Click builds before optimization.
+func BuildClassifierProgram(patterns []string) (*Program, error) {
+	pr := &Program{NOutputs: len(patterns)}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("classifier: no patterns")
+	}
+	// Build from the last pattern backward so failure targets are
+	// known; renumbering in Optimize (or normalize) restores forward
+	// order.
+	fail := Drop
+	for i := len(patterns) - 1; i >= 0; i-- {
+		terms, err := parsePattern(patterns[i])
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %v", i, err)
+		}
+		leaf := LeafPort(i)
+		if terms == nil { // "-" matches everything
+			fail = leaf
+			continue
+		}
+		// Expand all terms into word tests, preserving order.
+		var tests []Expr
+		negated := []bool{}
+		for _, t := range terms {
+			wts := t.wordTests()
+			if len(wts) == 0 {
+				// A fully wildcarded term matches everything.
+				continue
+			}
+			if t.negated && len(wts) > 1 {
+				return nil, fmt.Errorf("pattern %d: negated term spans multiple words", i)
+			}
+			for _, wt := range wts {
+				tests = append(tests, wt)
+				negated = append(negated, t.negated)
+			}
+		}
+		if len(tests) == 0 {
+			fail = leaf
+			continue
+		}
+		next := leaf
+		for j := len(tests) - 1; j >= 0; j-- {
+			e := tests[j]
+			if negated[j] {
+				e.Yes, e.No = fail, next
+			} else {
+				e.Yes, e.No = next, fail
+			}
+			pr.Exprs = append(pr.Exprs, e)
+			next = Target(len(pr.Exprs) - 1)
+		}
+		fail = next
+	}
+	pr.Entry = fail
+	pr.renumber()
+	pr.computeSafeLength()
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}

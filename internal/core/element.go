@@ -1,0 +1,209 @@
+// Package core is the Click runtime kernel: the Element interface,
+// ports with both virtual (interface) and devirtualized (direct-bound)
+// packet transfer, router assembly from a configuration graph, and the
+// task scheduler that stands in for Click's constantly-active kernel
+// thread.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+// Element is a packet-processing component. Implementations embed Base
+// and override Push and/or Pull according to their processing code.
+type Element interface {
+	// Configure parses the element's configuration arguments. It runs
+	// before ports are wired.
+	Configure(args []string) error
+	// Push accepts a packet on the given input port (push ports only).
+	Push(port int, p *packet.Packet)
+	// Pull requests a packet from the given output port (pull ports
+	// only); nil means no packet available.
+	Pull(port int) *packet.Packet
+
+	base() *Base
+}
+
+// Initializer is implemented by elements needing a post-wiring setup
+// pass (e.g. ARPQuerier locating its paired device).
+type Initializer interface {
+	Initialize(rt *Router) error
+}
+
+// Task is implemented by elements that need the scheduler to call them
+// repeatedly (device polling, queue draining). RunTask returns true if
+// the task did useful work.
+type Task interface {
+	RunTask() bool
+}
+
+// TaskWeighter is implemented by information elements (ScheduleInfo)
+// that assign scheduling weights to named tasks: a task with weight w
+// runs w times per round.
+type TaskWeighter interface {
+	TaskWeights() map[string]int
+}
+
+// Base carries the runtime state shared by all elements: identity,
+// wired ports, and the cost-model hookup. Elements embed it by value.
+type Base struct {
+	name    string
+	class   string
+	router  *Router
+	outputs []OutPort
+	inputs  []InPort
+	cpu     *simcpu.CPU
+	// workCycles is charged by Work() once per packet-handling call;
+	// it comes from the element's spec cost table.
+	workCycles int64
+}
+
+func (b *Base) base() *Base { return b }
+
+// Name returns the element's configuration name.
+func (b *Base) Name() string { return b.name }
+
+// ClassName returns the element's class name as wired.
+func (b *Base) ClassName() string { return b.class }
+
+// Router returns the containing router (nil before wiring).
+func (b *Base) Router() *Router { return b.router }
+
+// NInputs returns the number of wired input ports.
+func (b *Base) NInputs() int { return len(b.inputs) }
+
+// NOutputs returns the number of wired output ports.
+func (b *Base) NOutputs() int { return len(b.outputs) }
+
+// Output returns output port i.
+func (b *Base) Output(i int) *OutPort { return &b.outputs[i] }
+
+// Input returns input port i.
+func (b *Base) Input(i int) *InPort { return &b.inputs[i] }
+
+// CPU returns the simulated CPU, or nil when cost modeling is off.
+func (b *Base) CPU() *simcpu.CPU { return b.cpu }
+
+// Work charges the element's per-invocation cost to the cost model.
+// Element Push/Pull implementations call it once per handled packet.
+func (b *Base) Work() {
+	if b.cpu != nil {
+		b.cpu.Charge(b.workCycles)
+	}
+}
+
+// Charge adds extra model cycles beyond the base work cost
+// (data-dependent work such as classifier tree steps).
+func (b *Base) Charge(cycles int64) {
+	if b.cpu != nil {
+		b.cpu.Charge(cycles)
+	}
+}
+
+// MemFetch charges n compulsory cache misses (§8.2 counts four per
+// forwarded packet: RX descriptor, Ethernet header, IP header, TX
+// descriptor reclaim). Miss latency is platform-fixed nanoseconds, so
+// faster clocks do not shrink it.
+func (b *Base) MemFetch(n int) {
+	if b.cpu != nil {
+		b.cpu.MemFetch(n)
+	}
+}
+
+// Push is the default implementation for elements without push inputs.
+func (b *Base) Push(port int, p *packet.Packet) {
+	panic(fmt.Sprintf("element %q (%s): Push on non-push element", b.name, b.class))
+}
+
+// Pull is the default implementation for elements without pull outputs.
+func (b *Base) Pull(port int) *packet.Packet {
+	panic(fmt.Sprintf("element %q (%s): Pull on non-pull element", b.name, b.class))
+}
+
+// Configure is the default implementation for elements that take no
+// configuration.
+func (b *Base) Configure(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("%s: takes no configuration arguments", b.class)
+	}
+	return nil
+}
+
+// PushFunc is a direct-bound push handler (devirtualized transfer).
+type PushFunc func(port int, p *packet.Packet)
+
+// PullFunc is a direct-bound pull handler.
+type PullFunc func(port int) *packet.Packet
+
+// OutPort is an element output port. In virtual mode, PushTo dispatches
+// through the Element interface — Go's analogue of the C++ virtual call
+// the paper measures; the cost model charges an indirect call through
+// the simulated BTB. When the configuration was devirtualized, direct
+// holds a bound handler and the model charges a conventional call.
+type OutPort struct {
+	target     Element
+	targetPort int
+	direct     PushFunc
+	cpu        *simcpu.CPU
+	site       simcpu.SiteID
+	targetID   simcpu.TargetID
+	connected  bool
+}
+
+// Connected reports whether the port was wired.
+func (p *OutPort) Connected() bool { return p.connected }
+
+// Target returns the downstream element and port.
+func (p *OutPort) Target() (Element, int) { return p.target, p.targetPort }
+
+// Push transfers a packet downstream.
+func (p *OutPort) Push(pkt *packet.Packet) {
+	if p.cpu != nil {
+		if p.direct != nil {
+			p.cpu.DirectCall()
+		} else {
+			p.cpu.IndirectCall(p.site, p.targetID)
+		}
+	}
+	if p.direct != nil {
+		p.direct(p.targetPort, pkt)
+		return
+	}
+	p.target.Push(p.targetPort, pkt)
+}
+
+// InPort is an element input port; for pull inputs it references the
+// upstream element from which packets are pulled.
+type InPort struct {
+	source     Element
+	sourcePort int
+	direct     PullFunc
+	cpu        *simcpu.CPU
+	site       simcpu.SiteID
+	targetID   simcpu.TargetID
+	connected  bool
+}
+
+// Connected reports whether the port was wired.
+func (p *InPort) Connected() bool { return p.connected }
+
+// Source returns the upstream element and port.
+func (p *InPort) Source() (Element, int) { return p.source, p.sourcePort }
+
+// Pull requests a packet from upstream.
+func (p *InPort) Pull() *packet.Packet {
+	if p.cpu != nil {
+		if p.direct != nil {
+			p.cpu.DirectCall()
+		} else {
+			p.cpu.IndirectCall(p.site, p.targetID)
+		}
+	}
+	if p.direct != nil {
+		return p.direct(p.sourcePort)
+	}
+	return p.source.Pull(p.sourcePort)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Click elements export read and write handlers — named attributes the
+// user inspects or pokes at run time (/proc/click in the kernel
+// driver). Elements implement HandlerProvider to publish them; the
+// Router routes "element.handler" paths.
+
+// Handler is one named element attribute.
+type Handler struct {
+	Name string
+	// Read returns the handler's value; nil for write-only handlers.
+	Read func() string
+	// Write sets the handler; nil for read-only handlers.
+	Write func(value string) error
+}
+
+// HandlerProvider is implemented by elements that export handlers.
+type HandlerProvider interface {
+	Handlers() []Handler
+}
+
+// ReadHandler reads "element.handler" (e.g. "q.length"). Every element
+// also gets implicit "class" and "config" handlers.
+func (rt *Router) ReadHandler(path string) (string, error) {
+	e, h, err := rt.findHandler(path)
+	if err != nil {
+		return "", err
+	}
+	_ = e
+	if h.Read == nil {
+		return "", fmt.Errorf("core: handler %q is write-only", path)
+	}
+	return h.Read(), nil
+}
+
+// WriteHandler writes "element.handler value".
+func (rt *Router) WriteHandler(path, value string) error {
+	_, h, err := rt.findHandler(path)
+	if err != nil {
+		return err
+	}
+	if h.Write == nil {
+		return fmt.Errorf("core: handler %q is read-only", path)
+	}
+	return h.Write(value)
+}
+
+// HandlerNames lists the handlers an element exports, sorted.
+func (rt *Router) HandlerNames(element string) ([]string, error) {
+	e := rt.Find(element)
+	if e == nil {
+		return nil, fmt.Errorf("core: no element %q", element)
+	}
+	names := []string{"class", "config", "name"}
+	if hp, ok := e.(HandlerProvider); ok {
+		for _, h := range hp.Handlers() {
+			names = append(names, h.Name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (rt *Router) findHandler(path string) (Element, Handler, error) {
+	dot := strings.LastIndexByte(path, '.')
+	if dot <= 0 || dot == len(path)-1 {
+		return nil, Handler{}, fmt.Errorf("core: bad handler path %q (want element.handler)", path)
+	}
+	elemName, hName := path[:dot], path[dot+1:]
+	e := rt.Find(elemName)
+	if e == nil {
+		return nil, Handler{}, fmt.Errorf("core: no element %q", elemName)
+	}
+	// Implicit handlers.
+	switch hName {
+	case "class":
+		return e, Handler{Name: "class", Read: func() string { return e.base().class }}, nil
+	case "name":
+		return e, Handler{Name: "name", Read: func() string { return e.base().name }}, nil
+	case "config":
+		idx := rt.Graph.FindElement(elemName)
+		return e, Handler{Name: "config", Read: func() string {
+			if idx < 0 {
+				return ""
+			}
+			return rt.Graph.Element(idx).Config
+		}}, nil
+	}
+	if hp, ok := e.(HandlerProvider); ok {
+		for _, h := range hp.Handlers() {
+			if h.Name == hName {
+				return e, h, nil
+			}
+		}
+	}
+	return nil, Handler{}, fmt.Errorf("core: element %q has no handler %q", elemName, hName)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/simcpu"
+)
+
+// Router is an assembled, runnable router: the runtime counterpart of a
+// configuration graph. Configurations are static (§5.1) — there is no
+// way to add or remove elements from a live Router; install a new one
+// instead.
+type Router struct {
+	Graph    *graph.Router
+	Registry *Registry
+	CPU      *simcpu.CPU
+
+	elements []Element
+	byName   map[string]Element
+	tasks    []Task
+	weights  []int
+	proc     *graph.Processing
+	env      map[string]interface{}
+}
+
+// Env returns the named environment object supplied at build time, or
+// nil.
+func (rt *Router) Env(key string) interface{} { return rt.env[key] }
+
+// BuildOptions control router assembly.
+type BuildOptions struct {
+	// CPU, when non-nil, attaches the cost model: packet transfers and
+	// element work are charged to it.
+	CPU *simcpu.CPU
+	// Env carries named environment objects elements bind to at
+	// initialization — the simulator registers its devices here under
+	// "device:<name>" keys.
+	Env map[string]interface{}
+	// PerElementSites gives every element its own branch-predictor
+	// call sites instead of sharing them per class. Real machines
+	// share (one call instruction per class — the Figure 2 pathology);
+	// this switch exists for the modeling ablation.
+	PerElementSites bool
+}
+
+// Build assembles a runnable router from a configuration graph. The
+// graph is cloned and compacted; the original is not modified.
+func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
+	g = g.Clone()
+	g.Compact()
+
+	if errs := graph.CheckPorts(g, reg); len(errs) > 0 {
+		return nil, fmt.Errorf("core: %v", errs[0])
+	}
+	proc, err := graph.AssignProcessing(g, reg)
+	if err != nil {
+		return nil, err
+	}
+
+	rt := &Router{
+		Graph:    g,
+		Registry: reg,
+		CPU:      opts.CPU,
+		byName:   map[string]Element{},
+		proc:     proc,
+		env:      opts.Env,
+	}
+	sites := simcpu.NewSites()
+
+	// Instantiate and configure elements.
+	specs := make([]*Spec, len(g.Elements))
+	rt.elements = make([]Element, len(g.Elements))
+	for i, ge := range g.Elements {
+		spec, ok := reg.Lookup(ge.Class)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown element class %q (element %q)", ge.Class, ge.Name)
+		}
+		if spec.Make == nil {
+			return nil, fmt.Errorf("core: element class %q is specification-only (element %q)", ge.Class, ge.Name)
+		}
+		e := spec.Make()
+		b := e.base()
+		b.name = ge.Name
+		b.class = ge.Class
+		b.router = rt
+		b.cpu = opts.CPU
+		b.workCycles = spec.WorkCycles
+		b.outputs = make([]OutPort, g.NOutputs(i))
+		b.inputs = make([]InPort, g.NInputs(i))
+		if err := e.Configure(lang.SplitConfig(ge.Config)); err != nil {
+			return nil, fmt.Errorf("core: %s (%q at %s): %v", ge.Class, ge.Name, ge.Landmark, err)
+		}
+		specs[i] = spec
+		rt.elements[i] = e
+		rt.byName[ge.Name] = e
+	}
+
+	// Wire connections. A push connection binds the source's output
+	// port to the target; a pull connection binds the target's input
+	// port to the source. Devirtualized classes bind direct handlers
+	// instead of dispatching through the Element interface.
+	for _, c := range g.Conns {
+		src, dst := rt.elements[c.From], rt.elements[c.To]
+		srcClass, dstClass := g.Elements[c.From].Class, g.Elements[c.To].Class
+		siteSrc, siteDst := srcClass, dstClass
+		if opts.PerElementSites {
+			// Call sites become per-element; the call targets are
+			// still the per-class handler functions.
+			siteSrc = g.Elements[c.From].Name
+			siteDst = g.Elements[c.To].Name
+		}
+		kind := proc.OutputKind(c.From, c.FromPort)
+		out := src.base().Output(c.FromPort)
+		in := dst.base().Input(c.ToPort)
+		out.connected, in.connected = true, true
+		if kind == graph.Push {
+			out.target = dst
+			out.targetPort = c.ToPort
+			out.cpu = opts.CPU
+			out.site = sites.Site(siteSrc, c.FromPort, true)
+			out.targetID = sites.Target(dstClass)
+			if specs[c.From].Devirtualized {
+				out.direct = dst.Push
+			}
+		} else {
+			in.source = src
+			in.sourcePort = c.FromPort
+			in.cpu = opts.CPU
+			in.site = sites.Site(siteDst, c.ToPort, false)
+			in.targetID = sites.Target(srcClass)
+			if specs[c.To].Devirtualized {
+				in.direct = src.Pull
+			}
+		}
+	}
+
+	// Initialization pass (after all wiring, so elements can find each
+	// other).
+	for i, e := range rt.elements {
+		if init, ok := e.(Initializer); ok {
+			if err := init.Initialize(rt); err != nil {
+				return nil, fmt.Errorf("core: %s (%q): %v", g.Elements[i].Class, g.Elements[i].Name, err)
+			}
+		}
+	}
+
+	// Collect scheduled tasks in declaration order, applying any
+	// ScheduleInfo weights (a task with weight w runs w times per
+	// round; Click's stride scheduler achieves the same proportions).
+	weightOf := map[string]int{}
+	for _, e := range rt.elements {
+		if tw, ok := e.(TaskWeighter); ok {
+			for name, w := range tw.TaskWeights() {
+				weightOf[name] = w
+			}
+		}
+	}
+	for i, e := range rt.elements {
+		if t, ok := e.(Task); ok {
+			rt.tasks = append(rt.tasks, t)
+			w := weightOf[g.Elements[i].Name]
+			if w <= 0 {
+				w = 1
+			}
+			rt.weights = append(rt.weights, w)
+		}
+	}
+	return rt, nil
+}
+
+// BuildFromText parses, elaborates, and assembles a configuration.
+func BuildFromText(config, file string, reg *Registry, opts BuildOptions) (*Router, error) {
+	g, err := lang.ParseRouter(config, file)
+	if err != nil {
+		return nil, err
+	}
+	return Build(g, reg, opts)
+}
+
+// Find returns the element with the given configuration name, or nil.
+func (rt *Router) Find(name string) Element { return rt.byName[name] }
+
+// Elements returns the router's elements in graph order.
+func (rt *Router) Elements() []Element { return rt.elements }
+
+// Processing returns the resolved push/pull assignment.
+func (rt *Router) Processing() *graph.Processing { return rt.proc }
+
+// Tasks returns the schedulable elements in declaration order.
+func (rt *Router) Tasks() []Task { return rt.tasks }
+
+// RunTaskRound runs every task (weight times each), round-robin, and
+// reports whether any did useful work. This stands in for one iteration
+// of Click's kernel thread loop.
+func (rt *Router) RunTaskRound() bool {
+	any := false
+	for i, t := range rt.tasks {
+		for w := 0; w < rt.weights[i]; w++ {
+			if t.RunTask() {
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// RunUntilIdle runs task rounds until none does useful work, up to
+// maxRounds. It returns the number of rounds that did work.
+func (rt *Router) RunUntilIdle(maxRounds int) int {
+	rounds := 0
+	for rounds < maxRounds && rt.RunTaskRound() {
+		rounds++
+	}
+	return rounds
+}
+
+// Close shuts the router down, closing every element that holds
+// external resources (trace files and the like).
+func (rt *Router) Close() error {
+	var first error
+	for _, e := range rt.elements {
+		if c, ok := e.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

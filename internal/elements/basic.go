@@ -1,0 +1,502 @@
+package elements
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Discard drops every packet it receives.
+type Discard struct {
+	core.Base
+	Count int64
+}
+
+// Push drops the packet.
+func (e *Discard) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Count++
+	p.Kill()
+}
+
+// Idle never produces packets and silently swallows any it is given; it
+// is the canonical way to cap unused ports.
+type Idle struct{ core.Base }
+
+// Push discards.
+func (e *Idle) Push(port int, p *packet.Packet) { p.Kill() }
+
+// Pull produces nothing.
+func (e *Idle) Pull(port int) *packet.Packet { return nil }
+
+// Null passes packets through unchanged (one input, one output).
+type Null struct{ core.Base }
+
+// Push forwards.
+func (e *Null) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Output(0).Push(p)
+}
+
+// Pull forwards.
+func (e *Null) Pull(port int) *packet.Packet {
+	e.Work()
+	return e.Input(0).Pull()
+}
+
+// Counter counts passing packets and bytes.
+type Counter struct {
+	core.Base
+	Packets int64
+	Bytes   int64
+}
+
+// Push counts and forwards.
+func (e *Counter) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Packets++
+	e.Bytes += int64(p.Len())
+	e.Output(0).Push(p)
+}
+
+// Pull forwards and counts.
+func (e *Counter) Pull(port int) *packet.Packet {
+	e.Work()
+	p := e.Input(0).Pull()
+	if p != nil {
+		e.Packets++
+		e.Bytes += int64(p.Len())
+	}
+	return p
+}
+
+// Queue is the standard FIFO packet queue: push input, pull output,
+// tail drop when full.
+type Queue struct {
+	core.Base
+	capacity int
+	buf      []*packet.Packet
+	head     int
+	count    int
+	Drops    int64
+	Enqueued int64
+	// HighWater tracks the maximum occupancy reached.
+	HighWater int
+}
+
+// DefaultQueueCapacity matches Click's default Queue length.
+const DefaultQueueCapacity = 1000
+
+// Configure accepts an optional capacity.
+func (e *Queue) Configure(args []string) error {
+	e.capacity = DefaultQueueCapacity
+	if len(args) > 1 {
+		return fmt.Errorf("Queue: too many arguments")
+	}
+	if len(args) == 1 && args[0] != "" {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("Queue: bad capacity %q", args[0])
+		}
+		e.capacity = n
+	}
+	e.buf = make([]*packet.Packet, e.capacity)
+	return nil
+}
+
+// Len returns the current occupancy.
+func (e *Queue) Len() int { return e.count }
+
+// Capacity returns the configured capacity.
+func (e *Queue) Capacity() int { return e.capacity }
+
+// Push enqueues or tail-drops.
+func (e *Queue) Push(port int, p *packet.Packet) {
+	e.Work()
+	if e.count == e.capacity {
+		e.Drops++
+		p.Kill()
+		return
+	}
+	e.buf[(e.head+e.count)%e.capacity] = p
+	e.count++
+	e.Enqueued++
+	if e.count > e.HighWater {
+		e.HighWater = e.count
+	}
+}
+
+// Pull dequeues. An empty queue charges only a cheap occupancy check,
+// so idle ToDevice polling does not masquerade as per-packet work.
+func (e *Queue) Pull(port int) *packet.Packet {
+	if e.count == 0 {
+		e.Charge(costQueueEmptyCheck)
+		return nil
+	}
+	e.Work()
+	p := e.buf[e.head]
+	e.buf[e.head] = nil
+	e.head = (e.head + 1) % e.capacity
+	e.count--
+	return p
+}
+
+// RouterLink stands for an inter-router link in configurations produced
+// by click-combine (§7.2): it takes the place of router A's Queue +
+// ToDevice and router B's PollDevice. Combined configurations exist for
+// analysis and cross-router optimization, so the link forwards packets
+// synchronously and counts them.
+type RouterLink struct {
+	core.Base
+	Carried int64
+}
+
+// Push forwards into the peer router.
+func (e *RouterLink) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Carried++
+	e.Output(0).Push(p)
+}
+
+// Tee clones each input packet to every output.
+type Tee struct{ core.Base }
+
+// Push clones to all outputs (the final one gets the original).
+func (e *Tee) Push(port int, p *packet.Packet) {
+	e.Work()
+	n := e.NOutputs()
+	for i := 0; i < n-1; i++ {
+		e.Output(i).Push(p.Clone())
+	}
+	if n > 0 {
+		e.Output(n - 1).Push(p)
+	} else {
+		p.Kill()
+	}
+}
+
+// StaticSwitch routes every packet to one fixed output chosen by
+// configuration; -1 drops everything. click-undead eliminates the
+// branches a StaticSwitch never uses (§6.3).
+type StaticSwitch struct {
+	core.Base
+	Port int
+}
+
+// Configure accepts the output port number (-1 to drop).
+func (e *StaticSwitch) Configure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("StaticSwitch: expects PORT")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < -1 {
+		return fmt.Errorf("StaticSwitch: bad port %q", args[0])
+	}
+	e.Port = n
+	return nil
+}
+
+// Push routes to the configured output.
+func (e *StaticSwitch) Push(port int, p *packet.Packet) {
+	e.Work()
+	if e.Port < 0 || e.Port >= e.NOutputs() {
+		p.Kill()
+		return
+	}
+	e.Output(e.Port).Push(p)
+}
+
+// InfiniteSource pushes synthetic 64-byte-class UDP packets from a task
+// until an optional limit; used by examples and benchmarks.
+type InfiniteSource struct {
+	core.Base
+	limit   int64
+	burst   int
+	Emitted int64
+	tmpl    *packet.Packet
+}
+
+// Configure accepts optional LIMIT (-1 = unlimited, default), BURST
+// (packets per task run, default 1), and destination DSTIP and DPORT
+// for the synthetic UDP packets.
+func (e *InfiniteSource) Configure(args []string) error {
+	e.limit = -1
+	e.burst = 1
+	dst := packet.MakeIP4(10, 0, 2, 2)
+	dport := uint16(1234)
+	if len(args) > 4 {
+		return fmt.Errorf("InfiniteSource: too many arguments")
+	}
+	if len(args) >= 1 && args[0] != "" {
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("InfiniteSource: bad limit %q", args[0])
+		}
+		e.limit = n
+	}
+	if len(args) >= 2 && args[1] != "" {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("InfiniteSource: bad burst %q", args[1])
+		}
+		e.burst = n
+	}
+	if len(args) >= 3 && args[2] != "" {
+		ip, err := packet.ParseIP4(args[2])
+		if err != nil {
+			return fmt.Errorf("InfiniteSource: %v", err)
+		}
+		dst = ip
+	}
+	if len(args) == 4 && args[3] != "" {
+		n, err := strconv.Atoi(args[3])
+		if err != nil || n < 0 || n > 65535 {
+			return fmt.Errorf("InfiniteSource: bad port %q", args[3])
+		}
+		dport = uint16(n)
+	}
+	e.tmpl = packet.BuildUDP4(
+		packet.EtherAddr{0, 160, 201, 1, 1, 1}, packet.EtherAddr{0, 160, 201, 2, 2, 2},
+		packet.MakeIP4(10, 0, 0, 2), dst,
+		1234, dport, make([]byte, 14))
+	return nil
+}
+
+// RunTask emits up to one burst.
+func (e *InfiniteSource) RunTask() bool {
+	did := false
+	for i := 0; i < e.burst; i++ {
+		if e.limit >= 0 && e.Emitted >= e.limit {
+			return did
+		}
+		e.Work()
+		e.Emitted++
+		e.Output(0).Push(e.tmpl.Clone())
+		did = true
+	}
+	return did
+}
+
+// RED implements random early detection dropping: when the average
+// occupancy of the downstream queues exceeds min-thresh, packets are
+// dropped with probability rising to max-p at max-thresh (and always
+// beyond it). It finds its queues at initialization by searching
+// downstream, as Click's RED does.
+type RED struct {
+	core.Base
+	minThresh int
+	maxThresh int
+	maxP      float64 // scaled by 1000 in config
+	queues    []*Queue
+	Drops     int64
+	// seed provides deterministic pseudo-randomness.
+	seed uint64
+}
+
+// Configure accepts MIN-THRESH, MAX-THRESH, MAX-P(×1000).
+func (e *RED) Configure(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("RED: expects MIN MAX MAXP")
+	}
+	var err error
+	if e.minThresh, err = strconv.Atoi(args[0]); err != nil || e.minThresh < 0 {
+		return fmt.Errorf("RED: bad min threshold %q", args[0])
+	}
+	if e.maxThresh, err = strconv.Atoi(args[1]); err != nil || e.maxThresh <= e.minThresh {
+		return fmt.Errorf("RED: bad max threshold %q", args[1])
+	}
+	p, err := strconv.Atoi(args[2])
+	if err != nil || p <= 0 || p > 1000 {
+		return fmt.Errorf("RED: bad max-p %q", args[2])
+	}
+	e.maxP = float64(p) / 1000
+	e.seed = 0x9e3779b97f4a7c15
+	return nil
+}
+
+// Initialize locates downstream queues by breadth-first search along
+// push connections, as Click's RED does.
+func (e *RED) Initialize(rt *core.Router) error {
+	type porter interface {
+		NOutputs() int
+		Output(int) *core.OutPort
+	}
+	seen := map[core.Element]bool{}
+	frontier := []porter{e}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for i := 0; i < cur.NOutputs(); i++ {
+			out := cur.Output(i)
+			if !out.Connected() {
+				continue
+			}
+			tgt, _ := out.Target()
+			if tgt == nil || seen[tgt] {
+				continue
+			}
+			seen[tgt] = true
+			if q, ok := tgt.(*Queue); ok {
+				e.queues = append(e.queues, q)
+				continue
+			}
+			if pr, ok := tgt.(porter); ok {
+				frontier = append(frontier, pr)
+			}
+		}
+	}
+	if len(e.queues) == 0 {
+		return fmt.Errorf("RED: no downstream Queue found")
+	}
+	return nil
+}
+
+func (e *RED) rand() float64 {
+	// xorshift64*; deterministic for reproducible experiments.
+	e.seed ^= e.seed >> 12
+	e.seed ^= e.seed << 25
+	e.seed ^= e.seed >> 27
+	return float64(e.seed*0x2545f4914f6cdd1d>>11) / float64(1<<53)
+}
+
+// Push applies the drop decision and forwards survivors.
+func (e *RED) Push(port int, p *packet.Packet) {
+	e.Work()
+	total := 0
+	for _, q := range e.queues {
+		total += q.Len()
+	}
+	avg := total / len(e.queues)
+	drop := false
+	switch {
+	case avg < e.minThresh:
+	case avg >= e.maxThresh:
+		drop = true
+	default:
+		frac := float64(avg-e.minThresh) / float64(e.maxThresh-e.minThresh)
+		drop = e.rand() < frac*e.maxP
+	}
+	if drop {
+		e.Drops++
+		p.Kill()
+		return
+	}
+	e.Output(0).Push(p)
+}
+
+// ScheduleInfo assigns scheduling weights to named tasks: each argument
+// is "taskname weight", and a task with weight w runs w times per
+// scheduler round (Click uses the same element to seed its stride
+// scheduler's tickets).
+type ScheduleInfo struct {
+	core.Base
+	weights map[string]int
+}
+
+// Configure parses "name weight" pairs.
+func (e *ScheduleInfo) Configure(args []string) error {
+	e.weights = map[string]int{}
+	for _, a := range args {
+		var name string
+		var w int
+		if _, err := fmt.Sscanf(a, "%s %d", &name, &w); err != nil || w < 1 {
+			return fmt.Errorf("ScheduleInfo: bad entry %q (want \"name weight\")", a)
+		}
+		e.weights[name] = w
+	}
+	return nil
+}
+
+// TaskWeights implements core.TaskWeighter.
+func (e *ScheduleInfo) TaskWeights() map[string]int { return e.weights }
+
+// Switch routes every packet to one output port, changeable at run time
+// through the "switch" write handler (Click's hot-swappable cousin of
+// StaticSwitch; because the port can change, click-undead must leave it
+// alone).
+type Switch struct {
+	core.Base
+	port int
+}
+
+// Configure accepts the initial output port (-1 to drop).
+func (e *Switch) Configure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("Switch: expects PORT")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < -1 {
+		return fmt.Errorf("Switch: bad port %q", args[0])
+	}
+	e.port = n
+	return nil
+}
+
+// Push routes to the current port.
+func (e *Switch) Push(port int, p *packet.Packet) {
+	e.Work()
+	if e.port < 0 || e.port >= e.NOutputs() {
+		p.Kill()
+		return
+	}
+	e.Output(e.port).Push(p)
+}
+
+// Handlers exports the switchable port.
+func (e *Switch) Handlers() []core.Handler {
+	return []core.Handler{{
+		Name: "switch",
+		Read: func() string { return strconv.Itoa(e.port) },
+		Write: func(v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < -1 {
+				return fmt.Errorf("Switch: bad port %q", v)
+			}
+			e.port = n
+			return nil
+		},
+	}}
+}
+
+// PaintSwitch routes packets by their paint annotation: paint p leaves
+// on output p, out-of-range paints are dropped.
+type PaintSwitch struct{ core.Base }
+
+// Push routes by paint.
+func (e *PaintSwitch) Push(port int, p *packet.Packet) {
+	e.Work()
+	out := int(p.Anno.Paint)
+	if out >= e.NOutputs() {
+		p.Kill()
+		return
+	}
+	e.Output(out).Push(p)
+}
+
+// ToHost hands packets to the host network stack — the "to Linux" arrow
+// in the paper's Figure 1. This driver has no host stack, so it counts
+// and retains a tail of recent packets for inspection.
+type ToHost struct {
+	core.Base
+	Count  int64
+	Recent []*packet.Packet
+}
+
+// Push delivers to the host.
+func (e *ToHost) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Count++
+	if len(e.Recent) >= 8 {
+		old := e.Recent[0]
+		e.Recent = e.Recent[1:]
+		old.Kill()
+	}
+	e.Recent = append(e.Recent, p)
+}
+
+// Handlers exports the delivery count.
+func (e *ToHost) Handlers() []core.Handler {
+	return []core.Handler{intHandler("count", func() int64 { return e.Count })}
+}

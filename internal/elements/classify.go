@@ -1,0 +1,129 @@
+package elements
+
+import (
+	"fmt"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/packet"
+)
+
+// classifierBase is shared by the three generic classification elements
+// (§3): a decision tree traversed per packet by the interpreter loop of
+// Figure 3a, charging the cost model per node visited.
+type classifierBase struct {
+	core.Base
+	prog *classifier.Program
+	// Matched and Dropped instrument classification outcomes.
+	Matched int64
+	Dropped int64
+}
+
+// Program exposes the decision tree (click-fastclassifier's harness
+// reads it).
+func (e *classifierBase) Program() *classifier.Program { return e.prog }
+
+func (e *classifierBase) classify(p *packet.Packet) {
+	e.Work()
+	e.MemFetch(1) // first touch of the packet's Ethernet header
+	port, ok, steps := e.prog.Match(p.Data())
+	e.Charge(int64(steps) * costClassifierStep)
+	if !ok || port >= e.NOutputs() {
+		e.Dropped++
+		p.Kill()
+		return
+	}
+	e.Matched++
+	e.Output(port).Push(p)
+}
+
+// Push classifies.
+func (e *classifierBase) Push(port int, p *packet.Packet) { e.classify(p) }
+
+// Classifier matches raw packet data against hex patterns
+// ("12/0806 20/0001, 12/0800, -"); each pattern is an output port.
+type Classifier struct{ classifierBase }
+
+// Configure compiles the patterns.
+func (e *Classifier) Configure(args []string) error {
+	pr, err := classifier.BuildClassifierProgram(args)
+	if err != nil {
+		return fmt.Errorf("Classifier: %v", err)
+	}
+	pr.Optimize()
+	e.prog = pr
+	return nil
+}
+
+// classifierPorts computes Classifier's output count from its config.
+func classifierPorts(config string) (graph.PortRange, graph.PortRange) {
+	n := len(lang.SplitConfig(config))
+	return graph.Exactly(1), graph.Exactly(n)
+}
+
+// IPClassifier matches IP packets against tcpdump-like expressions, one
+// per output port.
+type IPClassifier struct{ classifierBase }
+
+// Configure compiles the expressions.
+func (e *IPClassifier) Configure(args []string) error {
+	pr, err := classifier.BuildIPClassifierProgram(args)
+	if err != nil {
+		return fmt.Errorf("IPClassifier: %v", err)
+	}
+	pr.Optimize()
+	e.prog = pr
+	return nil
+}
+
+// IPFilter applies allow/deny rules; allowed packets leave on output 0.
+type IPFilter struct{ classifierBase }
+
+// Configure compiles the rules.
+func (e *IPFilter) Configure(args []string) error {
+	pr, err := classifier.BuildIPFilterProgram(args)
+	if err != nil {
+		return fmt.Errorf("IPFilter: %v", err)
+	}
+	pr.Optimize()
+	e.prog = pr
+	return nil
+}
+
+// FastClassifier is the runtime body of the element classes
+// click-fastclassifier generates: the same decision tree, compiled with
+// inlined constants (Figure 3b). Instances are created through dynamic
+// specs registered by the tool, never named directly in hand-written
+// configurations.
+type FastClassifier struct {
+	core.Base
+	compiled *classifier.Compiled
+	Matched  int64
+	Dropped  int64
+}
+
+// NewFastClassifier wraps a compiled program as an element factory.
+func NewFastClassifier(c *classifier.Compiled) func() core.Element {
+	return func() core.Element { return &FastClassifier{compiled: c} }
+}
+
+// Configure ignores arguments: the compiled tree is baked in, exactly
+// as the generated C++ classes ignore their configuration strings.
+func (e *FastClassifier) Configure(args []string) error { return nil }
+
+// Push classifies with the compiled matcher.
+func (e *FastClassifier) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.MemFetch(1) // first touch of the packet's Ethernet header
+	out, ok, steps := e.compiled.Match(p.Data())
+	e.Charge(int64(steps) * costFastClassStep)
+	if !ok || out >= e.NOutputs() {
+		e.Dropped++
+		p.Kill()
+		return
+	}
+	e.Matched++
+	e.Output(out).Push(p)
+}

@@ -1,0 +1,269 @@
+package elements
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Combo elements are the special-purpose combination elements click-xform
+// substitutes for chains of general-purpose elements (§6.2). Router
+// designers are discouraged from naming them directly: configurations
+// stay readable with the general elements, and click-xform installs the
+// combos before installation.
+
+// IPInputCombo fuses Paint(COLOR) → Strip(14) → CheckIPHeader(BADSRC)
+// and, when a third argument gives an annotation offset, GetIPAddress —
+// the Figure 4/6 input-path combination. Output 0 carries valid IP
+// packets; output 1 (optional) carries header failures.
+type IPInputCombo struct {
+	core.Base
+	color     byte
+	check     CheckIPHeader
+	addrOff   int // -1 when GetIPAddress is not fused in
+	Processed int64
+}
+
+// Configure accepts COLOR, BADSRC[, ANNO-OFFSET].
+func (e *IPInputCombo) Configure(args []string) error {
+	if len(args) != 2 && len(args) != 3 {
+		return fmt.Errorf("IPInputCombo: expects COLOR, BADSRC [, OFFSET]")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 || n > 255 {
+		return fmt.Errorf("IPInputCombo: bad color %q", args[0])
+	}
+	e.color = byte(n)
+	if err := e.check.Configure(args[1:2]); err != nil {
+		return err
+	}
+	e.addrOff = -1
+	if len(args) == 3 {
+		off, err := strconv.Atoi(args[2])
+		if err != nil || off < 0 {
+			return fmt.Errorf("IPInputCombo: bad annotation offset %q", args[2])
+		}
+		e.addrOff = off
+	}
+	return nil
+}
+
+func (e *IPInputCombo) fail(p *packet.Packet) {
+	if e.NOutputs() > 1 {
+		e.Output(1).Push(p)
+		return
+	}
+	p.Kill()
+}
+
+// Push performs the fused input path in one traversal of the header.
+func (e *IPInputCombo) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.MemFetch(1) // first touch of the packet's IP header
+	p.Anno.Paint = e.color
+	if p.Len() < packet.EtherHeaderLen {
+		p.Kill()
+		return
+	}
+	p.Pull(packet.EtherHeaderLen)
+	d := p.Data()
+	if len(d) < packet.IPHeaderMinLen {
+		e.fail(p)
+		return
+	}
+	h := packet.IP4Header(d)
+	hl := h.HeaderLen()
+	if h.Version() != 4 || hl < packet.IPHeaderMinLen || hl > len(d) {
+		e.fail(p)
+		return
+	}
+	tl := h.TotalLen()
+	if tl < hl || tl > len(d) {
+		e.fail(p)
+		return
+	}
+	if !h.ChecksumOK() {
+		e.fail(p)
+		return
+	}
+	if e.check.bad[h.Src()] {
+		e.fail(p)
+		return
+	}
+	p.Anno.NetworkOffset = 0
+	if tl < p.Len() {
+		p.Take(p.Len() - tl)
+	}
+	if e.addrOff >= 0 && len(d) >= e.addrOff+4 {
+		copy(p.Anno.DstIPAnno[:], d[e.addrOff:e.addrOff+4])
+	}
+	e.Processed++
+	e.Output(0).Push(p)
+}
+
+// IPOutputCombo fuses the output path: DropBroadcasts → CheckPaint(COLOR)
+// → IPGWOptions(MYADDR) → FixIPSrc(MYADDR) → DecIPTTL → IPFragmenter(MTU).
+// Outputs: 0 forward, 1 redirect (paint match), 2 bad options, 3 TTL
+// expired, 4 fragmentation needed (DF set).
+type IPOutputCombo struct {
+	core.Base
+	color     byte
+	myIP      packet.IP4
+	gwOpts    IPGWOptions
+	frag      IPFragmenter
+	Processed int64
+}
+
+// Configure accepts COLOR, MYADDR, MTU.
+func (e *IPOutputCombo) Configure(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("IPOutputCombo: expects COLOR, MYADDR, MTU")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 || n > 255 {
+		return fmt.Errorf("IPOutputCombo: bad color %q", args[0])
+	}
+	e.color = byte(n)
+	if e.myIP, err = packet.ParseIP4(args[1]); err != nil {
+		return err
+	}
+	if err := e.gwOpts.Configure(args[1:2]); err != nil {
+		return err
+	}
+	if err := e.frag.Configure(args[2:3]); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *IPOutputCombo) errorOut(port int, p *packet.Packet) {
+	if port < e.NOutputs() {
+		e.Output(port).Push(p)
+		return
+	}
+	p.Kill()
+}
+
+// Push performs the fused output path.
+func (e *IPOutputCombo) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Processed++
+	// DropBroadcasts.
+	if p.Anno.MACBroadcast {
+		p.Kill()
+		return
+	}
+	// CheckPaint: clone to the redirect output, keep forwarding.
+	if p.Anno.Paint == e.color && e.NOutputs() > 1 {
+		e.Output(1).Push(p.Clone())
+	}
+	h, ok := p.IPHeader()
+	if !ok {
+		p.Kill()
+		return
+	}
+	// IPGWOptions.
+	if h.HeaderLen() > packet.IPHeaderMinLen {
+		if !e.gwOpts.processOptions(p, h, h.HeaderLen()) {
+			e.errorOut(2, p)
+			return
+		}
+	}
+	// FixIPSrc.
+	if p.Anno.FixIPSrc {
+		h.SetSrc(e.myIP)
+		h.UpdateChecksum()
+		p.Anno.FixIPSrc = false
+	}
+	// DecIPTTL.
+	if h.TTL() <= 1 {
+		e.errorOut(3, p)
+		return
+	}
+	p.Uniqueify()
+	h, _ = p.IPHeader()
+	h.DecTTLIncremental()
+	// IPFragmenter.
+	if p.Len() > e.frag.mtu {
+		if h.DontFragment() {
+			e.errorOut(4, p)
+			return
+		}
+		// Delegate data-dependent fragmentation to the component
+		// implementation, emitting on our output 0.
+		e.fragmentTo(p, h)
+		return
+	}
+	e.Output(0).Push(p)
+}
+
+func (e *IPOutputCombo) fragmentTo(p *packet.Packet, h packet.IP4Header) {
+	hl := h.HeaderLen()
+	payload := p.Data()[hl:]
+	per := (e.frag.mtu - hl) &^ 7
+	origOff := h.FragOff()
+	more := h.MoreFragments()
+	for off := 0; off < len(payload); off += per {
+		end := off + per
+		last := false
+		if end >= len(payload) {
+			end = len(payload)
+			last = true
+		}
+		frag := packet.Make(packet.DefaultHeadroom, hl+(end-off), packet.DefaultTailroom)
+		d := frag.Data()
+		copy(d[:hl], h[:hl])
+		copy(d[hl:], payload[off:end])
+		fh := packet.IP4Header(d)
+		fh.SetTotalLen(hl + (end - off))
+		fo := (origOff & 0xe000) | (origOff & 0x1fff) + uint16(off/8)
+		if !last || more {
+			fo |= 0x2000
+		}
+		fh.SetFragOff(fo)
+		fh.UpdateChecksum()
+		frag.Anno = p.Anno
+		frag.Anno.NetworkOffset = 0
+		e.Output(0).Push(frag)
+	}
+	p.Kill()
+}
+
+// EtherEncapARP is the combination element the multiple-router ARP
+// elimination installs (§7.2): on a point-to-point link whose peer is
+// known from the combined configuration, ARP machinery is unnecessary
+// and a static encapsulation suffices. It differs from EtherEncap by
+// also accepting (and discarding) stray ARP traffic on input 1, so it
+// is port-compatible with the ARPQuerier it replaces.
+type EtherEncapARP struct {
+	core.Base
+	src, dst packet.EtherAddr
+}
+
+// Configure accepts SRC DST.
+func (e *EtherEncapARP) Configure(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("EtherEncapARP: expects SRC DST")
+	}
+	var err error
+	if e.src, err = packet.ParseEther(args[0]); err != nil {
+		return err
+	}
+	if e.dst, err = packet.ParseEther(args[1]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Push encapsulates IP packets; ARP responses on input 1 are dropped.
+func (e *EtherEncapARP) Push(port int, p *packet.Packet) {
+	e.Work()
+	if port == 1 {
+		p.Kill()
+		return
+	}
+	encapEther(p, packet.EtherTypeIP, e.src, e.dst)
+	e.Output(0).Push(p)
+}

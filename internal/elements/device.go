@@ -1,0 +1,179 @@
+package elements
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+// Device is the hardware interface PollDevice and ToDevice drive. The
+// network simulator implements it with its Tulip model; tests implement
+// it with in-memory queues.
+type Device interface {
+	// DeviceName returns the configuration name ("eth0").
+	DeviceName() string
+	// RxDequeue removes the next received packet from the RX DMA ring
+	// and refills the ring slot; nil means the ring is empty.
+	RxDequeue() *packet.Packet
+	// TxEnqueue places a packet on the TX DMA ring; false means the
+	// ring is full.
+	TxEnqueue(p *packet.Packet) bool
+	// TxRoom reports whether the TX DMA ring can accept a packet.
+	TxRoom() bool
+	// TxClean reclaims transmitted descriptors, returning the number
+	// reclaimed.
+	TxClean() int
+}
+
+// EnvDevice returns the device registered under "device:<name>" in the
+// router environment.
+func EnvDevice(rt *core.Router, name string) (Device, error) {
+	v := rt.Env("device:" + name)
+	if v == nil {
+		return nil, fmt.Errorf("no device %q in router environment", name)
+	}
+	dev, ok := v.(Device)
+	if !ok {
+		return nil, fmt.Errorf("environment object %q is not a Device", name)
+	}
+	return dev, nil
+}
+
+// PollDevice polls a device's receive DMA ring and pushes received
+// packets into the graph — Click's polling driver structure, which
+// replaced interrupt-driven receive to eliminate receive livelock (§3).
+// Each RunTask handles at most one packet (Click's POLLDEV burst of 1 in
+// the evaluation configuration).
+type PollDevice struct {
+	core.Base
+	devName string
+	dev     Device
+	Recv    int64
+}
+
+// Configure accepts the device name.
+func (e *PollDevice) Configure(args []string) error {
+	if len(args) != 1 || args[0] == "" {
+		return fmt.Errorf("PollDevice: expects DEVNAME")
+	}
+	e.devName = args[0]
+	return nil
+}
+
+// Initialize binds the device from the router environment.
+func (e *PollDevice) Initialize(rt *core.Router) error {
+	dev, err := EnvDevice(rt, e.devName)
+	if err != nil {
+		return err
+	}
+	e.dev = dev
+	return nil
+}
+
+// RunTask polls the RX ring once.
+func (e *PollDevice) RunTask() bool {
+	if e.dev == nil {
+		return false
+	}
+	p := e.dev.RxDequeue()
+	if p == nil {
+		return false
+	}
+	e.Recv++
+	if cpu := e.CPU(); cpu != nil {
+		prev := cpu.SetCategory(simcpu.CatRxDevice)
+		cpu.Charge(costRxDeviceInteraction)
+		cpu.MemFetch(1) // load the RX DMA descriptor
+		cpu.SetCategory(simcpu.CatForward)
+		e.Work()
+		e.Output(0).Push(p)
+		cpu.SetCategory(prev)
+		return true
+	}
+	e.Work()
+	e.Output(0).Push(p)
+	return true
+}
+
+// FromDevice is an alias class for PollDevice in this driver (the
+// evaluation always runs polling drivers).
+type FromDevice struct{ PollDevice }
+
+// ToDevice pulls packets from its input and enqueues them on a device's
+// transmit DMA ring. Each RunTask first reclaims transmitted
+// descriptors, then moves at most one packet.
+type ToDevice struct {
+	core.Base
+	devName string
+	dev     Device
+	Sent    int64
+	// Rejected counts pulls refused because the TX ring was full —
+	// the §8.4 instrumentation showing ToDevice "chose not to pull".
+	Rejected int64
+}
+
+// Configure accepts the device name.
+func (e *ToDevice) Configure(args []string) error {
+	if len(args) != 1 || args[0] == "" {
+		return fmt.Errorf("ToDevice: expects DEVNAME")
+	}
+	e.devName = args[0]
+	return nil
+}
+
+// Initialize binds the device from the router environment.
+func (e *ToDevice) Initialize(rt *core.Router) error {
+	dev, err := EnvDevice(rt, e.devName)
+	if err != nil {
+		return err
+	}
+	e.dev = dev
+	return nil
+}
+
+// RunTask cleans the TX ring and sends one packet if possible.
+func (e *ToDevice) RunTask() bool {
+	if e.dev == nil {
+		return false
+	}
+	cleaned := e.dev.TxClean()
+	// Refuse to pull when the TX DMA queue is full; the packet stays in
+	// the upstream Queue (this idleness is what §8.4 instruments).
+	if !e.dev.TxRoom() {
+		e.Rejected++
+		return cleaned > 0
+	}
+	var prev simcpu.Category
+	var snap simcpu.CatSnapshot
+	cpu := e.CPU()
+	if cpu != nil {
+		prev = cpu.SetCategory(simcpu.CatForward)
+		snap = cpu.CategorySnapshot()
+	}
+	p := e.Input(0).Pull()
+	if p == nil {
+		if cpu != nil {
+			// An empty pull is scheduler idling, not per-packet path
+			// cost; keep the Figure 8 categories clean (the paper's
+			// counters wrap actual packet processing).
+			cpu.ReclassifyAsOther(snap)
+			cpu.SetCategory(prev)
+		}
+		return cleaned > 0
+	}
+	e.Work()
+	if cpu != nil {
+		cpu.SetCategory(simcpu.CatTxDevice)
+		cpu.Charge(costTxDeviceInteraction)
+		cpu.MemFetch(1) // reclaim the sent TX descriptor
+		cpu.SetCategory(prev)
+	}
+	if e.dev.TxEnqueue(p) {
+		e.Sent++
+	} else {
+		p.Kill()
+	}
+	return true
+}

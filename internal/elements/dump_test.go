@@ -1,0 +1,90 @@
+package elements
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.pcap")
+
+	// Record three packets with distinct contents and timestamps.
+	rt := buildWith(t, "i :: Idle -> td :: ToDump("+path+");")
+	td := rt.Find("td").(*ToDump)
+	for i := 0; i < 3; i++ {
+		p := udpPacket(packet.MakeIP4(1, 1, 1, byte(i+1)), packet.MakeIP4(2, 2, 2, 2))
+		p.Anno.Timestamp = int64(i+1) * 1_500_000_000 // 1.5s apart
+		td.Push(0, p)
+	}
+	if td.Written != 3 {
+		t.Fatalf("written = %d", td.Written)
+	}
+	if err := td.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: standard pcap header present.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 24 || data[0] != 0xd4 || data[1] != 0xc3 || data[2] != 0xb2 || data[3] != 0xa1 {
+		t.Fatalf("not a little-endian pcap file: % x", data[:4])
+	}
+
+	// Replay through FromDump.
+	rt2 := buildWith(t, "fd :: FromDump("+path+") -> out :: TestSink;")
+	rt2.RunUntilIdle(100)
+	out := rt2.Find("out").(*sink)
+	if len(out.got) != 3 {
+		t.Fatalf("replayed %d packets, want 3", len(out.got))
+	}
+	for i, p := range out.got {
+		p.Anno.NetworkOffset = 14
+		h, ok := p.IPHeader()
+		if !ok {
+			t.Fatalf("replayed packet %d has no IP header", i)
+		}
+		if h.Src() != packet.MakeIP4(1, 1, 1, byte(i+1)) {
+			t.Errorf("packet %d src = %v", i, h.Src())
+		}
+		if p.Anno.Timestamp != int64(i+1)*1_500_000_000 {
+			t.Errorf("packet %d timestamp = %d", i, p.Anno.Timestamp)
+		}
+	}
+	if v, _ := rt2.ReadHandler("fd.remaining"); v != "0" {
+		t.Errorf("remaining = %s", v)
+	}
+}
+
+func TestFromDumpErrors(t *testing.T) {
+	if _, err := core.BuildFromText("f :: FromDump(/nonexistent.pcap) -> d :: Discard;",
+		"t", testRegistry(), core.BuildOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.pcap")
+	os.WriteFile(bad, []byte("not a pcap"), 0o644)
+	if _, err := core.BuildFromText("f :: FromDump("+bad+") -> d :: Discard;",
+		"t", testRegistry(), core.BuildOptions{}); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestToDumpTerminalMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sink.pcap")
+	rt := buildWith(t, "i :: Idle -> td :: ToDump("+path+");")
+	td := rt.Find("td").(*ToDump)
+	td.Push(0, udpPacket(packet.IP4{1}, packet.IP4{2}))
+	td.Close()
+	data, _ := os.ReadFile(path)
+	if len(data) <= 24 {
+		t.Error("terminal ToDump wrote no record")
+	}
+}

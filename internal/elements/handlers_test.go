@@ -1,0 +1,124 @@
+package elements
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+func TestHandlersReadCounters(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> c :: Counter -> q :: Queue(4) -> u :: Unqueue -> out :: TestSink;`)
+	c := rt.Find("c").(*Counter)
+	for i := 0; i < 3; i++ {
+		c.Push(0, packet.New(make([]byte, 60)))
+	}
+	if v, err := rt.ReadHandler("c.count"); err != nil || v != "3" {
+		t.Errorf("c.count = %q, %v", v, err)
+	}
+	if v, err := rt.ReadHandler("c.byte_count"); err != nil || v != "180" {
+		t.Errorf("c.byte_count = %q, %v", v, err)
+	}
+	if v, err := rt.ReadHandler("q.length"); err != nil || v != "3" {
+		t.Errorf("q.length = %q, %v", v, err)
+	}
+	if v, err := rt.ReadHandler("q.capacity"); err != nil || v != "4" {
+		t.Errorf("q.capacity = %q, %v", v, err)
+	}
+}
+
+func TestHandlersWrite(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> c :: Counter -> d :: Discard;`)
+	c := rt.Find("c").(*Counter)
+	c.Push(0, packet.New([]byte{1}))
+	if err := rt.WriteHandler("c.reset_counts", ""); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rt.ReadHandler("c.count"); v != "0" {
+		t.Errorf("count after reset = %q", v)
+	}
+	// Read-only handler refuses writes.
+	if err := rt.WriteHandler("c.count", "5"); err == nil {
+		t.Error("wrote to read-only handler")
+	}
+	// Write-only handler refuses reads.
+	if _, err := rt.ReadHandler("c.reset_counts"); err == nil {
+		t.Error("read a write-only handler")
+	}
+}
+
+func TestImplicitHandlers(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> q :: Queue(7) -> u :: Unqueue -> d :: Discard;`)
+	if v, _ := rt.ReadHandler("q.class"); v != "Queue" {
+		t.Errorf("q.class = %q", v)
+	}
+	if v, _ := rt.ReadHandler("q.config"); v != "7" {
+		t.Errorf("q.config = %q", v)
+	}
+	if v, _ := rt.ReadHandler("q.name"); v != "q" {
+		t.Errorf("q.name = %q", v)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> d :: Discard;`)
+	for _, path := range []string{"", "noelement.count", "d.nohandler", "d", ".count", "d."} {
+		if _, err := rt.ReadHandler(path); err == nil {
+			t.Errorf("ReadHandler(%q) succeeded", path)
+		}
+	}
+}
+
+func TestHandlerNames(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> q :: Queue -> u :: Unqueue -> d :: Discard;`)
+	names, err := rt.HandlerNames("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"class", "config", "length", "drops", "capacity"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing handler %q in %v", want, names)
+		}
+	}
+	if _, err := rt.HandlerNames("nope"); err == nil {
+		t.Error("HandlerNames on missing element succeeded")
+	}
+}
+
+func TestWritableLimitHandler(t *testing.T) {
+	rt, err := core.BuildFromText("s :: InfiniteSource(2) -> out :: TestSink;", "t", testRegistry(), core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.RunUntilIdle(100)
+	if v, _ := rt.ReadHandler("s.count"); v != "2" {
+		t.Fatalf("count = %q", v)
+	}
+	if err := rt.WriteHandler("s.limit", "5"); err != nil {
+		t.Fatal(err)
+	}
+	rt.RunUntilIdle(100)
+	if v, _ := rt.ReadHandler("s.count"); v != "5" {
+		t.Errorf("count after raising limit = %q", v)
+	}
+	if err := rt.WriteHandler("s.limit", "bogus"); err == nil {
+		t.Error("bad limit accepted")
+	}
+}
+
+func TestClassifierProgramHandler(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> c :: Classifier(12/0800, -);
+c [0] -> d0 :: Discard;
+c [1] -> d1 :: Discard;
+`)
+	v, err := rt.ReadHandler("c.program")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "noutputs 2") {
+		t.Errorf("program handler output:\n%s", v)
+	}
+}

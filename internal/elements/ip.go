@@ -1,0 +1,622 @@
+package elements
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// CheckIPHeader validates IPv4 headers: version, header length, total
+// length, checksum, and source addresses that may never appear on the
+// wire (configured "bad" addresses — typically 0.0.0.0 and
+// 255.255.255.255 plus local broadcasts). Valid packets continue on
+// output 0 with their network-header annotation set; invalid packets go
+// to output 1 or are dropped.
+type CheckIPHeader struct {
+	core.Base
+	bad  map[packet.IP4]bool
+	Bad  int64
+	Good int64
+}
+
+// Configure accepts an optional space-separated list of bad source
+// addresses.
+func (e *CheckIPHeader) Configure(args []string) error {
+	e.bad = map[packet.IP4]bool{
+		{0, 0, 0, 0}:         true,
+		{255, 255, 255, 255}: true,
+	}
+	if len(args) > 1 {
+		return fmt.Errorf("CheckIPHeader: too many arguments")
+	}
+	if len(args) == 1 && args[0] != "" {
+		for _, f := range strings.Fields(args[0]) {
+			ip, err := packet.ParseIP4(f)
+			if err != nil {
+				return fmt.Errorf("CheckIPHeader: %v", err)
+			}
+			e.bad[ip] = true
+		}
+	}
+	return nil
+}
+
+func (e *CheckIPHeader) fail(p *packet.Packet) {
+	e.Bad++
+	if e.NOutputs() > 1 {
+		e.Output(1).Push(p)
+		return
+	}
+	p.Kill()
+}
+
+// Push validates the header.
+func (e *CheckIPHeader) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.MemFetch(1) // first touch of the packet's IP header
+	d := p.Data()
+	if len(d) < packet.IPHeaderMinLen {
+		e.fail(p)
+		return
+	}
+	h := packet.IP4Header(d)
+	hl := h.HeaderLen()
+	if h.Version() != 4 || hl < packet.IPHeaderMinLen || hl > len(d) {
+		e.fail(p)
+		return
+	}
+	tl := h.TotalLen()
+	if tl < hl || tl > len(d) {
+		e.fail(p)
+		return
+	}
+	if !h.ChecksumOK() {
+		e.fail(p)
+		return
+	}
+	if e.bad[h.Src()] {
+		e.fail(p)
+		return
+	}
+	p.Anno.NetworkOffset = 0
+	// Trim link-layer padding beyond the IP total length.
+	if tl < p.Len() {
+		p.Take(p.Len() - tl)
+	}
+	e.Good++
+	e.Output(0).Push(p)
+}
+
+// GetIPAddress copies the IP address at a byte offset into the
+// destination-IP annotation (offset 16 reads the IP header's
+// destination field).
+type GetIPAddress struct {
+	core.Base
+	offset int
+}
+
+// Configure accepts the byte offset.
+func (e *GetIPAddress) Configure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("GetIPAddress: expects OFFSET")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return fmt.Errorf("GetIPAddress: bad offset %q", args[0])
+	}
+	e.offset = n
+	return nil
+}
+
+// Push annotates and forwards.
+func (e *GetIPAddress) Push(port int, p *packet.Packet) {
+	e.Work()
+	d := p.Data()
+	if len(d) >= e.offset+4 {
+		copy(p.Anno.DstIPAnno[:], d[e.offset:e.offset+4])
+	}
+	e.Output(0).Push(p)
+}
+
+// route is one LookupIPRoute table entry.
+type route struct {
+	dst     uint32
+	mask    uint32
+	maskLen int
+	gw      packet.IP4
+	port    int
+}
+
+// LookupIPRoute performs longest-prefix-match routing on the
+// destination-IP annotation. Each configuration argument is
+// "ADDR/LEN [GW] PORT"; a non-zero gateway replaces the annotation
+// (next hop), and the packet leaves on the route's output port.
+type LookupIPRoute struct {
+	core.Base
+	routes  []route
+	NoRoute int64
+	Lookups int64
+}
+
+// Configure parses the route table.
+func (e *LookupIPRoute) Configure(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("LookupIPRoute: expects at least one route")
+	}
+	for i, arg := range args {
+		fields := strings.Fields(arg)
+		if len(fields) != 2 && len(fields) != 3 {
+			return fmt.Errorf("LookupIPRoute: route %d: want \"ADDR/LEN [GW] PORT\", got %q", i, arg)
+		}
+		addrStr := fields[0]
+		prefixLen := 32
+		if slash := strings.IndexByte(addrStr, '/'); slash >= 0 {
+			n, err := strconv.Atoi(addrStr[slash+1:])
+			if err != nil || n < 0 || n > 32 {
+				return fmt.Errorf("LookupIPRoute: route %d: bad prefix %q", i, addrStr)
+			}
+			prefixLen = n
+			addrStr = addrStr[:slash]
+		}
+		addr, err := packet.ParseIP4(addrStr)
+		if err != nil {
+			return fmt.Errorf("LookupIPRoute: route %d: %v", i, err)
+		}
+		var gw packet.IP4
+		portStr := fields[len(fields)-1]
+		if len(fields) == 3 {
+			if gw, err = packet.ParseIP4(fields[1]); err != nil {
+				return fmt.Errorf("LookupIPRoute: route %d: %v", i, err)
+			}
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil || port < 0 {
+			return fmt.Errorf("LookupIPRoute: route %d: bad port %q", i, portStr)
+		}
+		mask := uint32(0)
+		if prefixLen > 0 {
+			mask = ^uint32(0) << (32 - prefixLen)
+		}
+		e.routes = append(e.routes, route{
+			dst: addr.Uint32() & mask, mask: mask, maskLen: prefixLen, gw: gw, port: port,
+		})
+	}
+	return nil
+}
+
+// Lookup returns the route for an address (longest prefix wins).
+func (e *LookupIPRoute) Lookup(a packet.IP4) (route, bool) {
+	v := a.Uint32()
+	best := -1
+	bestLen := -1
+	for i, r := range e.routes {
+		if v&r.mask == r.dst && r.maskLen > bestLen {
+			best, bestLen = i, r.maskLen
+		}
+	}
+	if best < 0 {
+		return route{}, false
+	}
+	return e.routes[best], true
+}
+
+// Push routes on the destination annotation.
+func (e *LookupIPRoute) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Charge(int64(len(e.routes)) * costLookupPerRoute)
+	e.Lookups++
+	dst := p.Anno.DstIPAnno
+	if dst.IsZero() {
+		if ih, ok := p.IPHeader(); ok {
+			dst = ih.Dst()
+		}
+	}
+	r, ok := e.Lookup(dst)
+	if !ok || r.port >= e.NOutputs() {
+		e.NoRoute++
+		p.Kill()
+		return
+	}
+	if !r.gw.IsZero() {
+		p.Anno.DstIPAnno = r.gw
+	} else {
+		p.Anno.DstIPAnno = dst
+	}
+	e.Output(r.port).Push(p)
+}
+
+// DropBroadcasts drops packets that arrived as link-level broadcasts —
+// a router must not forward them (RFC 1812).
+type DropBroadcasts struct {
+	core.Base
+	Drops int64
+}
+
+// Push filters on the MACBroadcast annotation.
+func (e *DropBroadcasts) Push(port int, p *packet.Packet) {
+	e.Work()
+	if p.Anno.MACBroadcast {
+		e.Drops++
+		p.Kill()
+		return
+	}
+	e.Output(0).Push(p)
+}
+
+// IPGWOptions processes IP options a gateway must handle (record route,
+// timestamp). Packets with malformed options go to output 1; packets
+// without options (header length 20) pass through untouched.
+type IPGWOptions struct {
+	core.Base
+	myIP packet.IP4
+	Bad  int64
+}
+
+// Configure accepts the router's address for record-route/timestamp
+// slots.
+func (e *IPGWOptions) Configure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("IPGWOptions: expects MYADDR")
+	}
+	var err error
+	e.myIP, err = packet.ParseIP4(args[0])
+	return err
+}
+
+// Push processes options.
+func (e *IPGWOptions) Push(port int, p *packet.Packet) {
+	e.Work()
+	h, ok := p.IPHeader()
+	if !ok {
+		p.Kill()
+		return
+	}
+	hl := h.HeaderLen()
+	if hl <= packet.IPHeaderMinLen {
+		e.Output(0).Push(p)
+		return
+	}
+	if e.processOptions(p, h, hl) {
+		e.Output(0).Push(p)
+		return
+	}
+	e.Bad++
+	if e.NOutputs() > 1 {
+		e.Output(1).Push(p)
+	} else {
+		p.Kill()
+	}
+}
+
+// processOptions walks the options area, filling record-route slots.
+// It returns false on a malformed option.
+func (e *IPGWOptions) processOptions(p *packet.Packet, h packet.IP4Header, hl int) bool {
+	opts := h[packet.IPHeaderMinLen:hl]
+	changed := false
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case 0: // end of options
+			i = len(opts)
+		case 1: // no-op
+			i++
+		case 7: // record route
+			if i+2 >= len(opts) {
+				return false
+			}
+			olen, ptr := int(opts[i+1]), int(opts[i+2])
+			if olen < 3 || i+olen > len(opts) {
+				return false
+			}
+			if ptr >= 4 && ptr-1+4 <= olen {
+				copy(opts[i+ptr-1:], e.myIP[:])
+				opts[i+2] = byte(ptr + 4)
+				changed = true
+			}
+			i += olen
+		default:
+			if i+1 >= len(opts) {
+				return false
+			}
+			olen := int(opts[i+1])
+			if olen < 2 || i+olen > len(opts) {
+				return false
+			}
+			i += olen
+		}
+	}
+	if changed {
+		h.UpdateChecksum()
+	}
+	return true
+}
+
+// FixIPSrc rewrites the source address of packets carrying the
+// fix-IP-src annotation (ICMP errors generated inside the router) to
+// the output interface's address.
+type FixIPSrc struct {
+	core.Base
+	myIP packet.IP4
+}
+
+// Configure accepts the interface address.
+func (e *FixIPSrc) Configure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("FixIPSrc: expects MYADDR")
+	}
+	var err error
+	e.myIP, err = packet.ParseIP4(args[0])
+	return err
+}
+
+// Push rewrites flagged packets.
+func (e *FixIPSrc) Push(port int, p *packet.Packet) {
+	e.Work()
+	if p.Anno.FixIPSrc {
+		if h, ok := p.IPHeader(); ok {
+			h.SetSrc(e.myIP)
+			h.UpdateChecksum()
+		}
+		p.Anno.FixIPSrc = false
+	}
+	e.Output(0).Push(p)
+}
+
+// DecIPTTL decrements the TTL with an incremental checksum update;
+// expired packets (TTL <= 1) go to output 1 for an ICMP time-exceeded
+// error.
+type DecIPTTL struct {
+	core.Base
+	Expired int64
+}
+
+// Push decrements or expires.
+func (e *DecIPTTL) Push(port int, p *packet.Packet) {
+	e.Work()
+	h, ok := p.IPHeader()
+	if !ok {
+		p.Kill()
+		return
+	}
+	if h.TTL() <= 1 {
+		e.Expired++
+		if e.NOutputs() > 1 {
+			e.Output(1).Push(p)
+		} else {
+			p.Kill()
+		}
+		return
+	}
+	p.Uniqueify()
+	h, _ = p.IPHeader()
+	h.DecTTLIncremental()
+	e.Output(0).Push(p)
+}
+
+// IPFragmenter splits packets larger than the MTU into fragments;
+// packets with the don't-fragment flag go to output 1 for an ICMP
+// "fragmentation needed" error.
+type IPFragmenter struct {
+	core.Base
+	mtu       int
+	Fragments int64
+	DFDrops   int64
+}
+
+// Configure accepts the MTU.
+func (e *IPFragmenter) Configure(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("IPFragmenter: expects MTU")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 68 {
+		return fmt.Errorf("IPFragmenter: bad MTU %q", args[0])
+	}
+	e.mtu = n
+	return nil
+}
+
+// Push forwards, fragments, or rejects.
+func (e *IPFragmenter) Push(port int, p *packet.Packet) {
+	e.Work()
+	if p.Len() <= e.mtu {
+		e.Output(0).Push(p)
+		return
+	}
+	h, ok := p.IPHeader()
+	if !ok {
+		p.Kill()
+		return
+	}
+	if h.DontFragment() {
+		e.DFDrops++
+		if e.NOutputs() > 1 {
+			e.Output(1).Push(p)
+		} else {
+			p.Kill()
+		}
+		return
+	}
+	e.fragment(p, h)
+}
+
+func (e *IPFragmenter) fragment(p *packet.Packet, h packet.IP4Header) {
+	hl := h.HeaderLen()
+	payload := p.Data()[hl:]
+	// Fragment payload size: multiple of 8.
+	per := (e.mtu - hl) &^ 7
+	origOff := h.FragOff()
+	more := h.MoreFragments()
+	for off := 0; off < len(payload); off += per {
+		end := off + per
+		last := false
+		if end >= len(payload) {
+			end = len(payload)
+			last = true
+		}
+		frag := packet.Make(packet.DefaultHeadroom, hl+(end-off), packet.DefaultTailroom)
+		d := frag.Data()
+		copy(d[:hl], h[:hl])
+		copy(d[hl:], payload[off:end])
+		fh := packet.IP4Header(d)
+		fh.SetTotalLen(hl + (end - off))
+		fo := (origOff & 0xe000) | ((origOff&0x1fff)*1 + uint16(off/8))
+		if !last || more {
+			fo |= 0x2000 // more fragments
+		}
+		fh.SetFragOff(fo)
+		fh.UpdateChecksum()
+		frag.Anno = p.Anno
+		frag.Anno.NetworkOffset = 0
+		e.Fragments++
+		e.Output(0).Push(frag)
+	}
+	p.Kill()
+}
+
+// ICMPError encapsulates a received packet in an ICMP error message
+// addressed to its source, marks it for source-address rewriting, and
+// emits it (the IP router feeds these back into the routing table).
+type ICMPError struct {
+	core.Base
+	myIP      packet.IP4
+	icmpType  int
+	icmpCode  int
+	Generated int64
+}
+
+// Configure accepts MYADDR TYPE CODE (numeric or symbolic type).
+func (e *ICMPError) Configure(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("ICMPError: expects MYADDR TYPE CODE")
+	}
+	var err error
+	if e.myIP, err = packet.ParseIP4(args[0]); err != nil {
+		return err
+	}
+	switch args[1] {
+	case "timeexceeded":
+		e.icmpType = packet.ICMPTimeExceeded
+	case "unreachable":
+		e.icmpType = packet.ICMPUnreachable
+	case "redirect":
+		e.icmpType = packet.ICMPRedirect
+	case "parameterproblem":
+		e.icmpType = packet.ICMPParameterProb
+	default:
+		if e.icmpType, err = strconv.Atoi(args[1]); err != nil {
+			return fmt.Errorf("ICMPError: bad type %q", args[1])
+		}
+	}
+	if e.icmpCode, err = strconv.Atoi(args[2]); err != nil {
+		return fmt.Errorf("ICMPError: bad code %q", args[2])
+	}
+	return nil
+}
+
+// Push builds the error packet.
+func (e *ICMPError) Push(port int, p *packet.Packet) {
+	e.Work()
+	h, ok := p.IPHeader()
+	if !ok {
+		p.Kill()
+		return
+	}
+	// Never generate errors about ICMP errors, fragments, broadcasts,
+	// or bad sources (RFC 1812).
+	if h.Proto() == packet.IPProtoICMP || h.FragOff()&0x1fff != 0 ||
+		p.Anno.MACBroadcast || h.Src().IsZero() || h.Src().IsBroadcast() {
+		p.Kill()
+		return
+	}
+	src := h.Src()
+	// Include the original IP header + 8 bytes of payload.
+	quoted := h.HeaderLen() + 8
+	if avail := p.Len() - p.Anno.NetworkOffsetOrZero(); quoted > avail {
+		quoted = avail
+	}
+	n := packet.IPHeaderMinLen + packet.ICMPHeaderLen + quoted
+	ep := packet.Make(packet.DefaultHeadroom, n, packet.DefaultTailroom)
+	d := ep.Data()
+	ih := packet.IP4Header(d)
+	ih.SetVersionIHL(4, packet.IPHeaderMinLen)
+	ih.SetTotalLen(n)
+	ih.SetTTL(255)
+	ih.SetProto(packet.IPProtoICMP)
+	ih.SetSrc(e.myIP)
+	ih.SetDst(src)
+	ih.UpdateChecksum()
+	icmp := d[packet.IPHeaderMinLen:]
+	icmp[0] = byte(e.icmpType)
+	icmp[1] = byte(e.icmpCode)
+	copy(icmp[packet.ICMPHeaderLen:], h[:quoted])
+	cs := packet.InternetChecksum(icmp)
+	icmp[2], icmp[3] = byte(cs>>8), byte(cs)
+	ep.Anno.NetworkOffset = 0
+	ep.Anno.FixIPSrc = true
+	ep.Anno.DstIPAnno = src
+	p.Kill()
+	e.Generated++
+	e.Output(0).Push(ep)
+}
+
+// ICMPPingResponder answers ICMP echo requests addressed to the router:
+// it swaps addresses, rewrites the type, fixes checksums, and emits the
+// reply (which the configuration routes back through the table).
+// Non-echo packets pass through to output 1 when connected, or are
+// dropped.
+type ICMPPingResponder struct {
+	core.Base
+	Replies int64
+}
+
+// Push answers echo requests.
+func (e *ICMPPingResponder) Push(port int, p *packet.Packet) {
+	e.Work()
+	h, ok := p.IPHeader()
+	if !ok || h.Proto() != packet.IPProtoICMP {
+		e.passThrough(p)
+		return
+	}
+	hl := h.HeaderLen()
+	if len(h) < hl+packet.ICMPHeaderLen {
+		e.passThrough(p)
+		return
+	}
+	icmp := h[hl:]
+	if icmp[0] != packet.ICMPEchoRequest {
+		e.passThrough(p)
+		return
+	}
+	p.Uniqueify()
+	h, _ = p.IPHeader()
+	icmp = h[hl:]
+	src, dst := h.Src(), h.Dst()
+	h.SetSrc(dst)
+	h.SetDst(src)
+	h.SetTTL(255)
+	h.UpdateChecksum()
+	icmp[0] = packet.ICMPEchoReply
+	icmp[2], icmp[3] = 0, 0
+	cs := packet.InternetChecksum(icmp[:h.TotalLen()-hl])
+	icmp[2], icmp[3] = byte(cs>>8), byte(cs)
+	p.Anno.DstIPAnno = src
+	p.Anno.Paint = 0 // replies never look like redirect candidates
+	e.Replies++
+	e.Output(0).Push(p)
+}
+
+func (e *ICMPPingResponder) passThrough(p *packet.Packet) {
+	if e.NOutputs() > 1 {
+		e.Output(1).Push(p)
+		return
+	}
+	p.Kill()
+}
+
+// Handlers exports the reply count.
+func (e *ICMPPingResponder) Handlers() []core.Handler {
+	return []core.Handler{intHandler("count", func() int64 { return e.Replies })}
+}

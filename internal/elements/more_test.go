@@ -1,0 +1,421 @@
+package elements
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Pull-side coverage for the agnostic pass-through elements.
+
+func TestAgnosticElementsInPullContext(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> q :: Queue(8)
+  -> n :: Null
+  -> c :: Counter
+  -> p :: Paint(7)
+  -> a :: Align(4, 0)
+  -> u :: Unqueue
+  -> out :: TestSink;
+`)
+	q := rt.Find("q").(*Queue)
+	pkt := packet.Make(13, 20, 0) // misaligned on purpose
+	q.Push(0, pkt)
+	rt.RunUntilIdle(50)
+	out := rt.Find("out").(*sink)
+	if len(out.got) != 1 {
+		t.Fatalf("pull chain delivered %d packets", len(out.got))
+	}
+	got := out.got[0]
+	if got.Anno.Paint != 7 {
+		t.Error("Paint.Pull did not paint")
+	}
+	if got.AlignOffset(4) != 0 {
+		t.Error("Align.Pull did not realign")
+	}
+	if rt.Find("c").(*Counter).Packets != 1 {
+		t.Error("Counter.Pull did not count")
+	}
+	// Empty pulls return nil through the whole chain.
+	if rt.Find("u").(*Unqueue).RunTask() {
+		t.Error("Unqueue did work on an empty chain")
+	}
+}
+
+func TestUnstrip(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> s :: Strip(14) -> u :: Unstrip(14) -> out :: TestSink;`)
+	p := udpPacket(packet.MakeIP4(1, 2, 3, 4), packet.MakeIP4(5, 6, 7, 8))
+	want := p.Len()
+	rt.Find("s").(*Strip).Push(0, p)
+	out := rt.Find("out").(*sink)
+	if len(out.got) != 1 || out.got[0].Len() != want {
+		t.Fatalf("unstrip result %d bytes, want %d", out.got[0].Len(), want)
+	}
+	eh, ok := out.got[0].EtherHeader()
+	if !ok || eh.Type() != packet.EtherTypeIP {
+		t.Error("unstripped header corrupted")
+	}
+}
+
+func TestPaintTee(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> pt :: PaintTee(2);
+pt [0] -> fwd :: TestSink;
+pt [1] -> cloned :: TestSink;
+`)
+	pt := rt.Find("pt").(*PaintTee)
+	p := udpPacket(packet.IP4{1}, packet.IP4{2})
+	p.Anno.Paint = 2
+	pt.Push(0, p)
+	if len(rt.Find("fwd").(*sink).got) != 1 || len(rt.Find("cloned").(*sink).got) != 1 {
+		t.Error("PaintTee did not clone matching packet")
+	}
+}
+
+func TestIPClassifierElement(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> c :: IPClassifier(udp && dst port 53, tcp, -);
+c [0] -> dns :: TestSink;
+c [1] -> tcp :: TestSink;
+c [2] -> rest :: TestSink;
+`)
+	c := rt.Find("c").(*IPClassifier)
+	if c.Program() == nil {
+		t.Fatal("no program")
+	}
+	mk := func(proto int, dport uint16) *packet.Packet {
+		p := udpPacket(packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2))
+		p.Pull(14)
+		h, _ := p.IPHeader()
+		h.SetProto(proto)
+		h.UpdateChecksum()
+		if u, ok := p.UDPHeader(); ok {
+			u.SetDstPort(dport)
+		}
+		return p
+	}
+	c.Push(0, mk(packet.IPProtoUDP, 53))
+	c.Push(0, mk(packet.IPProtoTCP, 80))
+	c.Push(0, mk(packet.IPProtoICMP, 0))
+	for name, want := range map[string]int{"dns": 1, "tcp": 1, "rest": 1} {
+		if got := len(rt.Find(name).(*sink).got); got != want {
+			t.Errorf("%s got %d packets, want %d", name, got, want)
+		}
+	}
+	if c.Matched != 3 {
+		t.Errorf("matched = %d", c.Matched)
+	}
+}
+
+func TestIPFilterElement(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> f :: IPFilter(allow udp && dst port 53, 1 tcp, deny all);
+f [0] -> dns :: TestSink;
+f [1] -> tcp :: TestSink;
+`)
+	f := rt.Find("f").(*IPFilter)
+	mk := func(proto int) *packet.Packet {
+		p := udpPacket(packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2))
+		p.Pull(14)
+		h, _ := p.IPHeader()
+		h.SetProto(proto)
+		h.UpdateChecksum()
+		if u, ok := p.UDPHeader(); ok {
+			u.SetDstPort(53)
+		}
+		return p
+	}
+	f.Push(0, mk(packet.IPProtoUDP))  // -> dns
+	f.Push(0, mk(packet.IPProtoTCP))  // -> tcp
+	f.Push(0, mk(packet.IPProtoICMP)) // -> dropped
+	if len(rt.Find("dns").(*sink).got) != 1 || len(rt.Find("tcp").(*sink).got) != 1 {
+		t.Error("numbered IPFilter ports misrouted")
+	}
+	if f.Dropped != 1 {
+		t.Errorf("dropped = %d", f.Dropped)
+	}
+}
+
+func TestClassifierBadConfigRejected(t *testing.T) {
+	for _, cfg := range []string{
+		"c :: Classifier(zz/00) -> d :: Discard; i :: Idle -> c;",
+		"c :: IPClassifier(bogus primitive) -> d :: Discard; i :: Idle -> c;",
+		"c :: IPFilter(frobnicate tcp) -> d :: Discard; i :: Idle -> c;",
+	} {
+		if _, err := core.BuildFromText(cfg, "t", testRegistry(), core.BuildOptions{}); err == nil {
+			t.Errorf("accepted %q", cfg)
+		}
+	}
+}
+
+func TestEtherEncapARP(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> [0] e :: EtherEncapARP(00:01:02:03:04:05, 0a:0b:0c:0d:0e:0f) -> out :: TestSink;
+j :: Idle -> [1] e;
+`)
+	e := rt.Find("e").(*EtherEncapARP)
+	p := udpPacket(packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2))
+	p.Pull(14)
+	e.Push(0, p)
+	out := rt.Find("out").(*sink)
+	if len(out.got) != 1 {
+		t.Fatal("packet lost")
+	}
+	eh, _ := out.got[0].EtherHeader()
+	if eh.Dst() != (packet.EtherAddr{0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}) {
+		t.Error("static destination not applied")
+	}
+	// Stray ARP responses on port 1 are swallowed.
+	e.Push(1, udpPacket(packet.IP4{1}, packet.IP4{2}))
+	if len(out.got) != 1 {
+		t.Error("port-1 packet leaked")
+	}
+}
+
+func TestIPOutputComboFragments(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> oc :: IPOutputCombo(1, 10.0.0.1, 576);
+oc [0] -> out :: TestSink;
+oc [1] -> r1 :: TestSink;
+oc [2] -> r2 :: TestSink;
+oc [3] -> r3 :: TestSink;
+oc [4] -> r4 :: TestSink;
+`)
+	oc := rt.Find("oc").(*IPOutputCombo)
+	big := packet.BuildUDP4(packet.EtherAddr{}, packet.EtherAddr{},
+		packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2), 1, 2, make([]byte, 1200))
+	big.Pull(14)
+	big.Anno.NetworkOffset = 0
+	oc.Push(0, big)
+	out := rt.Find("out").(*sink)
+	if len(out.got) < 3 {
+		t.Fatalf("combo produced %d fragments, want >= 3", len(out.got))
+	}
+	total := 0
+	for i, fr := range out.got {
+		h, ok := fr.IPHeader()
+		if !ok || !h.ChecksumOK() {
+			t.Fatalf("fragment %d bad", i)
+		}
+		total += fr.Len() - h.HeaderLen()
+		if fr.Len() > 576 {
+			t.Errorf("fragment %d over MTU", i)
+		}
+	}
+	if total != 1208 {
+		t.Errorf("fragment payload total = %d, want 1208", total)
+	}
+	// TTL must have been decremented before fragmentation.
+	h, _ := out.got[0].IPHeader()
+	if h.TTL() != 63 {
+		t.Errorf("fragment TTL = %d", h.TTL())
+	}
+}
+
+func TestIPInputComboBadConfig(t *testing.T) {
+	for _, cfg := range []string{
+		"IPInputCombo()", "IPInputCombo(300, x)", "IPInputCombo(1, , -4)",
+		"IPOutputCombo(1, 10.0.0.1)", "IPOutputCombo(1, bogus, 1500)", "IPOutputCombo(1, 10.0.0.1, 10)",
+		"EtherEncapARP(xx, yy)",
+	} {
+		_, err := core.BuildFromText("i :: Idle -> x :: "+cfg+" -> d :: Discard;", "t", testRegistry(), core.BuildOptions{})
+		if err == nil {
+			t.Errorf("accepted %s", cfg)
+		}
+	}
+}
+
+func TestIdleSwallowsAndProducesNothing(t *testing.T) {
+	rt := buildWith(t, `i :: Idle -> d :: Discard;`)
+	idle := rt.Find("i").(*Idle)
+	idle.Push(0, packet.New([]byte{1})) // must not panic or forward
+	if rt.Find("d").(*Discard).Count != 0 {
+		t.Error("Idle forwarded a packet")
+	}
+	if idle.Pull(0) != nil {
+		t.Error("Idle produced a packet")
+	}
+}
+
+func TestGenericDeviceBindingErrors(t *testing.T) {
+	// Wrong type under the device key.
+	env := map[string]interface{}{"device:eth0": 42}
+	_, err := core.BuildFromText("fd :: PollDevice(eth0) -> d :: Discard;", "t",
+		testRegistry(), core.BuildOptions{Env: env})
+	if err == nil || !strings.Contains(err.Error(), "not a Device") {
+		t.Errorf("bad device type accepted: %v", err)
+	}
+	for _, cfg := range []string{"PollDevice()", "ToDevice()"} {
+		_, err := core.BuildFromText("x :: "+cfg+";", "t", testRegistry(), core.BuildOptions{})
+		if err == nil {
+			t.Errorf("accepted %s", cfg)
+		}
+	}
+}
+
+func TestIPGWOptionsRecordRoute(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> g :: IPGWOptions(10.0.0.1);
+g [0] -> out :: TestSink;
+g [1] -> bad :: TestSink;
+`)
+	g := rt.Find("g").(*IPGWOptions)
+	// Build a packet with a record-route option: header length 28.
+	p := packet.Make(packet.DefaultHeadroom, 28+8, 0)
+	d := p.Data()
+	h := packet.IP4Header(d)
+	h.SetVersionIHL(4, 28)
+	h.SetTotalLen(36)
+	h.SetTTL(9)
+	h.SetProto(packet.IPProtoUDP)
+	h.SetSrc(packet.MakeIP4(1, 1, 1, 1))
+	h.SetDst(packet.MakeIP4(2, 2, 2, 2))
+	d[20] = 7 // record route
+	d[21] = 7 // option length: 3 header + 4 slot
+	d[22] = 4 // pointer: first slot
+	h.UpdateChecksum()
+	p.Anno.NetworkOffset = 0
+	g.Push(0, p)
+	out := rt.Find("out").(*sink)
+	if len(out.got) != 1 {
+		t.Fatal("option packet not forwarded")
+	}
+	od := out.got[0].Data()
+	if od[23] != 10 || od[24] != 0 || od[25] != 0 || od[26] != 1 {
+		t.Errorf("record-route slot = %v, want 10.0.0.1", od[23:27])
+	}
+	if od[22] != 8 {
+		t.Errorf("pointer = %d, want 8", od[22])
+	}
+	oh, _ := out.got[0].IPHeader()
+	if !oh.ChecksumOK() {
+		t.Error("checksum not updated after option processing")
+	}
+
+	// Malformed option -> output 1.
+	p2 := packet.Make(packet.DefaultHeadroom, 28, 0)
+	d2 := p2.Data()
+	h2 := packet.IP4Header(d2)
+	h2.SetVersionIHL(4, 28)
+	h2.SetTotalLen(28)
+	h2.SetTTL(9)
+	h2.SetSrc(packet.MakeIP4(1, 1, 1, 1))
+	h2.SetDst(packet.MakeIP4(2, 2, 2, 2))
+	d2[20] = 7
+	d2[21] = 99 // length overruns the header
+	h2.UpdateChecksum()
+	p2.Anno.NetworkOffset = 0
+	g.Push(0, p2)
+	if len(rt.Find("bad").(*sink).got) != 1 {
+		t.Error("malformed option not diverted")
+	}
+}
+
+func TestSwitchHandlerChangesRoute(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> sw :: Switch(0);
+sw [0] -> a :: TestSink;
+sw [1] -> b :: TestSink;
+`)
+	sw := rt.Find("sw").(*Switch)
+	sw.Push(0, packet.New([]byte{1}))
+	if err := rt.WriteHandler("sw.switch", "1"); err != nil {
+		t.Fatal(err)
+	}
+	sw.Push(0, packet.New([]byte{2}))
+	if err := rt.WriteHandler("sw.switch", "-1"); err != nil {
+		t.Fatal(err)
+	}
+	sw.Push(0, packet.New([]byte{3})) // dropped
+	if got := len(rt.Find("a").(*sink).got); got != 1 {
+		t.Errorf("a got %d", got)
+	}
+	if got := len(rt.Find("b").(*sink).got); got != 1 {
+		t.Errorf("b got %d", got)
+	}
+	if v, _ := rt.ReadHandler("sw.switch"); v != "-1" {
+		t.Errorf("switch handler reads %q", v)
+	}
+	if err := rt.WriteHandler("sw.switch", "bogus"); err == nil {
+		t.Error("bad port accepted via handler")
+	}
+}
+
+func TestPaintSwitch(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> ps :: PaintSwitch;
+ps [0] -> p0 :: TestSink;
+ps [1] -> p1 :: TestSink;
+`)
+	ps := rt.Find("ps").(*PaintSwitch)
+	for _, c := range []byte{0, 1, 7} {
+		p := packet.New([]byte{1})
+		p.Anno.Paint = c
+		ps.Push(0, p)
+	}
+	if len(rt.Find("p0").(*sink).got) != 1 || len(rt.Find("p1").(*sink).got) != 1 {
+		t.Error("paint routing wrong")
+	}
+}
+
+func TestICMPPingResponder(t *testing.T) {
+	rt := buildWith(t, `
+i :: Idle -> pr :: ICMPPingResponder;
+pr [0] -> reply :: TestSink;
+pr [1] -> other :: TestSink;
+`)
+	pr := rt.Find("pr").(*ICMPPingResponder)
+
+	// An echo request to the router.
+	ping := packet.Make(packet.DefaultHeadroom, 28+8, 0)
+	d := ping.Data()
+	h := packet.IP4Header(d)
+	h.SetVersionIHL(4, 20)
+	h.SetTotalLen(36)
+	h.SetTTL(64)
+	h.SetProto(packet.IPProtoICMP)
+	h.SetSrc(packet.MakeIP4(10, 0, 0, 2))
+	h.SetDst(packet.MakeIP4(10, 0, 0, 1))
+	h.UpdateChecksum()
+	icmp := d[20:]
+	icmp[0] = packet.ICMPEchoRequest
+	icmp[4], icmp[5] = 0x12, 0x34 // id
+	cs := packet.InternetChecksum(icmp)
+	icmp[2], icmp[3] = byte(cs>>8), byte(cs)
+	ping.Anno.NetworkOffset = 0
+
+	pr.Push(0, ping)
+	out := rt.Find("reply").(*sink)
+	if len(out.got) != 1 {
+		t.Fatal("no reply")
+	}
+	rp := out.got[0]
+	rh, _ := rp.IPHeader()
+	if rh.Src() != packet.MakeIP4(10, 0, 0, 1) || rh.Dst() != packet.MakeIP4(10, 0, 0, 2) {
+		t.Error("reply addresses not swapped")
+	}
+	if !rh.ChecksumOK() {
+		t.Error("reply IP checksum bad")
+	}
+	ricmp := rp.Data()[20:]
+	if ricmp[0] != packet.ICMPEchoReply {
+		t.Errorf("reply type = %d", ricmp[0])
+	}
+	if packet.InternetChecksum(ricmp) != 0 {
+		t.Error("reply ICMP checksum bad")
+	}
+	if ricmp[4] != 0x12 || ricmp[5] != 0x34 {
+		t.Error("echo id not preserved")
+	}
+
+	// Non-echo ICMP passes through.
+	p2 := udpPacket(packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2))
+	p2.Pull(14)
+	p2.Anno.NetworkOffset = 0
+	pr.Push(0, p2)
+	if len(rt.Find("other").(*sink).got) != 1 {
+		t.Error("non-echo packet not passed through")
+	}
+}

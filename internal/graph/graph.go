@@ -1,0 +1,356 @@
+// Package graph defines the router-configuration graph that the
+// optimizer tools analyze and transform. A Router is a set of named
+// elements (class + configuration string) and directed port-to-port
+// connections. The package provides the "extensive set of graph
+// manipulations" the paper describes (§5.1): adding and removing
+// elements, rerouting connections, and replacing subgraphs — operations
+// that exist for the optimizers, not for the runtime, where
+// configurations are static.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element is one vertex of a router configuration.
+type Element struct {
+	Name   string
+	Class  string
+	Config string
+	// Landmark records where the element came from (file:line or a
+	// tool name) for error messages.
+	Landmark string
+	// dead marks an element removed but not yet compacted away.
+	dead bool
+}
+
+// Connection is one directed edge between element ports.
+type Connection struct {
+	From     int // element index
+	FromPort int
+	To       int // element index
+	ToPort   int
+}
+
+// Router is a configuration graph.
+type Router struct {
+	Elements []*Element
+	Conns    []Connection
+	// Requirements lists require() statements (package names the
+	// configuration needs, e.g. names of generated element packages).
+	Requirements []string
+	// Archive holds extra files bundled with the configuration —
+	// generated source code from tools like click-fastclassifier.
+	Archive map[string][]byte
+	// AnonCounter numbers anonymous elements (Class@1, Class@2...).
+	AnonCounter int
+
+	byName map[string]int
+}
+
+// New returns an empty router graph.
+func New() *Router {
+	return &Router{byName: map[string]int{}, Archive: map[string][]byte{}}
+}
+
+// NumElements returns the number of live elements.
+func (r *Router) NumElements() int {
+	n := 0
+	for _, e := range r.Elements {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Element returns the element with the given index.
+func (r *Router) Element(i int) *Element { return r.Elements[i] }
+
+// Dead reports whether element i has been removed.
+func (r *Router) Dead(i int) bool { return r.Elements[i].dead }
+
+// AddElement adds an element and returns its index. An empty name is
+// assigned an anonymous name derived from the class ("Class@3").
+func (r *Router) AddElement(name, class, config, landmark string) (int, error) {
+	if name == "" {
+		r.AnonCounter++
+		name = fmt.Sprintf("%s@%d", class, r.AnonCounter)
+	}
+	if _, exists := r.byName[name]; exists {
+		return -1, fmt.Errorf("graph: redeclaration of element %q", name)
+	}
+	idx := len(r.Elements)
+	r.Elements = append(r.Elements, &Element{Name: name, Class: class, Config: config, Landmark: landmark})
+	r.byName[name] = idx
+	return idx, nil
+}
+
+// MustAddElement is AddElement for programmatic construction where a
+// name collision is a bug.
+func (r *Router) MustAddElement(name, class, config, landmark string) int {
+	idx, err := r.AddElement(name, class, config, landmark)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// FindElement returns the index of the named live element, or -1.
+func (r *Router) FindElement(name string) int {
+	idx, ok := r.byName[name]
+	if !ok || r.Elements[idx].dead {
+		return -1
+	}
+	return idx
+}
+
+// Connect adds a connection. Duplicate connections are ignored (Click
+// treats the connection set as a set).
+func (r *Router) Connect(from, fromPort, to, toPort int) {
+	for _, c := range r.Conns {
+		if c.From == from && c.FromPort == fromPort && c.To == to && c.ToPort == toPort {
+			return
+		}
+	}
+	r.Conns = append(r.Conns, Connection{From: from, FromPort: fromPort, To: to, ToPort: toPort})
+}
+
+// Disconnect removes the matching connection if present.
+func (r *Router) Disconnect(from, fromPort, to, toPort int) {
+	for i, c := range r.Conns {
+		if c.From == from && c.FromPort == fromPort && c.To == to && c.ToPort == toPort {
+			r.Conns = append(r.Conns[:i], r.Conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveElement marks an element dead and deletes all its connections.
+func (r *Router) RemoveElement(i int) {
+	e := r.Elements[i]
+	if e.dead {
+		return
+	}
+	e.dead = true
+	delete(r.byName, e.Name)
+	kept := r.Conns[:0]
+	for _, c := range r.Conns {
+		if c.From != i && c.To != i {
+			kept = append(kept, c)
+		}
+	}
+	r.Conns = kept
+}
+
+// RemoveAndSplice removes element i, splicing each input connection on
+// port p to every output connection on port p. It is the edit used when
+// deleting a pass-through element (Null, redundant Align): packets that
+// would have entered input p leave via output p's targets.
+func (r *Router) RemoveAndSplice(i int) {
+	ins := map[int][]Connection{}
+	outs := map[int][]Connection{}
+	for _, c := range r.Conns {
+		if c.To == i {
+			ins[c.ToPort] = append(ins[c.ToPort], c)
+		}
+		if c.From == i {
+			outs[c.FromPort] = append(outs[c.FromPort], c)
+		}
+	}
+	r.RemoveElement(i)
+	for port, inConns := range ins {
+		for _, ic := range inConns {
+			for _, oc := range outs[port] {
+				r.Connect(ic.From, ic.FromPort, oc.To, oc.ToPort)
+			}
+		}
+	}
+}
+
+// Compact removes dead elements from the slice, renumbering indices in
+// all connections. It returns the mapping from old index to new index
+// (-1 for removed elements).
+func (r *Router) Compact() []int {
+	remap := make([]int, len(r.Elements))
+	live := r.Elements[:0]
+	for i, e := range r.Elements {
+		if e.dead {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(live)
+		live = append(live, e)
+	}
+	r.Elements = live
+	r.byName = make(map[string]int, len(live))
+	for i, e := range live {
+		r.byName[e.Name] = i
+	}
+	for i := range r.Conns {
+		r.Conns[i].From = remap[r.Conns[i].From]
+		r.Conns[i].To = remap[r.Conns[i].To]
+	}
+	return remap
+}
+
+// OutputConns returns the connections leaving element i's port p.
+func (r *Router) OutputConns(i, port int) []Connection {
+	var out []Connection
+	for _, c := range r.Conns {
+		if c.From == i && c.FromPort == port {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// InputConns returns the connections entering element i's port p.
+func (r *Router) InputConns(i, port int) []Connection {
+	var in []Connection
+	for _, c := range r.Conns {
+		if c.To == i && c.ToPort == port {
+			in = append(in, c)
+		}
+	}
+	return in
+}
+
+// ConnsFrom returns all connections leaving element i.
+func (r *Router) ConnsFrom(i int) []Connection {
+	var out []Connection
+	for _, c := range r.Conns {
+		if c.From == i {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ConnsTo returns all connections entering element i.
+func (r *Router) ConnsTo(i int) []Connection {
+	var in []Connection
+	for _, c := range r.Conns {
+		if c.To == i {
+			in = append(in, c)
+		}
+	}
+	return in
+}
+
+// NInputs returns the number of input ports element i uses (max port
+// number + 1 over all incoming connections).
+func (r *Router) NInputs(i int) int {
+	n := 0
+	for _, c := range r.Conns {
+		if c.To == i && c.ToPort+1 > n {
+			n = c.ToPort + 1
+		}
+	}
+	return n
+}
+
+// NOutputs returns the number of output ports element i uses.
+func (r *Router) NOutputs(i int) int {
+	n := 0
+	for _, c := range r.Conns {
+		if c.From == i && c.FromPort+1 > n {
+			n = c.FromPort + 1
+		}
+	}
+	return n
+}
+
+// LiveIndices returns the indices of all live elements in order.
+func (r *Router) LiveIndices() []int {
+	var out []int
+	for i, e := range r.Elements {
+		if !e.dead {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SortConns orders the connection list (by from-element, from-port,
+// to-element, to-port), for deterministic output.
+func (r *Router) SortConns() {
+	sort.Slice(r.Conns, func(a, b int) bool {
+		x, y := r.Conns[a], r.Conns[b]
+		if x.From != y.From {
+			return x.From < y.From
+		}
+		if x.FromPort != y.FromPort {
+			return x.FromPort < y.FromPort
+		}
+		if x.To != y.To {
+			return x.To < y.To
+		}
+		return x.ToPort < y.ToPort
+	})
+}
+
+// Clone returns a deep copy of the router graph.
+func (r *Router) Clone() *Router {
+	n := New()
+	n.Elements = make([]*Element, len(r.Elements))
+	for i, e := range r.Elements {
+		cp := *e
+		n.Elements[i] = &cp
+		if !e.dead {
+			n.byName[e.Name] = i
+		}
+	}
+	n.Conns = append([]Connection(nil), r.Conns...)
+	n.Requirements = append([]string(nil), r.Requirements...)
+	n.AnonCounter = r.AnonCounter
+	for k, v := range r.Archive {
+		n.Archive[k] = append([]byte(nil), v...)
+	}
+	return n
+}
+
+// Require records a requirement if not already present.
+func (r *Router) Require(feature string) {
+	for _, f := range r.Requirements {
+		if f == feature {
+			return
+		}
+	}
+	r.Requirements = append(r.Requirements, feature)
+}
+
+// Rename changes an element's name, keeping the index map consistent.
+func (r *Router) Rename(i int, name string) error {
+	e := r.Elements[i]
+	if e.dead {
+		return fmt.Errorf("graph: renaming dead element")
+	}
+	if name == e.Name {
+		return nil
+	}
+	if _, exists := r.byName[name]; exists {
+		return fmt.Errorf("graph: rename to existing name %q", name)
+	}
+	delete(r.byName, e.Name)
+	e.Name = name
+	r.byName[name] = i
+	return nil
+}
+
+// String renders a compact description for debugging.
+func (r *Router) String() string {
+	var b strings.Builder
+	for i, e := range r.Elements {
+		if e.dead {
+			continue
+		}
+		fmt.Fprintf(&b, "%d: %s :: %s(%s)\n", i, e.Name, e.Class, e.Config)
+	}
+	for _, c := range r.Conns {
+		fmt.Fprintf(&b, "%s[%d] -> [%d]%s\n", r.Elements[c.From].Name, c.FromPort, c.ToPort, r.Elements[c.To].Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+// Package iprouter builds the paper's evaluation configurations: the
+// standards-compliant IP router of Figure 1 (generalized to n
+// interfaces), the minimal "Simple" forwarding configuration, and the
+// click-xform pattern files for the combination elements (Figures 4-6)
+// and for multiple-router ARP elimination (§7.2).
+package iprouter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/packet"
+)
+
+// Interface describes one router interface and the single host on its
+// point-to-point link (the evaluation's topology, §8.1).
+type Interface struct {
+	Device   string
+	Addr     packet.IP4
+	Ether    packet.EtherAddr
+	HostAddr packet.IP4
+	HostEth  packet.EtherAddr
+}
+
+// Interfaces builds the standard n-interface addressing plan:
+// interface i is 10.0.i.1/24 with the attached host at 10.0.i.2.
+func Interfaces(n int) []Interface {
+	out := make([]Interface, n)
+	for i := range out {
+		out[i] = Interface{
+			Device:   fmt.Sprintf("eth%d", i),
+			Addr:     packet.MakeIP4(10, 0, byte(i), 1),
+			Ether:    packet.EtherAddr{0x00, 0x00, 0xc0, 0x00, byte(i), 0x01},
+			HostAddr: packet.MakeIP4(10, 0, byte(i), 2),
+			HostEth:  packet.EtherAddr{0x00, 0x00, 0xc0, 0x00, byte(i), 0x02},
+		}
+	}
+	return out
+}
+
+// Config renders the Figure 1 IP router for the given interfaces. The
+// forwarding path for a transit packet crosses sixteen elements (§3):
+// PollDevice, Classifier, Paint, Strip, CheckIPHeader, GetIPAddress,
+// LookupIPRoute, DropBroadcasts, CheckPaint, IPGWOptions, FixIPSrc,
+// DecIPTTL, IPFragmenter, ARPQuerier, Queue, ToDevice.
+func Config(ifs []Interface) string {
+	var b strings.Builder
+	b.WriteString("// Click IP router (Figure 1), generated configuration.\n\n")
+
+	// Shared routing table: host routes for the router's own addresses
+	// (delivered to the host stack, Figure 1's "to Linux" arrow) and
+	// one direct route per interface. Host routes come first; they are
+	// more specific, so order doesn't matter for LPM, but it reads like
+	// the paper's configuration.
+	n := len(ifs)
+	var routes []string
+	for _, itf := range ifs {
+		routes = append(routes, fmt.Sprintf("%s/32 %d", itf.Addr, n))
+	}
+	for i, itf := range ifs {
+		net := itf.Addr
+		net[3] = 0
+		routes = append(routes, fmt.Sprintf("%s/24 %d", net, i))
+	}
+	fmt.Fprintf(&b, "rt :: LookupIPRoute(%s);\n", strings.Join(routes, ", "))
+	fmt.Fprintf(&b, "rt [%d] -> th :: ToHost;\n\n", n)
+
+	var badSrcs []string
+	for _, itf := range ifs {
+		bcast := itf.Addr
+		bcast[3] = 255
+		badSrcs = append(badSrcs, bcast.String())
+	}
+	bad := strings.Join(badSrcs, " ")
+
+	for i, itf := range ifs {
+		color := i + 1
+		fmt.Fprintf(&b, "// Interface %d: %s (%s, %s)\n", i, itf.Device, itf.Addr, itf.Ether)
+		fmt.Fprintf(&b, "fd%d :: PollDevice(%s);\n", i, itf.Device)
+		fmt.Fprintf(&b, "td%d :: ToDevice(%s);\n", i, itf.Device)
+		fmt.Fprintf(&b, "c%d :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);\n", i)
+		fmt.Fprintf(&b, "out%d :: Queue;\n", i)
+		fmt.Fprintf(&b, "arpq%d :: ARPQuerier(%s, %s);\n", i, itf.Addr, itf.Ether)
+		fmt.Fprintf(&b, "fd%d -> c%d;\n", i, i)
+		fmt.Fprintf(&b, "c%d [0] -> ARPResponder(%s, %s) -> out%d;\n", i, itf.Addr, itf.Ether, i)
+		fmt.Fprintf(&b, "c%d [1] -> [1] arpq%d;\n", i, i)
+		fmt.Fprintf(&b, "c%d [2] -> Paint(%d) -> Strip(14) -> CheckIPHeader(%s) -> GetIPAddress(16) -> rt;\n", i, color, bad)
+		fmt.Fprintf(&b, "c%d [3] -> Discard;\n", i)
+		fmt.Fprintf(&b, "rt [%d] -> DropBroadcasts -> cp%d :: CheckPaint(%d) -> gio%d :: IPGWOptions(%s) -> FixIPSrc(%s) -> dt%d :: DecIPTTL -> fr%d :: IPFragmenter(1500) -> [0] arpq%d;\n",
+			i, i, color, i, itf.Addr, itf.Addr, i, i, i)
+		fmt.Fprintf(&b, "arpq%d -> out%d -> td%d;\n", i, i, i)
+		fmt.Fprintf(&b, "cp%d [1] -> ICMPError(%s, redirect, 1) -> rt;\n", i, itf.Addr)
+		fmt.Fprintf(&b, "gio%d [1] -> ICMPError(%s, parameterproblem, 0) -> rt;\n", i, itf.Addr)
+		fmt.Fprintf(&b, "dt%d [1] -> ICMPError(%s, timeexceeded, 0) -> rt;\n", i, itf.Addr)
+		fmt.Fprintf(&b, "fr%d [1] -> ICMPError(%s, unreachable, 4) -> rt;\n\n", i, itf.Addr)
+	}
+	return b.String()
+}
+
+// SimpleConfig renders the minimal configuration ("Simple" in Figures
+// 9-11): device handling and a single packet queue per forwarding pair.
+// pairs[i] = j means packets arriving on interface i leave on interface
+// j; a negative entry leaves interface i receive-only.
+func SimpleConfig(ifs []Interface, pairs []int) string {
+	var b strings.Builder
+	b.WriteString("// Minimal Click configuration: devices and one queue per path.\n\n")
+	for i, j := range pairs {
+		if j < 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "fd%d :: PollDevice(%s) -> q%d :: Queue -> td%d :: ToDevice(%s);\n",
+			i, ifs[i].Device, i, j, ifs[j].Device)
+	}
+	return b.String()
+}
+
+// ForwardPairs returns the evaluation traffic pattern: the first half of
+// the interfaces receive from sources and forward to the second half
+// (source i's packets leave on interface i + n/2).
+func ForwardPairs(n int) []int {
+	pairs := make([]int, n)
+	for i := range pairs {
+		if i < n/2 {
+			pairs[i] = i + n/2
+		} else {
+			pairs[i] = -1
+		}
+	}
+	return pairs
+}
+
+// ComboPatterns is the click-xform pattern file for the combination
+// elements. Three pattern-replacement pairs reduce the ten-element
+// Figure 5 fragment to the combo form of Figure 6: the Figure 4 pair
+// (Paint-Strip-CheckIPHeader => IPInputCombo), a pair folding
+// GetIPAddress into IPInputCombo, and the output-path pair
+// (DropBroadcasts-...-IPFragmenter => IPOutputCombo).
+const ComboPatterns = `
+// click-xform patterns for the IP router combination elements.
+
+elementclass IPInputComboPat {
+	input -> Paint($color) -> Strip(14) -> CheckIPHeader($bad) -> output;
+}
+elementclass IPInputComboPat_Replacement {
+	input -> IPInputCombo($color, $bad) -> output;
+}
+
+elementclass IPInputAddrPat {
+	input -> IPInputCombo($color, $bad) -> GetIPAddress(16) -> output;
+}
+elementclass IPInputAddrPat_Replacement {
+	input -> IPInputCombo($color, $bad, 16) -> output;
+}
+
+elementclass IPOutputComboPat {
+	input -> DropBroadcasts -> cp :: CheckPaint($color) -> g :: IPGWOptions($addr) -> FixIPSrc($addr) -> d :: DecIPTTL -> f :: IPFragmenter($mtu) -> output;
+	cp [1] -> [1] output;
+	g [1] -> [2] output;
+	d [1] -> [3] output;
+	f [1] -> [4] output;
+}
+elementclass IPOutputComboPat_Replacement {
+	input -> oc :: IPOutputCombo($color, $addr, $mtu);
+	oc [0] -> output;
+	oc [1] -> [1] output;
+	oc [2] -> [2] output;
+	oc [3] -> [3] output;
+	oc [4] -> [4] output;
+}
+`
+
+// ARPElimPatterns removes ARP machinery from point-to-point links in
+// combined configurations (§7.2): the combined graph exposes that the
+// ARPQuerier's packets reach exactly one peer, whose address the peer's
+// ARPResponder declares, so a static encapsulation suffices. The
+// RouterLink keeps its name through the replacement so click-uncombine
+// still finds it.
+const ARPElimPatterns = `
+// click-xform patterns for multiple-router ARP elimination.
+
+elementclass ARPElimPat {
+	input -> q :: ARPQuerier($ip, $eth) -> link :: RouterLink -> c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+	input [1] -> [1] q;
+	input [2] -> link;
+	c [0] -> r :: ARPResponder($pip, $peth) -> [1] output;
+	c [1] -> [2] output;
+	c [2] -> [3] output;
+	c [3] -> [4] output;
+}
+elementclass ARPElimPat_Replacement {
+	input -> q :: EtherEncapARP($eth, $peth) -> link :: RouterLink -> c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+	input [1] -> [1] q;
+	input [2] -> link;
+	c [0] -> r :: ARPResponder($pip, $peth) -> [1] output;
+	c [1] -> [2] output;
+	c [2] -> [3] output;
+	c [3] -> [4] output;
+}
+`
+
+// FirewallRules is a 17-rule IPFilter configuration modeled on the
+// screened-host firewall of "Building Internet Firewalls" used in §4's
+// measurement. (The book's exact table is not reproducible here; this
+// synthetic rule set preserves what matters for the experiment: 17
+// rules with the DNS rule next-to-last, so a DNS packet traverses most
+// of the decision tree.) Rule 16 of 17 — "DNS-5" — admits UDP port 53
+// to the bastion host 10.0.0.2.
+func FirewallRules() []string {
+	return []string{
+		"deny src net 10.0.0.0/8 && ip frag",                // 1: fragments from inside-claiming sources
+		"deny src host 192.168.1.1",                         // 2: spoofed router address
+		"allow src net 172.16.0.0/12 && tcp && dst port 25", // 3: SMTP-1
+		"allow dst host 10.0.0.2 && tcp && dst port 25",     // 4: SMTP-2
+		"deny tcp && dst port 23",                           // 5: no telnet
+		"deny tcp && dst port 513",                          // 6: no rlogin
+		"deny tcp && dst port 514",                          // 7: no rsh
+		"allow src host 10.0.0.2 && tcp && src port 25",     // 8: SMTP-3
+		"allow tcp && dst port 80 && dst host 10.0.0.3",     // 9: HTTP-1
+		"allow tcp && src port 80 && src host 10.0.0.3",     // 10: HTTP-2
+		"deny udp && dst port 69",                           // 11: no tftp
+		"deny udp && dst port 161",                          // 12: no snmp
+		"allow icmp type echo",                              // 13: ping out
+		"allow icmp type echo-reply",                        // 14: ping back
+		"allow dst host 10.0.0.2 && tcp && dst port 53",     // 15: DNS-4 (zone transfer)
+		"allow dst host 10.0.0.2 && udp && dst port 53",     // 16: DNS-5
+		"deny all", // 17: default deny
+	}
+}
+
+// FirewallConfigArg renders the rules as an IPFilter configuration
+// string.
+func FirewallConfigArg() string {
+	return strings.Join(FirewallRules(), ", ")
+}
+
+// DNS5Packet builds the packet §4 measures: a UDP datagram matching the
+// next-to-last firewall rule (DNS to the bastion host), presented the
+// way IPFilter sees it (IP header first).
+func DNS5Packet() *packet.Packet {
+	p := packet.BuildUDP4(
+		packet.EtherAddr{0x00, 0x00, 0xc0, 0x00, 0x00, 0x02}, packet.EtherAddr{0x00, 0x00, 0xc0, 0x00, 0x00, 0x01},
+		packet.MakeIP4(192, 0, 2, 7), packet.MakeIP4(10, 0, 0, 2),
+		3456, 53, make([]byte, 26))
+	p.Pull(packet.EtherHeaderLen)
+	p.Anno.NetworkOffset = 0
+	return p
+}

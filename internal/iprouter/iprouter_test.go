@@ -1,0 +1,197 @@
+package iprouter
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classifier"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/packet"
+)
+
+func TestInterfacesAddressing(t *testing.T) {
+	ifs := Interfaces(8)
+	if len(ifs) != 8 {
+		t.Fatalf("len = %d", len(ifs))
+	}
+	seen := map[string]bool{}
+	for i, itf := range ifs {
+		if itf.Addr == itf.HostAddr {
+			t.Errorf("interface %d: router and host share an address", i)
+		}
+		// Same /24.
+		if itf.Addr[0] != itf.HostAddr[0] || itf.Addr[2] != itf.HostAddr[2] {
+			t.Errorf("interface %d: host not on the interface subnet", i)
+		}
+		for _, k := range []string{itf.Addr.String(), itf.Ether.String(), itf.HostAddr.String(), itf.HostEth.String()} {
+			if seen[k] {
+				t.Errorf("duplicate address %s", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func checkConfig(t *testing.T, text string) *graph.Router {
+	t.Helper()
+	g, err := lang.ParseRouter(text, "test")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reg := elements.NewRegistry()
+	if errs := graph.CheckPorts(g, reg); len(errs) > 0 {
+		t.Fatalf("ports: %v", errs[0])
+	}
+	pr, err := graph.AssignProcessing(g, reg)
+	if err != nil {
+		t.Fatalf("processing: %v", err)
+	}
+	if errs := graph.CheckConnectionDiscipline(g, pr); len(errs) > 0 {
+		t.Fatalf("discipline: %v", errs[0])
+	}
+	return g
+}
+
+func TestConfigValidAcrossSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		g := checkConfig(t, Config(Interfaces(n)))
+		// Per interface: fd, td, classifier, queue, arpq, arpresponder,
+		// paint, strip, chk, gia, db, cp, gio, fis, dt, fr, discard,
+		// 4 ICMPErrors = 21; plus the shared rt and ToHost.
+		want := n*21 + 2
+		if got := g.NumElements(); got != want {
+			t.Errorf("n=%d: %d elements, want %d", n, got, want)
+		}
+	}
+}
+
+func TestForwardingPathLength(t *testing.T) {
+	// §3: sixteen elements on the forwarding path. Walk a transit
+	// packet's path through the 2-interface graph by class sequence.
+	g := checkConfig(t, Config(Interfaces(2)))
+	wantPath := []string{
+		"PollDevice", "Classifier", "Paint", "Strip", "CheckIPHeader",
+		"GetIPAddress", "LookupIPRoute", "DropBroadcasts", "CheckPaint",
+		"IPGWOptions", "FixIPSrc", "DecIPTTL", "IPFragmenter",
+		"ARPQuerier", "Queue", "ToDevice",
+	}
+	if len(wantPath) != 16 {
+		t.Fatalf("test bug: path spec has %d entries", len(wantPath))
+	}
+	// Follow from fd0 along the expected class sequence, picking the
+	// out-port that leads to the next wanted class.
+	cur := g.FindElement("fd0")
+	if cur < 0 {
+		t.Fatal("no fd0")
+	}
+	for step := 1; step < len(wantPath); step++ {
+		found := -1
+		for _, c := range g.ConnsFrom(cur) {
+			if g.Element(c.To).Class == wantPath[step] {
+				found = c.To
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("step %d: no %s successor of %s", step, wantPath[step], g.Element(cur).Name)
+		}
+		cur = found
+	}
+}
+
+func TestSimpleConfig(t *testing.T) {
+	ifs := Interfaces(8)
+	g := checkConfig(t, SimpleConfig(ifs, ForwardPairs(8)))
+	// 4 forwarding pairs × (fd, queue, td).
+	if got := g.NumElements(); got != 12 {
+		t.Errorf("simple config has %d elements, want 12", got)
+	}
+}
+
+func TestForwardPairs(t *testing.T) {
+	p := ForwardPairs(8)
+	for i := 0; i < 4; i++ {
+		if p[i] != i+4 {
+			t.Errorf("pairs[%d] = %d", i, p[i])
+		}
+		if p[i+4] != -1 {
+			t.Errorf("pairs[%d] = %d, want -1", i+4, p[i+4])
+		}
+	}
+}
+
+func TestFirewallRuleCount(t *testing.T) {
+	rules := FirewallRules()
+	if len(rules) != 17 {
+		t.Fatalf("%d rules, want 17", len(rules))
+	}
+	// DNS-5 is next to last; the last is the default deny.
+	if !strings.Contains(rules[15], "53") || !strings.Contains(rules[15], "udp") {
+		t.Errorf("rule 16 is not the UDP DNS rule: %q", rules[15])
+	}
+	if !strings.Contains(rules[16], "deny") {
+		t.Errorf("rule 17 is not a default deny: %q", rules[16])
+	}
+}
+
+func TestFirewallSemantics(t *testing.T) {
+	prog, err := classifier.BuildIPFilterProgram(FirewallRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Optimize()
+
+	mk := func(src, dst packet.IP4, proto int, sport, dport uint16) []byte {
+		p := packet.BuildUDP4(packet.EtherAddr{}, packet.EtherAddr{}, src, dst, sport, dport, make([]byte, 14))
+		p.Pull(packet.EtherHeaderLen)
+		h, _ := p.IPHeader()
+		h.SetProto(proto)
+		h.UpdateChecksum()
+		return p.Data()
+	}
+	cases := []struct {
+		name  string
+		data  []byte
+		allow bool
+	}{
+		{"DNS-5", DNS5Packet().Data(), true},
+		{"SMTP to bastion", mk(packet.MakeIP4(192, 0, 2, 1), packet.MakeIP4(10, 0, 0, 2), packet.IPProtoTCP, 999, 25), true},
+		{"telnet", mk(packet.MakeIP4(192, 0, 2, 1), packet.MakeIP4(10, 0, 0, 9), packet.IPProtoTCP, 999, 23), false},
+		{"tftp", mk(packet.MakeIP4(192, 0, 2, 1), packet.MakeIP4(10, 0, 0, 9), packet.IPProtoUDP, 999, 69), false},
+		{"web to 10.0.0.3", mk(packet.MakeIP4(192, 0, 2, 1), packet.MakeIP4(10, 0, 0, 3), packet.IPProtoTCP, 999, 80), true},
+		{"web to other host", mk(packet.MakeIP4(192, 0, 2, 1), packet.MakeIP4(10, 0, 0, 9), packet.IPProtoTCP, 999, 80), false},
+		{"random UDP", mk(packet.MakeIP4(192, 0, 2, 1), packet.MakeIP4(10, 0, 0, 9), packet.IPProtoUDP, 999, 777), false},
+		{"spoofed router", mk(packet.MakeIP4(192, 168, 1, 1), packet.MakeIP4(10, 0, 0, 2), packet.IPProtoUDP, 999, 53), false},
+	}
+	for _, c := range cases {
+		_, ok, _ := prog.Match(c.data)
+		if ok != c.allow {
+			t.Errorf("%s: allow=%v, want %v", c.name, ok, c.allow)
+		}
+	}
+}
+
+func TestDNS5PacketShape(t *testing.T) {
+	p := DNS5Packet()
+	h, ok := p.IPHeader()
+	if !ok {
+		t.Fatal("no IP header")
+	}
+	if h.Proto() != packet.IPProtoUDP || h.Dst() != packet.MakeIP4(10, 0, 0, 2) {
+		t.Error("DNS5 addressing wrong")
+	}
+	u, ok := p.UDPHeader()
+	if !ok || u.DstPort() != 53 {
+		t.Error("DNS5 not a DNS packet")
+	}
+}
+
+func TestPatternFilesParse(t *testing.T) {
+	for _, src := range []string{ComboPatterns, ARPElimPatterns} {
+		if _, err := lang.Parse(src, "patterns"); err != nil {
+			t.Errorf("pattern file does not parse: %v", err)
+		}
+	}
+}

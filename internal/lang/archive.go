@@ -1,0 +1,149 @@
+package lang
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The archive feature (§5.2): a configuration may consist of multiple
+// files bundled into a single archive. Tools like click-fastclassifier
+// attach generated source code specialized for a single configuration;
+// the driver compiles and loads that code before parsing the
+// configuration itself. Click uses the Unix ar(1) format; so do we.
+//
+// The member named "config" holds the router configuration.
+
+const arMagic = "!<arch>\n"
+
+// ArchiveMember is one file in an archive.
+type ArchiveMember struct {
+	Name string
+	Data []byte
+}
+
+// IsArchive reports whether data looks like an ar archive.
+func IsArchive(data []byte) bool {
+	return len(data) >= len(arMagic) && string(data[:len(arMagic)]) == arMagic
+}
+
+// ReadArchive parses a Unix ar archive. Member names longer than 15
+// bytes use the BSD "#1/<len>" extension.
+func ReadArchive(data []byte) ([]ArchiveMember, error) {
+	if !IsArchive(data) {
+		return nil, fmt.Errorf("lang: not an archive")
+	}
+	var members []ArchiveMember
+	pos := len(arMagic)
+	for pos < len(data) {
+		if pos+60 > len(data) {
+			return nil, fmt.Errorf("lang: truncated archive header at offset %d", pos)
+		}
+		hdr := data[pos : pos+60]
+		if hdr[58] != 0x60 || hdr[59] != 0x0a {
+			return nil, fmt.Errorf("lang: bad archive header magic at offset %d", pos)
+		}
+		name := strings.TrimRight(string(hdr[0:16]), " ")
+		sizeStr := strings.TrimRight(string(hdr[48:58]), " ")
+		size, err := strconv.Atoi(sizeStr)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("lang: bad archive member size %q", sizeStr)
+		}
+		pos += 60
+		body := data[pos:]
+		if len(body) < size {
+			return nil, fmt.Errorf("lang: truncated archive member %q", name)
+		}
+		body = body[:size]
+		if strings.HasPrefix(name, "#1/") {
+			nameLen, err := strconv.Atoi(name[3:])
+			if err != nil || nameLen < 0 || nameLen > len(body) {
+				return nil, fmt.Errorf("lang: bad BSD long name header %q", name)
+			}
+			name = strings.TrimRight(string(body[:nameLen]), "\x00")
+			body = body[nameLen:]
+		}
+		name = strings.TrimSuffix(name, "/") // GNU style stores "name/"
+		members = append(members, ArchiveMember{Name: name, Data: append([]byte(nil), body...)})
+		pos += size
+		if size%2 == 1 { // members are 2-byte aligned
+			pos++
+		}
+	}
+	return members, nil
+}
+
+// WriteArchive serializes members into a Unix ar archive.
+func WriteArchive(members []ArchiveMember) []byte {
+	var b bytes.Buffer
+	b.WriteString(arMagic)
+	for _, m := range members {
+		name := m.Name
+		data := m.Data
+		if len(name) > 15 {
+			// BSD long-name extension: name stored at the start of the
+			// member body.
+			pad := (4 - len(name)%4) % 4
+			stored := name + strings.Repeat("\x00", pad)
+			hdrName := fmt.Sprintf("#1/%d", len(stored))
+			writeArHeader(&b, hdrName, len(stored)+len(data))
+			b.WriteString(stored)
+			b.Write(data)
+			if (len(stored)+len(data))%2 == 1 {
+				b.WriteByte('\n')
+			}
+			continue
+		}
+		writeArHeader(&b, name, len(data))
+		b.Write(data)
+		if len(data)%2 == 1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes()
+}
+
+func writeArHeader(b *bytes.Buffer, name string, size int) {
+	fmt.Fprintf(b, "%-16s%-12s%-6s%-6s%-8s%-10d`\n", name, "0", "0", "0", "100644", size)
+}
+
+// UnpackConfig splits configuration input into the configuration text
+// and any archive members. Plain text input yields the text itself and
+// no members; archive input must contain a "config" member.
+func UnpackConfig(data []byte) (config string, extra []ArchiveMember, err error) {
+	if !IsArchive(data) {
+		return string(data), nil, nil
+	}
+	members, err := ReadArchive(data)
+	if err != nil {
+		return "", nil, err
+	}
+	found := false
+	for _, m := range members {
+		if m.Name == "config" {
+			config = string(m.Data)
+			found = true
+		} else {
+			extra = append(extra, m)
+		}
+	}
+	if !found {
+		return "", nil, fmt.Errorf("lang: archive has no \"config\" member")
+	}
+	return config, extra, nil
+}
+
+// PackConfig bundles configuration text with extra members. With no
+// extra members it returns the plain text.
+func PackConfig(config string, extra []ArchiveMember) []byte {
+	if len(extra) == 0 {
+		return []byte(config)
+	}
+	members := []ArchiveMember{{Name: "config", Data: []byte(config)}}
+	sorted := append([]ArchiveMember(nil), extra...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	members = append(members, sorted...)
+	return WriteArchive(members)
+}

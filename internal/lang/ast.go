@@ -1,0 +1,369 @@
+package lang
+
+// File is a parsed configuration file: an ordered list of statements
+// plus any compound element class definitions.
+type File struct {
+	Stmts        []Stmt
+	Requirements []string
+}
+
+// Stmt is a configuration statement.
+type Stmt interface{ stmt() }
+
+// DeclStmt declares one or more elements of a class:
+// "name1, name2 :: Class(config)".
+type DeclStmt struct {
+	Names  []string
+	Class  string
+	Config string
+	Line   int
+}
+
+// ConnStmt is a connection chain "a [1] -> [0] b -> c". Each End may
+// carry an inline declaration (anonymous or named).
+type ConnStmt struct {
+	Ends []ConnEnd
+	Line int
+}
+
+// ConnEnd is one endpoint in a connection chain.
+type ConnEnd struct {
+	// Name refers to a previously declared element, unless Decl is
+	// non-nil, in which case this end declares the element inline.
+	Name string
+	Decl *DeclStmt
+	// InPort is the "[n]" before the element (port packets arrive on);
+	// OutPort is the "[n]" after it. -1 means unspecified.
+	InPort  int
+	OutPort int
+}
+
+// ClassDefStmt defines a compound element class:
+// "elementclass Name { $a | body }".
+type ClassDefStmt struct {
+	Name    string
+	Formals []string // "$a", "$b"; empty if no formals clause
+	Body    *File
+	Line    int
+}
+
+// RequireStmt records a "require(feature)" statement.
+type RequireStmt struct {
+	Feature string
+	Line    int
+}
+
+func (*DeclStmt) stmt()     {}
+func (*ConnStmt) stmt()     {}
+func (*ClassDefStmt) stmt() {}
+func (*RequireStmt) stmt()  {}
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	peek *token
+}
+
+// Parse parses Click-language source into a File. The file name is used
+// in error messages only.
+func Parse(src, file string) (*File, error) {
+	p := &parser{lx: newLexer(src, file)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseFile(tokEOF)
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return p.lx.errorf(p.tok.line, p.tok.col, format, args...)
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errorf("expected %v, found %v", k, p.tok.kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// parseFile parses statements until the given terminator (tokEOF at top
+// level, tokRBrace inside a compound body).
+func (p *parser) parseFile(until tokenKind) (*File, error) {
+	f := &File{}
+	for {
+		if p.tok.kind == tokSemi {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind == until {
+			return f, nil
+		}
+		if p.tok.kind == tokEOF {
+			return nil, p.errorf("expected %v before end of file", until)
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if rq, ok := st.(*RequireStmt); ok {
+			f.Requirements = append(f.Requirements, rq.Feature)
+		}
+		f.Stmts = append(f.Stmts, st)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.tok.kind {
+	case tokElementclass:
+		return p.parseClassDef()
+	case tokRequire:
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cfg, err := p.expect(tokLParen)
+		if err != nil {
+			return nil, err
+		}
+		return &RequireStmt{Feature: cfg.text, Line: line}, nil
+	case tokIdent, tokLBracket, tokDollarIdent:
+		return p.parseConnectionOrDecl()
+	}
+	return nil, p.errorf("expected element declaration or connection, found %v", p.tok.kind)
+}
+
+func (p *parser) parseClassDef() (Stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	// Check for a formals clause "$a, $b |".
+	var formals []string
+	if p.tok.kind == tokDollarIdent {
+		// Look ahead: formals end with '|'. We must distinguish
+		// "$a | ..." (formals) from a body that merely starts with a
+		// '$' token, which our grammar doesn't otherwise allow, so a
+		// leading $ always means formals.
+		for {
+			if p.tok.kind != tokDollarIdent {
+				return nil, p.errorf("expected '$' formal parameter, found %v", p.tok.kind)
+			}
+			formals = append(formals, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokBar); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseFile(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	return &ClassDefStmt{Name: name.text, Formals: formals, Body: body, Line: line}, nil
+}
+
+// parseConnectionOrDecl handles both declarations and connection chains,
+// which share a prefix ("name ..." may continue ":: Class" or "->").
+func (p *parser) parseConnectionOrDecl() (Stmt, error) {
+	line := p.tok.line
+	end, multi, err := p.parseConnEnd(true)
+	if err != nil {
+		return nil, err
+	}
+	if multi != nil {
+		// "a, b :: Class" multiple declaration; already complete.
+		return multi, nil
+	}
+	if p.tok.kind != tokArrow {
+		// A bare declaration statement.
+		if end.Decl != nil && end.InPort < 0 && end.OutPort < 0 {
+			return end.Decl, nil
+		}
+		if end.Decl == nil && end.InPort < 0 && end.OutPort < 0 {
+			return nil, p.errorf("expected '->' or '::' after element %q", end.Name)
+		}
+		return nil, p.errorf("dangling port specification")
+	}
+	conn := &ConnStmt{Ends: []ConnEnd{end}, Line: line}
+	for p.tok.kind == tokArrow {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, multi, err := p.parseConnEnd(false)
+		if err != nil {
+			return nil, err
+		}
+		if multi != nil {
+			return nil, p.errorf("multiple declaration cannot appear in a connection")
+		}
+		conn.Ends = append(conn.Ends, next)
+	}
+	return conn, nil
+}
+
+// parseConnEnd parses "[port] name-or-class [port]" optionally with an
+// inline ":: Class(config)" declaration or "Class(config)" anonymous
+// declaration. If allowMulti and the element turns out to be a multiple
+// declaration ("a, b :: C"), it returns (zero, declStmt, nil).
+func (p *parser) parseConnEnd(allowMulti bool) (ConnEnd, *DeclStmt, error) {
+	end := ConnEnd{InPort: -1, OutPort: -1}
+	if p.tok.kind == tokLBracket {
+		port, err := p.parsePort()
+		if err != nil {
+			return end, nil, err
+		}
+		end.InPort = port
+	}
+	if p.tok.kind != tokIdent {
+		return end, nil, p.errorf("expected element name or class, found %v", p.tok.kind)
+	}
+	first := p.tok
+	if err := p.advance(); err != nil {
+		return end, nil, err
+	}
+
+	switch p.tok.kind {
+	case tokComma:
+		if !allowMulti {
+			return end, nil, p.errorf("unexpected ','")
+		}
+		// Multiple declaration: "a, b, c :: Class(config)".
+		names := []string{first.text}
+		for p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return end, nil, err
+			}
+			n, err := p.expect(tokIdent)
+			if err != nil {
+				return end, nil, err
+			}
+			names = append(names, n.text)
+		}
+		if _, err := p.expect(tokColonColon); err != nil {
+			return end, nil, err
+		}
+		class, err := p.expect(tokIdent)
+		if err != nil {
+			return end, nil, err
+		}
+		config := ""
+		if p.tok.kind == tokLParen {
+			config = p.tok.text
+			if err := p.advance(); err != nil {
+				return end, nil, err
+			}
+		}
+		return end, &DeclStmt{Names: names, Class: class.text, Config: config, Line: first.line}, nil
+
+	case tokColonColon:
+		// Named inline declaration: "name :: Class(config)".
+		if err := p.advance(); err != nil {
+			return end, nil, err
+		}
+		class, err := p.expect(tokIdent)
+		if err != nil {
+			return end, nil, err
+		}
+		config := ""
+		if p.tok.kind == tokLParen {
+			config = p.tok.text
+			if err := p.advance(); err != nil {
+				return end, nil, err
+			}
+		}
+		end.Name = first.text
+		end.Decl = &DeclStmt{Names: []string{first.text}, Class: class.text, Config: config, Line: first.line}
+
+	case tokLParen:
+		// Anonymous declaration: "Class(config)". The element name is
+		// assigned during elaboration.
+		end.Decl = &DeclStmt{Names: []string{""}, Class: first.text, Config: p.tok.text, Line: first.line}
+		if err := p.advance(); err != nil {
+			return end, nil, err
+		}
+
+	default:
+		// Plain reference — or an anonymous element without a config
+		// string ("... -> Discard;"). The elaborator decides: a name
+		// that matches a declared element is a reference; otherwise,
+		// if it matches a known class, it is anonymous. We record it
+		// as a name and let elaboration resolve.
+		end.Name = first.text
+	}
+
+	if p.tok.kind == tokLBracket {
+		port, err := p.parsePort()
+		if err != nil {
+			return end, nil, err
+		}
+		end.OutPort = port
+	}
+	return end, nil, nil
+}
+
+func (p *parser) parsePort() (int, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return 0, err
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := 0; i < len(num.text); i++ {
+		n = n*10 + int(num.text[i]-'0')
+	}
+	return n, nil
+}

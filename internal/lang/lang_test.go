@@ -1,0 +1,524 @@
+package lang
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src, "test")
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func mustRouter(t *testing.T, src string) *routerShim {
+	t.Helper()
+	r, err := ParseRouter(src, "test")
+	if err != nil {
+		t.Fatalf("ParseRouter(%q): %v", src, err)
+	}
+	return &routerShim{t, r}
+}
+
+// routerShim adds test conveniences over graph.Router.
+type routerShim struct {
+	t *testing.T
+	r routerLike
+}
+
+type routerLike interface {
+	FindElement(name string) int
+	NumElements() int
+}
+
+func (s *routerShim) has(name string) bool { return s.r.FindElement(name) >= 0 }
+
+func TestParseDeclaration(t *testing.T) {
+	f := mustParse(t, "q :: Queue(19);")
+	if len(f.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(f.Stmts))
+	}
+	d, ok := f.Stmts[0].(*DeclStmt)
+	if !ok {
+		t.Fatalf("stmt type %T", f.Stmts[0])
+	}
+	if d.Names[0] != "q" || d.Class != "Queue" || d.Config != "19" {
+		t.Errorf("decl = %+v", d)
+	}
+}
+
+func TestParseMultipleDeclaration(t *testing.T) {
+	f := mustParse(t, "a, b, c :: Counter;")
+	d := f.Stmts[0].(*DeclStmt)
+	if !reflect.DeepEqual(d.Names, []string{"a", "b", "c"}) {
+		t.Errorf("names = %v", d.Names)
+	}
+	if d.Config != "" {
+		t.Errorf("config = %q", d.Config)
+	}
+}
+
+func TestParseConnectionChainWithPorts(t *testing.T) {
+	f := mustParse(t, "a [1] -> [2] b -> c;")
+	conn := f.Stmts[0].(*ConnStmt)
+	if len(conn.Ends) != 3 {
+		t.Fatalf("ends = %d", len(conn.Ends))
+	}
+	if conn.Ends[0].OutPort != 1 {
+		t.Errorf("a out port = %d", conn.Ends[0].OutPort)
+	}
+	if conn.Ends[1].InPort != 2 {
+		t.Errorf("b in port = %d", conn.Ends[1].InPort)
+	}
+	if conn.Ends[2].InPort != -1 {
+		t.Errorf("c in port = %d", conn.Ends[2].InPort)
+	}
+}
+
+func TestParseInlineAndAnonymousDeclarations(t *testing.T) {
+	f := mustParse(t, "src :: InfiniteSource -> Queue(10) -> sink :: Discard;")
+	conn := f.Stmts[0].(*ConnStmt)
+	if conn.Ends[0].Decl == nil || conn.Ends[0].Decl.Class != "InfiniteSource" {
+		t.Error("inline decl for src missing")
+	}
+	if conn.Ends[1].Decl == nil || conn.Ends[1].Decl.Names[0] != "" {
+		t.Error("anonymous Queue not detected")
+	}
+	if conn.Ends[2].Decl == nil || conn.Ends[2].Decl.Names[0] != "sink" {
+		t.Error("inline decl for sink missing")
+	}
+}
+
+func TestParseConfigStringNesting(t *testing.T) {
+	f := mustParse(t, `c :: Classifier(12/0806 20/0001, 12/0800, -);`)
+	d := f.Stmts[0].(*DeclStmt)
+	if d.Config != "12/0806 20/0001, 12/0800, -" {
+		t.Errorf("config = %q", d.Config)
+	}
+
+	f2 := mustParse(t, `x :: Foo(a (b, c), "quoted, paren )" , d);`)
+	d2 := f2.Stmts[0].(*DeclStmt)
+	args := SplitConfig(d2.Config)
+	if len(args) != 3 {
+		t.Fatalf("args = %v", args)
+	}
+	if args[0] != "a (b, c)" || args[1] != `"quoted, paren )"` || args[2] != "d" {
+		t.Errorf("args = %q", args)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+a :: Queue; /* block
+   comment */ b :: Queue;
+a -> b; // trailing
+`
+	f := mustParse(t, src)
+	if len(f.Stmts) != 3 {
+		t.Errorf("stmts = %d", len(f.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"a :: ;",
+		"a -> ;",
+		"a ->",
+		"-> b;",
+		"a : b;",
+		"a :: B(unclosed;",
+		"elementclass { }",
+		"elementclass X { a :: B ", // unterminated brace
+		"/* unterminated",
+		"a [x] -> b;",
+		"a, b -> c;", // multiple decl in connection
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, "test"); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestElaborateBasic(t *testing.T) {
+	r, err := ParseRouter("src :: A -> q :: Queue(5) -> sink :: B;", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumElements() != 3 {
+		t.Fatalf("elements = %d", r.NumElements())
+	}
+	si, qi, ki := r.FindElement("src"), r.FindElement("q"), r.FindElement("sink")
+	if si < 0 || qi < 0 || ki < 0 {
+		t.Fatal("missing elements")
+	}
+	if len(r.Conns) != 2 {
+		t.Fatalf("conns = %d", len(r.Conns))
+	}
+	if out := r.OutputConns(si, 0); len(out) != 1 || out[0].To != qi {
+		t.Errorf("src conns = %v", out)
+	}
+}
+
+func TestElaborateForwardReference(t *testing.T) {
+	r, err := ParseRouter("a -> b; a :: X; b :: Y;", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumElements() != 2 {
+		t.Errorf("elements = %d (forward reference created extra elements)", r.NumElements())
+	}
+}
+
+func TestElaborateAnonymousBareClass(t *testing.T) {
+	r, err := ParseRouter("a :: X; a -> Discard; a [1] -> Discard;", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two separate anonymous Discards.
+	if r.NumElements() != 3 {
+		t.Errorf("elements = %d, want 3", r.NumElements())
+	}
+}
+
+func TestElaborateRedeclarationError(t *testing.T) {
+	if _, err := ParseRouter("a :: X; a :: Y;", "test"); err == nil {
+		t.Error("redeclaration succeeded")
+	}
+}
+
+func TestElaborateCompound(t *testing.T) {
+	src := `
+elementclass Gate {
+	input -> f :: Filter -> output;
+	f [1] -> Discard;
+}
+src :: S -> g :: Gate -> sink :: D;
+`
+	r, err := ParseRouter(src, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := r.FindElement("g/f")
+	if fi < 0 {
+		t.Fatal("inner element g/f missing")
+	}
+	si := r.FindElement("src")
+	out := r.OutputConns(si, 0)
+	if len(out) != 1 || out[0].To != fi {
+		t.Errorf("src -> g wiring = %v", out)
+	}
+	di := r.FindElement("sink")
+	out2 := r.OutputConns(fi, 0)
+	if len(out2) != 1 || out2[0].To != di {
+		t.Errorf("g -> sink wiring = %v", out2)
+	}
+}
+
+func TestElaborateCompoundWithFormals(t *testing.T) {
+	src := `
+elementclass MyQueue {
+	$cap |
+	input -> q :: Queue($cap) -> output;
+}
+a :: S -> m :: MyQueue(42) -> b :: D;
+`
+	r, err := ParseRouter(src, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := r.FindElement("m/q")
+	if qi < 0 {
+		t.Fatal("inner queue missing")
+	}
+	if cfg := r.Element(qi).Config; cfg != "42" {
+		t.Errorf("queue config = %q, want 42", cfg)
+	}
+}
+
+func TestElaborateCompoundArgCountError(t *testing.T) {
+	src := `
+elementclass C { $a | input -> Queue($a) -> output; }
+x :: C(1, 2);
+`
+	if _, err := ParseRouter(src, "test"); err == nil {
+		t.Error("wrong arg count succeeded")
+	}
+}
+
+func TestElaborateNestedCompound(t *testing.T) {
+	src := `
+elementclass Inner { input -> n :: N -> output; }
+elementclass Outer { input -> i :: Inner -> output; }
+a :: S -> o :: Outer -> b :: D;
+`
+	r, err := ParseRouter(src, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FindElement("o/i/n") < 0 {
+		t.Errorf("nested inner element missing; have:\n%s", r)
+	}
+}
+
+func TestElaborateMultiPortCompound(t *testing.T) {
+	src := `
+elementclass TwoOut {
+	input -> s :: Split;
+	s [0] -> output;
+	s [1] -> [0] output2 :: Null -> [1] output;
+}
+`
+	// Use input [1] and output [1].
+	src2 := `
+elementclass T {
+	input [0] -> a :: A -> [0] output;
+	input [1] -> b :: B -> [1] output;
+}
+x :: S2 -> t :: T -> d1 :: D;
+x [1] -> [1] t;
+t [1] -> d2 :: D;
+`
+	_ = src
+	r, err := ParseRouter(src2, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, bi := r.FindElement("t/a"), r.FindElement("t/b")
+	xi := r.FindElement("x")
+	if len(r.OutputConns(xi, 0)) != 1 || r.OutputConns(xi, 0)[0].To != ai {
+		t.Error("port 0 wiring wrong")
+	}
+	if len(r.OutputConns(xi, 1)) != 1 || r.OutputConns(xi, 1)[0].To != bi {
+		t.Error("port 1 wiring wrong")
+	}
+	d2i := r.FindElement("d2")
+	if got := r.OutputConns(bi, 0); len(got) != 1 || got[0].To != d2i {
+		t.Error("compound output 1 wiring wrong")
+	}
+}
+
+func TestSubstituteParams(t *testing.T) {
+	params := map[string]string{"$a": "10.0.0.1", "$ab": "XYZ"}
+	cases := []struct{ in, want string }{
+		{"$a", "10.0.0.1"},
+		{"$ab", "XYZ"},
+		{"$a $ab", "10.0.0.1 XYZ"},
+		{"$abc", "$abc"},
+		{"x$a,y", "x10.0.0.1,y"},
+		{"no params", "no params"},
+	}
+	for _, c := range cases {
+		if got := substituteParams(c.in, params); got != c.want {
+			t.Errorf("substituteParams(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRequire(t *testing.T) {
+	r, err := ParseRouter("require(fastclassifier);\na :: B -> c :: D;", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Requirements) != 1 || r.Requirements[0] != "fastclassifier" {
+		t.Errorf("requirements = %v", r.Requirements)
+	}
+}
+
+func TestUnparseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"a :: X(1) -> b :: Y -> c :: Z(foo, bar);",
+		"a :: X; b :: Y; a [1] -> b; a [0] -> [2] b;",
+		"s :: Src -> t :: Tee; t [0] -> d1 :: D; t [1] -> d2 :: D;",
+		`c :: Classifier(12/0806 20/0001, 12/0800, -); s :: S -> c; c [0] -> d0 :: D; c [1] -> d1 :: D; c [2] -> d2 :: D;`,
+	}
+	for _, src := range srcs {
+		r1, err := ParseRouter(src, "orig")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		text := Unparse(r1)
+		r2, err := ParseRouter(text, "unparsed")
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\ntext:\n%s", src, err, text)
+		}
+		if r1.NumElements() != r2.NumElements() {
+			t.Errorf("round trip changed element count %d -> %d", r1.NumElements(), r2.NumElements())
+		}
+		if len(r1.Conns) != len(r2.Conns) {
+			t.Errorf("round trip changed conn count %d -> %d", len(r1.Conns), len(r2.Conns))
+		}
+		// Every original connection must exist by name in the reparse.
+		for _, c := range r1.Conns {
+			fn, tn := r1.Element(c.From).Name, r1.Element(c.To).Name
+			f2, t2 := r2.FindElement(fn), r2.FindElement(tn)
+			if f2 < 0 || t2 < 0 {
+				t.Fatalf("element names lost in round trip (%s, %s)", fn, tn)
+			}
+			found := false
+			for _, c2 := range r2.Conns {
+				if c2.From == f2 && c2.FromPort == c.FromPort && c2.To == t2 && c2.ToPort == c.ToPort {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("connection %s[%d]->[%d]%s lost in round trip:\n%s", fn, c.FromPort, c.ToPort, tn, text)
+			}
+		}
+	}
+}
+
+func TestSplitConfigEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a, b", []string{"a", "b"}},
+		{"a,, b", []string{"a", "", "b"}},
+		{`"a,b", c`, []string{`"a,b"`, "c"}},
+		{"f(x, y), z", []string{"f(x, y)", "z"}},
+		{"  spaced  ", []string{"spaced"}},
+	}
+	for _, c := range cases {
+		got := SplitConfig(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitConfig(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	members := []ArchiveMember{
+		{Name: "config", Data: []byte("a :: B -> c :: D;\n")},
+		{Name: "fastclassifier_0.go", Data: []byte("package fc\n// generated\n")},
+		{Name: "a-very-long-member-name-over-15-bytes.go", Data: []byte("odd\n1")},
+	}
+	data := WriteArchive(members)
+	if !IsArchive(data) {
+		t.Fatal("output not recognized as archive")
+	}
+	got, err := ReadArchive(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(members) {
+		t.Fatalf("member count = %d", len(got))
+	}
+	for i, m := range members {
+		if got[i].Name != m.Name {
+			t.Errorf("member %d name = %q, want %q", i, got[i].Name, m.Name)
+		}
+		if string(got[i].Data) != string(m.Data) {
+			t.Errorf("member %d data = %q, want %q", i, got[i].Data, m.Data)
+		}
+	}
+}
+
+func TestUnpackPlainConfig(t *testing.T) {
+	cfg, extra, err := UnpackConfig([]byte("a :: B;"))
+	if err != nil || cfg != "a :: B;" || extra != nil {
+		t.Errorf("UnpackConfig plain = %q, %v, %v", cfg, extra, err)
+	}
+}
+
+func TestPackUnpackConfig(t *testing.T) {
+	extra := []ArchiveMember{{Name: "gen.go", Data: []byte("package gen")}}
+	packed := PackConfig("x :: Y;", extra)
+	cfg, got, err := UnpackConfig(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != "x :: Y;" {
+		t.Errorf("config = %q", cfg)
+	}
+	if len(got) != 1 || got[0].Name != "gen.go" {
+		t.Errorf("extra = %v", got)
+	}
+	// No extras → plain text passthrough.
+	if s := PackConfig("x :: Y;", nil); string(s) != "x :: Y;" {
+		t.Errorf("plain pack = %q", s)
+	}
+}
+
+func TestUnparseIncludesRequirements(t *testing.T) {
+	r, err := ParseRouter("a :: X -> b :: Y;", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Require("fastclassifier")
+	text := Unparse(r)
+	if !strings.Contains(text, "require(fastclassifier);") {
+		t.Errorf("unparse lost requirement:\n%s", text)
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	// The parser must fail gracefully on arbitrary input.
+	rng := rand.New(rand.NewSource(99))
+	chars := []byte("abAB01 \t\n(){}[]->::,;$/*\"\\%?!|.&=")
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(120)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = chars[rng.Intn(len(chars))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = ParseRouter(string(b), "fuzz")
+		}()
+	}
+}
+
+func TestArchiveReaderNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		rng.Read(b)
+		if rng.Intn(2) == 0 && n >= 8 {
+			copy(b, "!<arch>\n")
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("archive reader panicked: %v", r)
+				}
+			}()
+			_, _, _ = UnpackConfig(b)
+		}()
+	}
+}
+
+func TestCompoundUndeclaredPortRejected(t *testing.T) {
+	// Connecting to a compound input/output port the class never
+	// declared must be an error, not a silently dropped connection.
+	base := `
+elementclass OneIn { input -> n :: N -> output; }
+`
+	cases := []string{
+		base + "x :: S -> [1] g :: OneIn -> d :: D;",    // no input 1
+		base + "x :: S -> g :: OneIn; g [1] -> d :: D;", // no output 1
+	}
+	for _, src := range cases {
+		if _, err := ParseRouter(src, "test"); err == nil {
+			t.Errorf("undeclared compound port accepted:\n%s", src)
+		}
+	}
+	// The declared ports still work.
+	if _, err := ParseRouter(base+"x :: S -> g :: OneIn -> d :: D;", "test"); err != nil {
+		t.Errorf("declared port rejected: %v", err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package lang implements the Click router configuration language: a
+// lexer and parser producing an AST, an elaborator that instantiates
+// declarations and compound element classes into a router graph, an
+// unparser that regenerates configuration text from a graph, and the
+// archive format used to bundle generated element source with a
+// configuration.
+//
+// The language is deliberately static and declarative (paper §5.2): its
+// sole function is to describe a set of elements and the connections
+// between them, which is what makes standalone optimizer tools possible.
+// The grammar understood here:
+//
+//	name :: Class(config);          // declaration
+//	n1, n2 :: Class;                // multiple declaration
+//	a -> b -> c;                    // connections
+//	a [1] -> [0] b;                 // with explicit ports
+//	Class(config) -> b;             // anonymous element
+//	elementclass Name { ... };      // compound class
+//	elementclass Name { $a | ... }; // compound class with formals
+//	input / output                  // compound pseudoelements
+//	require(feature);               // requirement statement
+//
+// Comments are // and /* */. Config strings are kept raw (elements parse
+// their own configuration, as in Click); the parser tracks nesting and
+// quoting only to find the closing parenthesis.
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokColonColon // ::
+	tokArrow      // ->
+	tokComma
+	tokSemi
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokLParen // only at a config-string position; the lexer returns the raw config as the token text
+	tokBar    // |
+	tokDollarIdent
+	tokElementclass
+	tokRequire
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokColonColon:
+		return "'::'"
+	case tokArrow:
+		return "'->'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLParen:
+		return "configuration string"
+	case tokBar:
+		return "'|'"
+	case tokDollarIdent:
+		return "'$' parameter"
+	case tokElementclass:
+		return "'elementclass'"
+	case tokRequire:
+		return "'require'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a configuration language error with source position.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src, file string) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{File: lx.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments.
+func (lx *lexer) skipSpace() error {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			line, col := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.src[lx.pos] == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errorf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentByte(c byte) bool {
+	// '@' appears in generated class names like FastClassifier@@c and
+	// anonymous element names like Queue@3; '/' appears in compound
+	// scoping (arp/q).
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '@' || c == '/'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token. A '(' immediately produces a tokLParen
+// whose text is the raw configuration string (without the outer
+// parentheses); the lexer balances nested parens and respects quotes.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := lx.line, lx.col
+	c, ok := lx.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentByte(lx.src[lx.pos]) {
+			// Don't let an identifier swallow the '/' of a comment.
+			if lx.src[lx.pos] == '/' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == '/' || lx.src[lx.pos+1] == '*') {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		switch text {
+		case "elementclass":
+			return token{kind: tokElementclass, text: text, line: line, col: col}, nil
+		case "require":
+			return token{kind: tokRequire, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	case isDigit(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.advance()
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case c == '$':
+		lx.advance()
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isIdentByte(lx.src[lx.pos]) && lx.src[lx.pos] != '/' || isDigit(lx.src[lx.pos])) {
+			lx.advance()
+		}
+		if lx.pos == start {
+			return token{}, lx.errorf(line, col, "'$' must be followed by a parameter name")
+		}
+		return token{kind: tokDollarIdent, text: "$" + lx.src[start:lx.pos], line: line, col: col}, nil
+	case c == ':':
+		lx.advance()
+		if c2, ok := lx.peekByte(); ok && c2 == ':' {
+			lx.advance()
+			return token{kind: tokColonColon, text: "::", line: line, col: col}, nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected ':'")
+	case c == '-':
+		lx.advance()
+		if c2, ok := lx.peekByte(); ok && c2 == '>' {
+			lx.advance()
+			return token{kind: tokArrow, text: "->", line: line, col: col}, nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected '-'")
+	case c == ',':
+		lx.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case c == ';':
+		lx.advance()
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case c == '{':
+		lx.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case c == '}':
+		lx.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case c == '[':
+		lx.advance()
+		return token{kind: tokLBracket, text: "[", line: line, col: col}, nil
+	case c == ']':
+		lx.advance()
+		return token{kind: tokRBracket, text: "]", line: line, col: col}, nil
+	case c == '|':
+		lx.advance()
+		return token{kind: tokBar, text: "|", line: line, col: col}, nil
+	case c == '(':
+		cfg, err := lx.configString()
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokLParen, text: cfg, line: line, col: col}, nil
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", string(c))
+}
+
+// configString consumes a parenthesized configuration string, returning
+// the contents with the outer parentheses removed and leading/trailing
+// whitespace trimmed. Nested parentheses, double-quoted strings, and
+// comments inside the config are balanced.
+func (lx *lexer) configString() (string, error) {
+	line, col := lx.line, lx.col
+	lx.advance() // '('
+	depth := 1
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				lx.advance()
+				return strings.TrimSpace(b.String()), nil
+			}
+		case '"':
+			b.WriteByte(lx.advance())
+			for lx.pos < len(lx.src) {
+				c2 := lx.src[lx.pos]
+				if c2 == '\\' && lx.pos+1 < len(lx.src) {
+					b.WriteByte(lx.advance())
+					b.WriteByte(lx.advance())
+					continue
+				}
+				b.WriteByte(lx.advance())
+				if c2 == '"' {
+					break
+				}
+			}
+			continue
+		case '/':
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+				for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+					lx.advance()
+				}
+				continue
+			}
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*' {
+				lx.advance()
+				lx.advance()
+				for lx.pos < len(lx.src) {
+					if lx.src[lx.pos] == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+						lx.advance()
+						lx.advance()
+						break
+					}
+					lx.advance()
+				}
+				continue
+			}
+		}
+		b.WriteByte(lx.advance())
+	}
+	return "", lx.errorf(line, col, "unterminated configuration string")
+}
+
+// SplitConfig splits a configuration string into its top-level
+// comma-separated arguments, respecting quotes and nested parentheses.
+// Arguments are whitespace-trimmed. An empty config yields no arguments.
+func SplitConfig(config string) []string {
+	config = strings.TrimSpace(config)
+	if config == "" {
+		return nil
+	}
+	var args []string
+	depth := 0
+	start := 0
+	inQuote := false
+	for i := 0; i < len(config); i++ {
+		c := config[i]
+		switch {
+		case inQuote:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inQuote = false
+			}
+		case c == '"':
+			inQuote = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(config[start:i]))
+			start = i + 1
+		}
+	}
+	args = append(args, strings.TrimSpace(config[start:]))
+	return args
+}
+
+// JoinConfig joins arguments into a configuration string.
+func JoinConfig(args []string) string { return strings.Join(args, ", ") }

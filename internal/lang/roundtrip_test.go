@@ -1,0 +1,95 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestUnparseRoundTripProperty generates random router graphs, unparses
+// them, reparses the text, and checks graph isomorphism (by element
+// name). This is the property §5.2 demands of the language: optimizers
+// may arbitrarily transform graphs and must be able to emit
+// Click-language files corresponding exactly to the results.
+func TestUnparseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020701))
+	classes := []string{"A", "B", "C", "Dlong", "E2"}
+	configs := []string{"", "1", "10.0.0.1, 00:02:03:04:05:06", "12/0806 20/0001, -", "a b c"}
+
+	for trial := 0; trial < 200; trial++ {
+		g := graph.New()
+		n := 2 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("e%d", i)
+			if rng.Intn(4) == 0 {
+				name = "" // anonymous
+			}
+			g.MustAddElement(name, classes[rng.Intn(len(classes))], configs[rng.Intn(len(configs))], "gen")
+		}
+		nconn := rng.Intn(2 * n)
+		for i := 0; i < nconn; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			g.Connect(from, rng.Intn(3), to, rng.Intn(3))
+		}
+
+		text := Unparse(g)
+		g2, err := ParseRouter(text, "roundtrip")
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		if g.NumElements() != g2.NumElements() {
+			t.Fatalf("trial %d: element count %d -> %d\n%s", trial, g.NumElements(), g2.NumElements(), text)
+		}
+		if len(g.Conns) != len(g2.Conns) {
+			t.Fatalf("trial %d: conn count %d -> %d\n%s", trial, len(g.Conns), len(g2.Conns), text)
+		}
+		for _, i := range g.LiveIndices() {
+			e := g.Element(i)
+			j := g2.FindElement(e.Name)
+			if j < 0 {
+				t.Fatalf("trial %d: element %q lost\n%s", trial, e.Name, text)
+			}
+			e2 := g2.Element(j)
+			if e2.Class != e.Class || e2.Config != e.Config {
+				t.Fatalf("trial %d: element %q changed: %s(%s) -> %s(%s)",
+					trial, e.Name, e.Class, e.Config, e2.Class, e2.Config)
+			}
+		}
+		for _, c := range g.Conns {
+			f2 := g2.FindElement(g.Element(c.From).Name)
+			t2 := g2.FindElement(g.Element(c.To).Name)
+			found := false
+			for _, c2 := range g2.Conns {
+				if c2.From == f2 && c2.FromPort == c.FromPort && c2.To == t2 && c2.ToPort == c.ToPort {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: connection %s[%d]->[%d]%s lost\n%s",
+					trial, g.Element(c.From).Name, c.FromPort, c.ToPort, g.Element(c.To).Name, text)
+			}
+		}
+	}
+}
+
+// TestUnparseRoundTripWithArchive checks that requirements survive the
+// textual round trip (archives are byte-level and tested in
+// archive tests).
+func TestUnparseRoundTripWithArchive(t *testing.T) {
+	g := graph.New()
+	a := g.MustAddElement("a", "X", "", "")
+	b := g.MustAddElement("b", "Y", "", "")
+	g.Connect(a, 0, b, 0)
+	g.Require("fastclassifier")
+	g.Require("devirtualize")
+	g2, err := ParseRouter(Unparse(g), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Requirements) != 2 {
+		t.Errorf("requirements = %v", g2.Requirements)
+	}
+}

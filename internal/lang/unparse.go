@@ -1,0 +1,96 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Unparse regenerates Click-language text from a router graph. The
+// optimizers depend on being able to "arbitrarily transform
+// configuration graphs and generate Click-language files corresponding
+// exactly to the results" (§5.2). The output parses back to an
+// isomorphic graph (see TestUnparseRoundTrip).
+//
+// Connections are emitted as chains where possible for readability:
+// a -> b -> c rather than three statements.
+func Unparse(r *graph.Router) string {
+	var b strings.Builder
+	for _, req := range r.Requirements {
+		fmt.Fprintf(&b, "require(%s);\n", req)
+	}
+	if len(r.Requirements) > 0 {
+		b.WriteByte('\n')
+	}
+
+	live := r.LiveIndices()
+	for _, i := range live {
+		e := r.Element(i)
+		if e.Config != "" {
+			fmt.Fprintf(&b, "%s :: %s(%s);\n", e.Name, e.Class, e.Config)
+		} else {
+			fmt.Fprintf(&b, "%s :: %s;\n", e.Name, e.Class)
+		}
+	}
+	if len(live) > 0 && len(r.Conns) > 0 {
+		b.WriteByte('\n')
+	}
+
+	// Build chains: follow single connections greedily. A connection
+	// can extend a chain if it leaves the chain's tail and is the only
+	// unemitted connection considered at that point; we keep it simple
+	// and only chain when the link is port 0 -> port 0.
+	emitted := make([]bool, len(r.Conns))
+	// Index connections by source element for chain building.
+	bySource := map[int][]int{}
+	for ci, c := range r.Conns {
+		bySource[c.From] = append(bySource[c.From], ci)
+	}
+	for ci := range r.Conns {
+		if emitted[ci] {
+			continue
+		}
+		chain := []int{ci}
+		emitted[ci] = true
+		// Extend forward while the tail has exactly one unemitted
+		// outgoing 0->0 connection.
+		for {
+			tail := r.Conns[chain[len(chain)-1]].To
+			next := -1
+			for _, cj := range bySource[tail] {
+				if !emitted[cj] && r.Conns[cj].FromPort == 0 && r.Conns[cj].ToPort == 0 {
+					if next >= 0 {
+						next = -1
+						break
+					}
+					next = cj
+				}
+			}
+			if next < 0 {
+				break
+			}
+			emitted[next] = true
+			chain = append(chain, next)
+		}
+		writeChain(&b, r, chain)
+	}
+	return b.String()
+}
+
+func writeChain(b *strings.Builder, r *graph.Router, chain []int) {
+	first := r.Conns[chain[0]]
+	b.WriteString(r.Element(first.From).Name)
+	if first.FromPort != 0 {
+		fmt.Fprintf(b, " [%d]", first.FromPort)
+	}
+	for _, ci := range chain {
+		c := r.Conns[ci]
+		b.WriteString(" -> ")
+		if c.ToPort != 0 {
+			fmt.Fprintf(b, "[%d] ", c.ToPort)
+		}
+		b.WriteString(r.Element(c.To).Name)
+	}
+	b.WriteString(";\n")
+}

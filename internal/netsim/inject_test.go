@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/elements"
+	"repro/internal/iprouter"
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+// Failure injection: corrupted packets must be dropped by
+// CheckIPHeader, not forwarded, and must not destabilize the router.
+func TestCorruptTrafficDropsAtCheckIPHeader(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variants[0]
+	tb, err := NewTestbed(base.Graph.Clone(), TestbedOptions{
+		Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A custom source: every 4th packet has a corrupted IP checksum.
+	seq := 0
+	src := NewSource(tb.Sim, tb.NICs[0], 50000, func() *packet.Packet {
+		seq++
+		p := packet.BuildUDP4(ifs[0].HostEth, ifs[0].Ether,
+			ifs[0].HostAddr, ifs[1].HostAddr, 1234, 99, make([]byte, 14))
+		if seq%4 == 0 {
+			p.Data()[packet.EtherHeaderLen+10] ^= 0xff
+		}
+		return p
+	})
+	tb.sources = append(tb.sources, src)
+	src.Start(0)
+	tb.Sim.RunUntil(40e6) // 40 ms at 50 kpps = ~2000 packets
+
+	var bad, good int64
+	for _, e := range tb.Router.Elements() {
+		if c, ok := e.(*elements.CheckIPHeader); ok {
+			bad += c.Bad
+			good += c.Good
+		}
+	}
+	if bad == 0 {
+		t.Fatal("no corrupted packets detected")
+	}
+	ratio := float64(bad) / float64(bad+good)
+	if ratio < 0.2 || ratio > 0.3 {
+		t.Errorf("corruption drop ratio %.2f, want ~0.25", ratio)
+	}
+	// Only the valid 3/4 are forwarded.
+	sent := tb.NICs[1].SentWire
+	if sent == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	if float64(sent) > float64(src.Emitted)*0.78 || float64(sent) < float64(src.Emitted)*0.70 {
+		t.Errorf("forwarded %d of %d (want ~75%%)", sent, src.Emitted)
+	}
+}
+
+// TTL-1 traffic generates ICMP errors back toward the source — the slow
+// path must hold up under a stream of them.
+func TestTTLExpiryStream(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variants[0]
+	tb, err := NewTestbed(base.Graph.Clone(), TestbedOptions{
+		Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(tb.Sim, tb.NICs[0], 20000, func() *packet.Packet {
+		p := packet.BuildUDP4(ifs[0].HostEth, ifs[0].Ether,
+			ifs[0].HostAddr, ifs[1].HostAddr, 1234, 99, make([]byte, 14))
+		h := packet.IP4Header(p.Data()[packet.EtherHeaderLen:])
+		h.SetTTL(1)
+		h.UpdateChecksum()
+		return p
+	})
+	tb.sources = append(tb.sources, src)
+	src.Start(0)
+	tb.Sim.RunUntil(20e6)
+
+	// ICMP time-exceeded errors return on interface 0; nothing leaves
+	// interface 1.
+	if tb.NICs[1].SentWire != 0 {
+		t.Errorf("%d expired packets were forwarded", tb.NICs[1].SentWire)
+	}
+	if tb.NICs[0].SentWire == 0 {
+		t.Error("no ICMP errors generated")
+	}
+	// Roughly one error per packet (rate limiting is not modeled).
+	if float64(tb.NICs[0].SentWire) < float64(src.Emitted)*0.9 {
+		t.Errorf("only %d errors for %d expired packets", tb.NICs[0].SentWire, src.Emitted)
+	}
+}
+
+// PIO accounting: the Pro/1000's programmed-I/O cost must appear in the
+// per-packet CPU time on P1 but not P0.
+func TestPIOAccounting(t *testing.T) {
+	variants, _, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variants[0]
+	ifs2 := iprouter.Interfaces(2)
+	run := func(pio float64) float64 {
+		tb, err := NewTestbed(base.Graph.Clone(), TestbedOptions{
+			Platform: simcpu.P1, NIC: Pro1000, Ifs: ifs2,
+			Registry: base.Registry, PIOAccessNS: pio,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.AddUniformLoad(50000)
+		res := tb.Measure(5e6, 20e6)
+		// Total CPU time per packet including the Other category where
+		// PIO is charged.
+		return tb.CPU.TotalNS() / float64(res.Outcomes.Sent)
+	}
+	without := run(0)
+	with := run(300)
+	delta := with - without
+	// Each forwarded packet involves one receive and one send: ~600 ns.
+	if delta < 450 || delta > 750 {
+		t.Errorf("PIO delta = %.0f ns/packet, want ~600", delta)
+	}
+}
+
+func TestReceivedCountersMatchWire(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := variants[len(variants)-1] // Simple
+	tb, err := NewTestbed(simple.Graph.Clone(), TestbedOptions{
+		Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: simple.Registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.AddUniformLoad(50000)
+	tb.Sim.RunUntil(20e6)
+	if tb.Received[1] == 0 {
+		t.Fatal("destination host received nothing")
+	}
+	if tb.Received[1] != tb.NICs[1].SentWire {
+		t.Errorf("host received %d but wire sent %d", tb.Received[1], tb.NICs[1].SentWire)
+	}
+}

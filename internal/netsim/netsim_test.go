@@ -1,0 +1,349 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(100, func() { order = append(order, 2) })
+	s.Schedule(50, func() { order = append(order, 1) })
+	s.Schedule(100, func() { order = append(order, 3) }) // same time: FIFO
+	s.RunUntil(200)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 200 {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 5 {
+			s.After(10, rec)
+		}
+	}
+	s.Schedule(0, rec)
+	s.RunUntil(100)
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	s := NewSim()
+	b := NewBus(s, 100, 100) // 10 ns/byte, 100 ns overhead
+	var done []float64
+	b.Transact(10, func() { done = append(done, s.Now()) }) // 100+100 = 200
+	b.Transact(10, func() { done = append(done, s.Now()) }) // queued: 400
+	s.RunUntil(1000)
+	if len(done) != 2 || done[0] != 200 || done[1] != 400 {
+		t.Errorf("completion times = %v", done)
+	}
+	if b.Transactions != 2 {
+		t.Errorf("transactions = %d", b.Transactions)
+	}
+	if got := b.BusyNS; got != 400 {
+		t.Errorf("busy = %v", got)
+	}
+}
+
+func mkPkt() *packet.Packet {
+	return packet.BuildUDP4(packet.EtherAddr{1}, packet.EtherAddr{2},
+		packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2), 1, 2, make([]byte, 14))
+}
+
+func TestNICRxPath(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 100, 100)
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	nic.Arrive(mkPkt())
+	s.RunUntil(10000)
+	if nic.Delivered != 1 {
+		t.Fatalf("delivered = %d", nic.Delivered)
+	}
+	p := nic.RxDequeue()
+	if p == nil {
+		t.Fatal("RxDequeue returned nil after delivery")
+	}
+	if nic.RxDequeue() != nil {
+		t.Error("second RxDequeue should be nil")
+	}
+}
+
+func TestNICFIFOOverflow(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 100, 100)
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	// Fill the FIFO beyond capacity without running the simulator (the
+	// RX engine can't drain without event processing).
+	for i := 0; i < Tulip.FIFOPackets+5; i++ {
+		nic.Arrive(mkPkt())
+	}
+	if nic.FIFOOverflows < 4 {
+		t.Errorf("overflows = %d (first arrival may start the engine)", nic.FIFOOverflows)
+	}
+}
+
+func TestNICMissedFrames(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 100, 100)
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	// Fill the entire RX ring without the CPU draining it.
+	for i := 0; i < Tulip.RxRing; i++ {
+		nic.Arrive(mkPkt())
+		s.RunUntil(s.Now() + 10000)
+	}
+	if nic.Delivered != int64(Tulip.RxRing) {
+		t.Fatalf("delivered = %d, want full ring", nic.Delivered)
+	}
+	// Next packet: descriptor never free -> missed frame after two
+	// checks.
+	txBefore := bus.Transactions
+	nic.Arrive(mkPkt())
+	s.RunUntil(s.Now() + 10000)
+	if nic.MissedFrames != 1 {
+		t.Errorf("missed frames = %d, want 1", nic.MissedFrames)
+	}
+	if bus.Transactions-txBefore != 2 {
+		t.Errorf("missed frame used %d bus transactions, want 2 (both checks)", bus.Transactions-txBefore)
+	}
+	// Draining one slot lets the next packet through.
+	if nic.RxDequeue() == nil {
+		t.Fatal("ring should have packets")
+	}
+	nic.Arrive(mkPkt())
+	s.RunUntil(s.Now() + 10000)
+	if nic.Delivered != int64(Tulip.RxRing)+1 {
+		t.Errorf("delivered = %d after refill", nic.Delivered)
+	}
+}
+
+func TestNICTxPath(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 100, 100)
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	var got []*packet.Packet
+	nic.OnWire = func(p *packet.Packet) { got = append(got, p) }
+	if !nic.TxEnqueue(mkPkt()) {
+		t.Fatal("TxEnqueue refused")
+	}
+	s.RunUntil(100000)
+	if len(got) != 1 || nic.SentWire != 1 {
+		t.Fatalf("sent = %d", nic.SentWire)
+	}
+	if nic.TxClean() != 1 {
+		t.Error("TxClean did not reclaim")
+	}
+	if nic.TxClean() != 0 {
+		t.Error("TxClean reclaimed twice")
+	}
+}
+
+func TestNICWireRateLimits(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 10000, 1) // effectively infinite bus
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	sent := 0
+	nic.OnWire = func(p *packet.Packet) { sent++; p.Kill() }
+	// Enqueue continuously for 10 ms; the 100 Mbit/s wire caps at
+	// 148,800 pps -> 1488 packets.
+	var feed func()
+	feed = func() {
+		nic.TxClean() // reclaim, as ToDevice does each task round
+		nic.TxEnqueue(mkPkt())
+		s.After(1000, feed) // 1M pps offered
+	}
+	s.Schedule(0, feed)
+	s.RunUntil(10e6)
+	if sent < 1400 || sent > 1500 {
+		t.Errorf("wire carried %d packets in 10 ms, want ~1488", sent)
+	}
+}
+
+func TestSourceRate(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 10000, 1)
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	src := NewSource(s, nic, 100000, mkPkt)
+	src.Start(0)
+	s.RunUntil(10e6) // 10 ms at 100 kpps -> ~1000 packets
+	if src.Emitted < 990 || src.Emitted > 1010 {
+		t.Errorf("emitted %d, want ~1000", src.Emitted)
+	}
+	src.Stop()
+	before := src.Emitted
+	s.RunUntil(20e6)
+	if src.Emitted != before {
+		t.Error("source kept emitting after Stop")
+	}
+}
+
+func TestTestbedForwardsAtLowRate(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		res, err := RunPoint(v.Graph, TestbedOptions{
+			Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: v.Registry,
+		}, 50000, 5e6, 20e6)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		loss := 1 - res.ForwardPPS/res.InputPPS
+		if loss > 0.01 {
+			t.Errorf("%s: %.1f%% loss at 50 kpps (fwd %.0f of %.0f)",
+				v.Name, loss*100, res.ForwardPPS, res.InputPPS)
+		}
+	}
+}
+
+func TestTestbedCPUBreakdownShape(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variants[0]
+	res, err := RunPoint(base.Graph, TestbedOptions{
+		Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry,
+	}, 100000, 5e6, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8 shape: forwarding dominates; receive > transmit.
+	if res.ForwardNS <= res.RxDeviceNS || res.ForwardNS <= res.TxDeviceNS {
+		t.Errorf("forwarding path (%.0f ns) should dominate rx (%.0f) and tx (%.0f)",
+			res.ForwardNS, res.RxDeviceNS, res.TxDeviceNS)
+	}
+	if res.RxDeviceNS <= res.TxDeviceNS {
+		t.Errorf("rx device (%.0f ns) should cost more than tx (%.0f ns)", res.RxDeviceNS, res.TxDeviceNS)
+	}
+	t.Logf("Base @100kpps: rx=%.0f fwd=%.0f tx=%.0f total=%.0f ns/packet",
+		res.RxDeviceNS, res.ForwardNS, res.TxDeviceNS, res.TotalCPUNS)
+}
+
+func TestOptimizedBeatsBase(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string]float64{}
+	for _, v := range variants {
+		res, err := RunPoint(v.Graph, TestbedOptions{
+			Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: v.Registry,
+		}, 100000, 5e6, 20e6)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		costs[v.Name] = res.ForwardNS
+		t.Logf("%-7s forwarding path %.0f ns/packet (total %.0f)", v.Name, res.ForwardNS, res.TotalCPUNS)
+	}
+	if costs["All"] >= costs["Base"]*0.75 {
+		t.Errorf("All (%.0f ns) should be well below Base (%.0f ns)", costs["All"], costs["Base"])
+	}
+	if costs["MR+All"] >= costs["All"] {
+		t.Errorf("MR+All (%.0f) should beat All (%.0f)", costs["MR+All"], costs["All"])
+	}
+	for _, name := range []string{"FC", "DV", "XF"} {
+		if costs[name] >= costs["Base"] {
+			t.Errorf("%s (%.0f) not better than Base (%.0f)", name, costs[name], costs["Base"])
+		}
+	}
+	if costs["Simple"] >= costs["All"] {
+		t.Errorf("Simple (%.0f) should be the cheapest forwarding path (All %.0f)", costs["Simple"], costs["All"])
+	}
+}
+
+func TestBusUtilization(t *testing.T) {
+	s := NewSim()
+	b := NewBus(s, 100, 100)
+	b.Transact(10, func() {}) // 200 ns busy
+	s.RunUntil(400)
+	if got := b.Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if NewNIC(s, "ethX", Tulip, b).DeviceName() != "ethX" {
+		t.Error("DeviceName wrong")
+	}
+}
+
+func TestWireNS(t *testing.T) {
+	// 56-byte packet: frame padded to 64, +20 preamble/gap = 84 bytes at
+	// 100 Mbit/s = 6.72 us (§8.1's 148,800 pps).
+	if got := Tulip.WireNS(56); got != 6720 {
+		t.Errorf("WireNS(56) = %v, want 6720", got)
+	}
+	// Large frame scales with length: 996+42 data bytes -> 1042+20.
+	if got := Tulip.WireNS(1038); got != 1062*80 {
+		t.Errorf("WireNS(1038) = %v, want %v", got, 1062*80)
+	}
+	// Gigabit is 10x faster.
+	if got := Pro1000.WireNS(56); got != 672 {
+		t.Errorf("Pro1000 WireNS(56) = %v", got)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	// Identical inputs must produce identical outcomes — EXPERIMENTS.md
+	// promises exact reproducibility.
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variants[0]
+	var ref Result
+	for trial := 0; trial < 3; trial++ {
+		res, err := RunPoint(base.Graph, TestbedOptions{
+			Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry,
+		}, 120000, 5e6, 20e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = res
+			continue
+		}
+		if res.ForwardPPS != ref.ForwardPPS || res.Outcomes != ref.Outcomes ||
+			res.ForwardNS != ref.ForwardNS {
+			t.Fatalf("trial %d diverged: %+v vs %+v", trial, res, ref)
+		}
+	}
+}
+
+func TestPrepareVariantsIsolation(t *testing.T) {
+	variants, _, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"Base", "FC", "DV", "XF", "All", "MR+All", "Simple"}
+	if len(variants) != len(names) {
+		t.Fatalf("%d variants", len(variants))
+	}
+	for i, v := range variants {
+		if v.Name != names[i] {
+			t.Errorf("variant %d = %s, want %s", i, v.Name, names[i])
+		}
+	}
+	// FC's generated classes must not leak into Base's registry.
+	if _, ok := variants[0].Registry.Lookup("FastClassifier@@c0"); ok {
+		t.Error("generated class leaked into Base registry")
+	}
+	if _, ok := variants[1].Registry.Lookup("FastClassifier@@c0"); !ok {
+		t.Error("FC registry missing its generated class")
+	}
+	// Graphs are independent: mutating one must not affect another.
+	variants[0].Graph.MustAddElement("zzz", "Idle", "", "t")
+	if variants[1].Graph.FindElement("zzz") != -1 {
+		t.Error("variant graphs share state")
+	}
+}

@@ -1,0 +1,315 @@
+package netsim
+
+import (
+	"repro/internal/packet"
+)
+
+// NICParams model one Ethernet controller family.
+type NICParams struct {
+	Name string
+	// FIFOPackets is the on-card receive FIFO capacity.
+	FIFOPackets int
+	// RxRing and TxRing are DMA descriptor ring sizes.
+	RxRing int
+	TxRing int
+	// DescBytes is the PCI size of a descriptor read or write.
+	DescBytes int
+	// LinkMbps is the link speed. Wire time per frame is computed from
+	// the packet length: payload + 4-byte CRC (padded to the 64-byte
+	// minimum frame) + 8-byte preamble + 12-byte inter-frame gap, so a
+	// 100 Mbit/s link carries at most 148,800 minimum-size packets per
+	// second (§8.1).
+	LinkMbps float64
+	// RetryDelayNS separates the two descriptor-check attempts.
+	RetryDelayNS float64
+	// MissHoldoffNS throttles receive polling after a missed frame:
+	// the engine waits this long before re-checking descriptors. The
+	// throttle bounds how much PCI bandwidth failed descriptor checks
+	// can consume under overload (§8.4), so forwarding plateaus instead
+	// of collapsing once FIFO overflows absorb the excess.
+	MissHoldoffNS float64
+	// Batched marks controllers that amortize descriptor traffic
+	// (the Pro/1000 fetches descriptors in cache-line bursts), halving
+	// per-packet descriptor transactions.
+	Batched bool
+}
+
+// Tulip models the DEC 21140's behaviour per §8.1/§8.4.
+var Tulip = &NICParams{
+	Name:          "Tulip",
+	FIFOPackets:   32,
+	RxRing:        64,
+	TxRing:        64,
+	DescBytes:     16,
+	LinkMbps:      100,
+	RetryDelayNS:  500,
+	MissHoldoffNS: 10000,
+	Batched:       false,
+}
+
+// Pro1000 models the Intel Pro/1000 F gigabit controller (§8.5).
+var Pro1000 = &NICParams{
+	Name:          "Pro1000",
+	FIFOPackets:   64,
+	RxRing:        128,
+	TxRing:        128,
+	DescBytes:     16,
+	LinkMbps:      1000,
+	RetryDelayNS:  200,
+	MissHoldoffNS: 10000,
+	Batched:       true,
+}
+
+// rxSlot states for the DMA ring.
+const (
+	slotFree = iota // CPU refilled; NIC may write a packet
+	slotFull        // NIC wrote a packet; CPU may take it
+)
+
+// NIC is one simulated Ethernet controller. It implements
+// elements.Device for the CPU side (RxDequeue/TxEnqueue/TxClean run
+// synchronously during Click task execution) and runs its own
+// event-driven RX and TX engines against the PCI bus.
+type NIC struct {
+	sim    *Sim
+	params *NICParams
+	bus    *Bus
+	name   string
+
+	// RX.
+	fifo      []*packet.Packet
+	rxState   []int
+	rxPkt     []*packet.Packet
+	rxNICHead int // next ring slot the NIC fills
+	rxCPUTail int // next ring slot the CPU drains
+	rxBusy    bool
+
+	// TX.
+	txQueue   []*packet.Packet // CPU-enqueued, not yet fetched by NIC
+	txPending int              // descriptors awaiting NIC completion
+	txDone    int              // completed, awaiting CPU reclaim
+	txBusy    bool
+	wireFree  float64
+
+	// Outcome counters (§8.4).
+	FIFOOverflows int64
+	MissedFrames  int64
+	Delivered     int64 // packets handed to the CPU
+	SentWire      int64
+	// OnWire receives transmitted packets (the destination host).
+	OnWire func(p *packet.Packet)
+}
+
+// WireNS returns the wire occupancy of a frame carrying n bytes of
+// packet data.
+func (p *NICParams) WireNS(n int) float64 {
+	frame := n + 4 // CRC
+	if frame < 64 {
+		frame = 64 // Ethernet minimum frame
+	}
+	return float64(frame+8+12) * 8e3 / p.LinkMbps
+}
+
+// NewNIC creates a NIC attached to a bus.
+func NewNIC(sim *Sim, name string, params *NICParams, bus *Bus) *NIC {
+	return &NIC{
+		sim:     sim,
+		params:  params,
+		bus:     bus,
+		name:    name,
+		rxState: make([]int, params.RxRing),
+		rxPkt:   make([]*packet.Packet, params.RxRing),
+	}
+}
+
+// DeviceName implements elements.Device.
+func (n *NIC) DeviceName() string { return n.name }
+
+// Arrive delivers a packet from the wire. A full FIFO drops it
+// immediately — the cheapest outcome, costing no PCI bandwidth (§8.4).
+func (n *NIC) Arrive(p *packet.Packet) {
+	if len(n.fifo) >= n.params.FIFOPackets {
+		n.FIFOOverflows++
+		p.Kill()
+		return
+	}
+	n.fifo = append(n.fifo, p)
+	n.maybeStartRx()
+}
+
+// maybeStartRx launches the RX engine if it is idle and work exists.
+func (n *NIC) maybeStartRx() {
+	if n.rxBusy || len(n.fifo) == 0 {
+		return
+	}
+	n.rxBusy = true
+	n.rxDescCheck(1)
+}
+
+// rxDescCheck reads the next RX descriptor over the bus; attempt is 1
+// or 2. A batched controller checks once per ring batch, modeled as a
+// half-size transaction.
+func (n *NIC) rxDescCheck(attempt int) {
+	bytes := n.params.DescBytes
+	if n.params.Batched {
+		bytes = n.params.DescBytes / 2
+	}
+	// The descriptor is read when the NIC issues the request; a slot
+	// the CPU frees while the transaction crosses the bus is not seen
+	// until the next check.
+	free := n.rxState[n.rxNICHead] == slotFree
+	n.bus.Transact(bytes, func() {
+		if len(n.fifo) == 0 {
+			n.rxBusy = false
+			return
+		}
+		if free {
+			n.rxDMA()
+			return
+		}
+		if attempt == 1 {
+			n.sim.After(n.params.RetryDelayNS, func() { n.rxDescCheck(2) })
+			return
+		}
+		// Not free twice in a row: missed frame. The Tulip flushes the
+		// failed frame (§8.4), then throttles its descriptor polling.
+		n.MissedFrames++
+		p := n.fifo[0]
+		n.fifo = n.fifo[1:]
+		p.Kill()
+		n.sim.After(n.params.MissHoldoffNS, func() {
+			n.rxBusy = false
+			n.maybeStartRx()
+		})
+	})
+}
+
+// rxDMA transfers the packet into memory and marks the descriptor.
+func (n *NIC) rxDMA() {
+	p := n.fifo[0]
+	bytes := p.Len() + n.params.DescBytes // data plus descriptor writeback
+	n.bus.Transact(bytes, func() {
+		if len(n.fifo) > 0 && n.fifo[0] == p {
+			n.fifo = n.fifo[1:]
+		}
+		n.rxState[n.rxNICHead] = slotFull
+		n.rxPkt[n.rxNICHead] = p
+		n.rxNICHead = (n.rxNICHead + 1) % n.params.RxRing
+		n.Delivered++
+		n.rxBusy = false
+		n.maybeStartRx()
+	})
+}
+
+// RxDequeue implements elements.Device: the CPU takes the next received
+// packet and refills the descriptor.
+func (n *NIC) RxDequeue() *packet.Packet {
+	if n.rxState[n.rxCPUTail] != slotFull {
+		return nil
+	}
+	p := n.rxPkt[n.rxCPUTail]
+	n.rxPkt[n.rxCPUTail] = nil
+	n.rxState[n.rxCPUTail] = slotFree
+	n.rxCPUTail = (n.rxCPUTail + 1) % n.params.RxRing
+	return p
+}
+
+// TxRoom implements elements.Device.
+func (n *NIC) TxRoom() bool {
+	return len(n.txQueue)+n.txPending+n.txDone < n.params.TxRing
+}
+
+// TxEnqueue implements elements.Device: the CPU appends a packet to the
+// transmit ring.
+func (n *NIC) TxEnqueue(p *packet.Packet) bool {
+	if !n.TxRoom() {
+		return false
+	}
+	n.txQueue = append(n.txQueue, p)
+	n.maybeStartTx()
+	return true
+}
+
+// TxClean implements elements.Device: reclaim descriptors the NIC
+// finished with.
+func (n *NIC) TxClean() int {
+	c := n.txDone
+	n.txDone = 0
+	return c
+}
+
+// maybeStartTx launches the TX engine if idle and work exists.
+func (n *NIC) maybeStartTx() {
+	if n.txBusy || len(n.txQueue) == 0 {
+		return
+	}
+	n.txBusy = true
+	p := n.txQueue[0]
+	n.txQueue = n.txQueue[1:]
+	n.txPending++
+	bytes := p.Len() + n.params.DescBytes*2 // descriptor fetch + data + status writeback
+	if n.params.Batched {
+		bytes = p.Len() + n.params.DescBytes
+	}
+	n.bus.Transact(bytes, func() {
+		// The descriptor/data fetch is done; the frame serializes on
+		// the wire while the engine pipelines the next fetch.
+		start := n.sim.now
+		if n.wireFree > start {
+			start = n.wireFree
+		}
+		n.wireFree = start + n.params.WireNS(p.Len())
+		n.sim.Schedule(n.wireFree, func() {
+			n.SentWire++
+			n.txPending--
+			n.txDone++
+			if n.OnWire != nil {
+				n.OnWire(p)
+			} else {
+				p.Kill()
+			}
+		})
+		n.txBusy = false
+		n.maybeStartTx()
+	})
+}
+
+// Source generates an even flow of packets onto a NIC, as the
+// evaluation's source hosts do (§8.1). Build supplies each packet.
+type Source struct {
+	sim      *Sim
+	nic      *NIC
+	interval float64
+	Build    func() *packet.Packet
+	Emitted  int64
+	stopped  bool
+}
+
+// NewSource creates a source emitting pps packets per second. The
+// source respects the wire: it will not exceed the link's rate for
+// minimum-size frames (callers emitting larger packets should pick pps
+// accordingly; the NIC's own wire model still serializes transmission).
+func NewSource(sim *Sim, nic *NIC, pps float64, build func() *packet.Packet) *Source {
+	interval := 1e9 / pps
+	if min := nic.params.WireNS(60); interval < min {
+		interval = min
+	}
+	return &Source{sim: sim, nic: nic, interval: interval, Build: build}
+}
+
+// Start begins emission at the given time.
+func (s *Source) Start(at float64) {
+	s.sim.Schedule(at, s.emit)
+}
+
+// Stop halts the source after the current event.
+func (s *Source) Stop() { s.stopped = true }
+
+func (s *Source) emit() {
+	if s.stopped {
+		return
+	}
+	s.Emitted++
+	s.nic.Arrive(s.Build())
+	s.sim.After(s.interval, s.emit)
+}

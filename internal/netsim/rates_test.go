@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/iprouter"
+	"repro/internal/simcpu"
+)
+
+// Rate-domain tests: these exercise the Figure 10/11 machinery on the
+// 8-interface evaluation topology. They assert the qualitative shape
+// the paper reports; exact rates are checked loosely because they are
+// calibration, not correctness.
+
+func variantsByName(t *testing.T, n int) (map[string]ConfigVariant, []iprouter.Interface) {
+	t.Helper()
+	vs, ifs, err := PrepareVariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]ConfigVariant{}
+	for _, v := range vs {
+		m[v.Name] = v
+	}
+	return m, ifs
+}
+
+func TestBaseIsCPULimited(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep")
+	}
+	vs, ifs := variantsByName(t, 8)
+	base := vs["Base"]
+	o := TestbedOptions{Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry}
+
+	// Below the CPU limit: essentially no loss.
+	low, err := RunPoint(base.Graph, o, 300000, 20e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss := 1 - low.ForwardPPS/low.InputPPS; loss > 0.005 {
+		t.Errorf("Base lost %.1f%% at 300 kpps", loss*100)
+	}
+
+	// Above it: loss appears, and every drop is a missed frame (§8.4:
+	// "the baseline IP router configuration is clearly CPU-limited").
+	high, err := RunPoint(base.Graph, o, 500000, 20e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.ForwardPPS > 400000 {
+		t.Errorf("Base forwarded %.0f pps at 500 kpps input; should be CPU-capped near 345 kpps", high.ForwardPPS)
+	}
+	oc := high.Outcomes
+	if oc.MissedFrames == 0 {
+		t.Error("overloaded Base produced no missed frames")
+	}
+	if oc.FIFOOverflows > oc.MissedFrames/10 {
+		t.Errorf("Base drops should be missed frames, got %d FIFO overflows vs %d missed",
+			oc.FIFOOverflows, oc.MissedFrames)
+	}
+	if oc.QueueDrops > oc.MissedFrames/10 {
+		t.Errorf("Base should not drop at Queues (CPU-limited): %d queue drops", oc.QueueDrops)
+	}
+	t.Logf("Base @500k: fwd=%.0f missed=%d fifo=%d queue=%d",
+		high.ForwardPPS, oc.MissedFrames, oc.FIFOOverflows, oc.QueueDrops)
+}
+
+func TestSimpleIsBusLimited(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep")
+	}
+	vs, ifs := variantsByName(t, 8)
+	simple := vs["Simple"]
+	o := TestbedOptions{Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: simple.Registry}
+	res, err := RunPoint(simple.Graph, o, 580000, 20e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := res.Outcomes
+	// §8.4: "None of the packets dropped by Simple are missed frames;
+	// they are either FIFO overflows or Queue drops."
+	nonCPU := oc.FIFOOverflows + oc.QueueDrops
+	if nonCPU == 0 {
+		t.Errorf("Simple at 580 kpps should drop at FIFOs/Queues (fwd=%.0f of %.0f)",
+			res.ForwardPPS, res.InputPPS)
+	}
+	if oc.MissedFrames > nonCPU/5 {
+		t.Errorf("Simple drops should not be missed frames: missed=%d fifo=%d queue=%d",
+			oc.MissedFrames, oc.FIFOOverflows, oc.QueueDrops)
+	}
+	t.Logf("Simple @580k: fwd=%.0f missed=%d fifo=%d queue=%d busutil=%v",
+		res.ForwardPPS, oc.MissedFrames, oc.FIFOOverflows, oc.QueueDrops, res.BusUtilization)
+}
+
+func TestMLFFROrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep")
+	}
+	vs, ifs := variantsByName(t, 8)
+	mlffr := map[string]float64{}
+	for _, name := range []string{"Base", "All", "MR+All"} {
+		v := vs[name]
+		o := TestbedOptions{Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: v.Registry}
+		rate, err := MLFFR(v.Graph, o, 150000, 600000, 8000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mlffr[name] = rate
+		t.Logf("MLFFR %-7s %.0f pps", name, rate)
+	}
+	// Figure 10/12 shape on P0: Base ~357k, All ~446k, MR+All ~457k.
+	if mlffr["Base"] < 300000 || mlffr["Base"] > 400000 {
+		t.Errorf("Base MLFFR %.0f out of the expected band (300k-400k)", mlffr["Base"])
+	}
+	ratio := mlffr["All"] / mlffr["Base"]
+	if ratio < 1.15 || ratio > 1.40 {
+		t.Errorf("All/Base MLFFR ratio %.2f outside 1.15-1.40 (paper: 1.25)", ratio)
+	}
+	if mlffr["MR+All"] < mlffr["All"] {
+		t.Errorf("MR+All MLFFR (%.0f) below All (%.0f)", mlffr["MR+All"], mlffr["All"])
+	}
+}
+
+func TestOptimizedSaturationBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep")
+	}
+	// §8.3/§8.4: past its peak the optimized router must not collapse:
+	// FIFO overflows absorb the excess "without any impact on the PCI
+	// bus", so high input rates do not reduce forwarding. (The paper
+	// additionally observes a ~10% dip between the MLFFR and the
+	// protected plateau; this model under-reproduces that dip — see
+	// EXPERIMENTS.md — but reproduces the protection.)
+	vs, ifs := variantsByName(t, 8)
+	all := vs["All"]
+	o := TestbedOptions{Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: all.Registry}
+	peak, err := RunPoint(all.Graph, o, 450000, 20e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := RunPoint(all.Graph, o, 590000, 20e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("All: fwd(450k)=%.0f fwd(590k)=%.0f fifo=%d", peak.ForwardPPS, over.ForwardPPS, over.Outcomes.FIFOOverflows)
+	if over.ForwardPPS < peak.ForwardPPS*0.90 {
+		t.Errorf("forwarding collapsed past peak: %.0f -> %.0f", peak.ForwardPPS, over.ForwardPPS)
+	}
+	if over.Outcomes.FIFOOverflows == 0 && over.Outcomes.MissedFrames == 0 {
+		t.Error("overload produced no NIC-level drops")
+	}
+}
+
+func TestFigure10CurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep")
+	}
+	vs, ifs := variantsByName(t, 8)
+	all := vs["All"]
+	o := TestbedOptions{Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: all.Registry}
+	var fwd []float64
+	for _, rate := range []float64{200000, 300000, 430000, 470000, 550000, 590000} {
+		res, err := RunPoint(all.Graph, o, rate, 20e6, 50e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd = append(fwd, res.ForwardPPS)
+		t.Logf("All: in=%.0f fwd=%.0f missed=%d fifo=%d",
+			res.InputPPS, res.ForwardPPS, res.Outcomes.MissedFrames, res.Outcomes.FIFOOverflows)
+	}
+	// Below MLFFR the curve tracks y = x.
+	if fwd[0] < 195000 || fwd[1] < 295000 {
+		t.Errorf("All loses packets below MLFFR: %v", fwd)
+	}
+	// Past the peak the curve plateaus near the MLFFR instead of
+	// collapsing (§8.4's FIFO-overflow protection); the paper's curves
+	// settle near 400 kpps, ours near the 442 kpps peak.
+	peak := fwd[2]
+	if fwd[5] < peak*0.88 {
+		t.Errorf("overload forwarding %.0f collapsed well below peak %.0f", fwd[5], peak)
+	}
+	if fwd[5] > fwd[4]*1.02 || fwd[5] < fwd[4]*0.95 {
+		t.Errorf("no plateau: %.0f vs %.0f", fwd[4], fwd[5])
+	}
+}
+
+func TestLargePacketsAreWireLimited(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep")
+	}
+	// §8.3 motivates measuring with minimum-size packets: they stress
+	// the CPU most. With 1000-byte frames the 100 Mbit/s wire itself
+	// caps each link near 12 kpps, far below the CPU limit, so the
+	// router forwards at the wire rate with no missed frames.
+	vs, ifs := variantsByName(t, 8)
+	base := vs["Base"]
+	tb, err := NewTestbed(base.Graph.Clone(), TestbedOptions{
+		Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 996-byte UDP payload -> 1038-byte frames; per-link wire cap
+	// ~= 100e6 / (1042+20)*8 ~= 11.8 kpps; 4 links ~= 47 kpps.
+	tb.AddUniformLoadSized(80000, 996)
+	res := tb.Measure(20e6, 50e6)
+	if res.Outcomes.MissedFrames > 0 {
+		t.Errorf("wire-limited run should not miss frames (CPU idle): %d", res.Outcomes.MissedFrames)
+	}
+	if res.ForwardPPS < 40000 || res.ForwardPPS > 50000 {
+		t.Errorf("forwarded %.0f pps; want the ~47 kpps wire limit", res.ForwardPPS)
+	}
+}

@@ -1,0 +1,451 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/iprouter"
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+// Testbed wires a router configuration to simulated hardware: one NIC
+// per interface, PCI buses per the platform, traffic sources on the
+// first half of the interfaces, and the CPU task loop.
+type Testbed struct {
+	Sim    *Sim
+	CPU    *simcpu.CPU
+	Router *core.Router
+	NICs   []*NIC
+	Buses  []*Bus
+	Ifs    []iprouter.Interface
+
+	sources []*Source
+	// Received counts packets that reached their destination host.
+	Received []int64
+	// PIOAccessNS is extra CPU time per device access (the Pro/1000's
+	// programmed I/O, §8.5).
+	PIOAccessNS float64
+	// IdleTickNS paces the task loop when no task has work.
+	IdleTickNS float64
+}
+
+// TestbedOptions configure construction.
+type TestbedOptions struct {
+	Platform *simcpu.Platform
+	NIC      *NICParams
+	// Interfaces in the router (must match the configuration).
+	Ifs []iprouter.Interface
+	// Registry to build with (defaults to the builtin registry; pass
+	// the registry the optimizers registered generated classes into).
+	Registry *core.Registry
+	// PIOAccessNS adds per-packet CPU cost for programmed-I/O NICs.
+	PIOAccessNS float64
+}
+
+// NewTestbed builds the testbed for a configuration graph. NIC i is
+// named after interface i's device and placed on bus i*buses/n (the P0
+// motherboard splits its multiport cards across two buses, §8.1).
+func NewTestbed(g *graph.Router, o TestbedOptions) (*Testbed, error) {
+	reg := o.Registry
+	if reg == nil {
+		reg = elements.NewRegistry()
+	}
+	tb := &Testbed{
+		Sim:         NewSim(),
+		CPU:         simcpu.New(o.Platform),
+		Ifs:         o.Ifs,
+		PIOAccessNS: o.PIOAccessNS,
+		IdleTickNS:  200,
+	}
+	for i := 0; i < o.Platform.PCIBuses; i++ {
+		tb.Buses = append(tb.Buses, NewBus(tb.Sim, o.Platform.PCIMBps, o.Platform.PCITransOverheadNS))
+	}
+	env := map[string]interface{}{}
+	tb.Received = make([]int64, len(o.Ifs))
+	for i, itf := range o.Ifs {
+		// The multiport cards interleave across buses (§8.1's split),
+		// so each bus carries both receive and transmit traffic.
+		bus := tb.Buses[i%len(tb.Buses)]
+		nic := NewNIC(tb.Sim, itf.Device, o.NIC, bus)
+		idx := i
+		nic.OnWire = func(p *packet.Packet) {
+			tb.Received[idx]++
+			p.Kill()
+		}
+		tb.NICs = append(tb.NICs, nic)
+		env["device:"+itf.Device] = nic
+	}
+	rt, err := core.Build(g, reg, core.BuildOptions{CPU: tb.CPU, Env: env})
+	if err != nil {
+		return nil, err
+	}
+	tb.Router = rt
+	tb.warmARP()
+	tb.startCPULoop()
+	return tb, nil
+}
+
+// warmARP preloads every ARPQuerier with all host addresses so the
+// measured steady state has no ARP traffic (the testbed's network is
+// converged during a run).
+func (tb *Testbed) warmARP() {
+	for _, e := range tb.Router.Elements() {
+		if aq, ok := e.(*elements.ARPQuerier); ok {
+			for _, itf := range tb.Ifs {
+				aq.InsertEntry(itf.HostAddr, itf.HostEth)
+			}
+		}
+	}
+}
+
+// startCPULoop schedules the Click kernel-thread loop: run one round of
+// tasks, advance simulated time by the cycles the round charged.
+func (tb *Testbed) startCPULoop() {
+	var loop func()
+	loop = func() {
+		before := tb.CPU.TotalCycles()
+		snap := tb.CPU.CategorySnapshot()
+		handledBefore := tb.handled()
+		did := tb.Router.RunTaskRound()
+		if !did {
+			// Idle polling costs real time but is not per-packet path
+			// cost; keep the Figure 8 categories clean.
+			tb.CPU.ReclassifyAsOther(snap)
+		}
+		dt := tb.CPU.Plat.CyclesToNS(tb.CPU.TotalCycles() - before)
+		if tb.PIOAccessNS > 0 {
+			pio := float64(tb.handled()-handledBefore) * tb.PIOAccessNS
+			prev := tb.CPU.SetCategory(simcpu.CatOther)
+			tb.CPU.ChargeNS(pio)
+			tb.CPU.SetCategory(prev)
+			dt += pio
+		}
+		if !did && dt < tb.IdleTickNS {
+			dt = tb.IdleTickNS
+		}
+		tb.Sim.After(dt, loop)
+	}
+	tb.Sim.Schedule(0, loop)
+}
+
+// handled counts CPU-side device interactions (for PIO accounting).
+func (tb *Testbed) handled() int64 {
+	var n int64
+	for _, e := range tb.Router.Elements() {
+		switch d := e.(type) {
+		case *elements.PollDevice:
+			n += d.Recv
+		case *elements.FromDevice:
+			n += d.Recv
+		case *elements.ToDevice:
+			n += d.Sent
+		}
+	}
+	return n
+}
+
+// AddUniformLoad attaches sources to the first half of the interfaces,
+// each sending an even flow of 64-byte packets addressed to the host
+// across the router (source on interface i sends to interface i + n/2's
+// host, §8.1). totalPPS is divided evenly among sources.
+func (tb *Testbed) AddUniformLoad(totalPPS float64) {
+	tb.AddUniformLoadSized(totalPPS, 14)
+}
+
+// AddUniformLoadSized is AddUniformLoad with a chosen UDP payload size
+// (14 bytes yields the paper's 64-byte wire frames; larger payloads
+// exercise the wire- and bus-limited regimes, since minimum-size
+// packets stress the CPU the most, §8.3).
+func (tb *Testbed) AddUniformLoadSized(totalPPS float64, payload int) {
+	n := len(tb.Ifs)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		src, dst := tb.Ifs[i], tb.Ifs[i+half]
+		seq := 0
+		build := func() *packet.Packet {
+			seq++
+			p := packet.BuildUDP4(src.HostEth, src.Ether, src.HostAddr, dst.HostAddr,
+				uint16(1024+seq%64), 1234, make([]byte, payload))
+			return p
+		}
+		s := NewSource(tb.Sim, tb.NICs[i], totalPPS/float64(half), build)
+		tb.sources = append(tb.sources, s)
+		s.Start(float64(i) * 100) // slight stagger
+	}
+}
+
+// Outcomes aggregates the §8.4 packet-outcome taxonomy over a run.
+type Outcomes struct {
+	Offered       int64
+	Sent          int64
+	QueueDrops    int64
+	MissedFrames  int64
+	FIFOOverflows int64
+}
+
+// snapshot reads the current totals.
+func (tb *Testbed) snapshot() Outcomes {
+	var o Outcomes
+	for _, s := range tb.sources {
+		o.Offered += s.Emitted
+	}
+	for _, nic := range tb.NICs {
+		o.MissedFrames += nic.MissedFrames
+		o.FIFOOverflows += nic.FIFOOverflows
+		o.Sent += nic.SentWire
+	}
+	for _, e := range tb.Router.Elements() {
+		if q, ok := e.(*elements.Queue); ok {
+			o.QueueDrops += q.Drops
+		}
+	}
+	return o
+}
+
+func (o Outcomes) sub(b Outcomes) Outcomes {
+	return Outcomes{
+		Offered:       o.Offered - b.Offered,
+		Sent:          o.Sent - b.Sent,
+		QueueDrops:    o.QueueDrops - b.QueueDrops,
+		MissedFrames:  o.MissedFrames - b.MissedFrames,
+		FIFOOverflows: o.FIFOOverflows - b.FIFOOverflows,
+	}
+}
+
+// Result is one measured operating point.
+type Result struct {
+	InputPPS   float64
+	ForwardPPS float64
+	Outcomes   Outcomes
+	WindowNS   float64
+	// Per-packet CPU time by category over the measurement window
+	// (Figure 8's breakdown), in nanoseconds.
+	RxDeviceNS     float64
+	ForwardNS      float64
+	TxDeviceNS     float64
+	TotalCPUNS     float64
+	MispredRate    float64
+	BusUtilization []float64
+}
+
+// Measure runs the testbed at the configured load: warmupNS to reach
+// steady state, then windowNS of measurement.
+func (tb *Testbed) Measure(warmupNS, windowNS float64) Result {
+	tb.Sim.RunUntil(tb.Sim.Now() + warmupNS)
+	startOutcomes := tb.snapshot()
+	tb.CPU.Reset()
+	startBusy := make([]float64, len(tb.Buses))
+	for i, b := range tb.Buses {
+		startBusy[i] = b.BusyNS
+	}
+	start := tb.Sim.Now()
+	tb.Sim.RunUntil(start + windowNS)
+	o := tb.snapshot().sub(startOutcomes)
+
+	res := Result{
+		Outcomes:   o,
+		WindowNS:   windowNS,
+		InputPPS:   float64(o.Offered) * 1e9 / windowNS,
+		ForwardPPS: float64(o.Sent) * 1e9 / windowNS,
+	}
+	if o.Sent > 0 {
+		res.RxDeviceNS = tb.CPU.NS(simcpu.CatRxDevice) / float64(o.Sent)
+		res.ForwardNS = tb.CPU.NS(simcpu.CatForward) / float64(o.Sent)
+		res.TxDeviceNS = tb.CPU.NS(simcpu.CatTxDevice) / float64(o.Sent)
+		// Total per-packet cost including device drivers (Figure 9's
+		// white bars): the three per-packet categories; idle-loop time
+		// (CatOther) is not per-packet cost.
+		res.TotalCPUNS = res.RxDeviceNS + res.ForwardNS + res.TxDeviceNS
+	}
+	if tb.CPU.Calls > 0 {
+		res.MispredRate = float64(tb.CPU.Mispred) / float64(tb.CPU.Calls)
+	}
+	for i, b := range tb.Buses {
+		util := (b.BusyNS - startBusy[i]) / windowNS
+		res.BusUtilization = append(res.BusUtilization, util)
+	}
+	return res
+}
+
+// RunPoint builds a fresh testbed for the graph and measures one input
+// rate. Graphs are cloned per point so state never leaks between
+// operating points.
+func RunPoint(g *graph.Router, o TestbedOptions, inputPPS, warmupNS, windowNS float64) (Result, error) {
+	tb, err := NewTestbed(g.Clone(), o)
+	if err != nil {
+		return Result{}, err
+	}
+	tb.AddUniformLoad(inputPPS)
+	res := tb.Measure(warmupNS, windowNS)
+	res.InputPPS = inputPPS
+	return res, nil
+}
+
+// MLFFR finds the maximum loss-free forwarding rate by bisection: the
+// highest input rate at which losses stay below lossTolerance
+// (fractional), searched between lo and hi pps to within tolPPS.
+func MLFFR(g *graph.Router, o TestbedOptions, lo, hi, tolPPS float64) (float64, error) {
+	const lossTolerance = 0.002
+	const warmup, window = 20e6, 50e6 // 20 ms warmup, 50 ms window
+	lossFree := func(pps float64) (bool, error) {
+		res, err := RunPoint(g, o, pps, warmup, window)
+		if err != nil {
+			return false, err
+		}
+		loss := 1 - res.ForwardPPS/res.InputPPS
+		return loss <= lossTolerance, nil
+	}
+	ok, err := lossFree(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return lo, fmt.Errorf("netsim: loss even at the lower bound %.0f pps", lo)
+	}
+	if ok, err = lossFree(hi); err != nil {
+		return 0, err
+	} else if ok {
+		return hi, nil
+	}
+	for hi-lo > tolPPS {
+		mid := (lo + hi) / 2
+		ok, err := lossFree(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// ConfigVariant names a prepared configuration for the evaluation.
+type ConfigVariant struct {
+	Name     string
+	Graph    *graph.Router
+	Registry *core.Registry
+}
+
+// PrepareVariants builds the Figure 9/10 configuration set for n
+// interfaces: Base, FC, DV, XF, All, MR+All (approximated by replacing
+// ARPQueriers per the combined-network optimization), and Simple.
+func PrepareVariants(n int) ([]ConfigVariant, []iprouter.Interface, error) {
+	ifs := iprouter.Interfaces(n)
+	parse := func() (*graph.Router, error) {
+		return lang.ParseRouter(iprouter.Config(ifs), "iprouter")
+	}
+	var out []ConfigVariant
+
+	base, err := parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	out = append(out, ConfigVariant{Name: "Base", Graph: base, Registry: elements.NewRegistry()})
+
+	fc, err := parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	fcReg := elements.NewRegistry()
+	if err := opt.FastClassifier(fc, fcReg); err != nil {
+		return nil, nil, err
+	}
+	out = append(out, ConfigVariant{Name: "FC", Graph: fc, Registry: fcReg})
+
+	dv, err := parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	dvReg := elements.NewRegistry()
+	if err := opt.Devirtualize(dv, dvReg, nil); err != nil {
+		return nil, nil, err
+	}
+	out = append(out, ConfigVariant{Name: "DV", Graph: dv, Registry: dvReg})
+
+	xf, err := parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := opt.ParsePatterns(iprouter.ComboPatterns, "combopatterns")
+	if err != nil {
+		return nil, nil, err
+	}
+	opt.Xform(xf, pairs)
+	out = append(out, ConfigVariant{Name: "XF", Graph: xf, Registry: elements.NewRegistry()})
+
+	all, allReg, err := buildAll(ifs, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	out = append(out, ConfigVariant{Name: "All", Graph: all, Registry: allReg})
+
+	mrall, mrallReg, err := buildAll(ifs, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	out = append(out, ConfigVariant{Name: "MR+All", Graph: mrall, Registry: mrallReg})
+
+	simple, err := lang.ParseRouter(iprouter.SimpleConfig(ifs, iprouter.ForwardPairs(n)), "simple")
+	if err != nil {
+		return nil, nil, err
+	}
+	out = append(out, ConfigVariant{Name: "Simple", Graph: simple, Registry: elements.NewRegistry()})
+	return out, ifs, nil
+}
+
+// buildAll applies xform + fastclassifier + devirtualize (§8.2's "All"),
+// optionally with the multiple-router ARP elimination first
+// (point-to-point links let EtherEncapARP replace the ARPQuerier, §7.2).
+func buildAll(ifs []iprouter.Interface, arpElim bool) (*graph.Router, *core.Registry, error) {
+	g, err := lang.ParseRouter(iprouter.Config(ifs), "iprouter")
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := elements.NewRegistry()
+	if arpElim {
+		// On the evaluation testbed every link is point-to-point, so
+		// the combined-configuration analysis replaces each ARPQuerier
+		// with a static encapsulation of the known peer address.
+		if err := eliminateARPPointToPoint(g, ifs); err != nil {
+			return nil, nil, err
+		}
+	}
+	pairs, err := opt.ParsePatterns(iprouter.ComboPatterns, "combopatterns")
+	if err != nil {
+		return nil, nil, err
+	}
+	opt.Xform(g, pairs)
+	if err := opt.FastClassifier(g, reg); err != nil {
+		return nil, nil, err
+	}
+	if err := opt.Devirtualize(g, reg, nil); err != nil {
+		return nil, nil, err
+	}
+	return g, reg, nil
+}
+
+// eliminateARPPointToPoint rewrites arpq<i> elements to EtherEncapARP
+// with the link peer's address — the effect of the click-combine |
+// click-xform | click-uncombine chain when the "peer routers" are the
+// test hosts themselves.
+func eliminateARPPointToPoint(g *graph.Router, ifs []iprouter.Interface) error {
+	for i, itf := range ifs {
+		name := fmt.Sprintf("arpq%d", i)
+		idx := g.FindElement(name)
+		if idx < 0 {
+			return fmt.Errorf("netsim: no %s in configuration", name)
+		}
+		e := g.Element(idx)
+		e.Class = "EtherEncapARP"
+		e.Config = fmt.Sprintf("%s, %s", itf.Ether, itf.HostEth)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package netsim is the hardware substrate for the paper's evaluation
+// (§8): a discrete-event simulation of the testbed the authors used —
+// traffic sources feeding Tulip-like Ethernet controllers over
+// point-to-point links, DMA descriptor rings crossing shared PCI buses,
+// and a CPU running the Click task loop whose time is charged by the
+// simcpu cost model. It reproduces the evaluation's packet-outcome
+// taxonomy (§8.4): a packet is dropped in the NIC FIFO ("FIFO
+// overflow"), dropped because the NIC could not get a ready DMA
+// descriptor after two tries ("missed frame"), dropped at a Click Queue
+// ("Queue drop"), or sent.
+package netsim
+
+import "container/heap"
+
+// Sim is a discrete-event simulator. Time is in nanoseconds.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in nanoseconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Schedule runs fn at the given absolute time (events at equal times run
+// in scheduling order).
+func (s *Sim) Schedule(at float64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay nanoseconds from now.
+func (s *Sim) After(delay float64, fn func()) { s.Schedule(s.now+delay, fn) }
+
+// RunUntil processes events until the given time (events at exactly the
+// end time run).
+func (s *Sim) RunUntil(end float64) {
+	for len(s.events) > 0 {
+		if s.events[0].at > end {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Bus models one shared PCI bus: transactions serialize, each costing a
+// fixed overhead (arbitration, address phase, turnaround) plus data
+// time. Failed descriptor checks are transactions too, which is how
+// missed frames consume bandwidth other NICs could have used (§8.4).
+type Bus struct {
+	sim *Sim
+	// PerByteNS is the data transfer cost per byte.
+	PerByteNS float64
+	// OverheadNS is the fixed per-transaction cost.
+	OverheadNS float64
+
+	busyUntil float64
+	// BusyNS accumulates total occupied time (utilization statistics).
+	BusyNS       float64
+	Transactions int64
+}
+
+// NewBus creates a bus on the simulator. mbps is usable bandwidth in
+// megabytes per second.
+func NewBus(sim *Sim, mbps, overheadNS float64) *Bus {
+	return &Bus{sim: sim, PerByteNS: 1e3 / mbps, OverheadNS: overheadNS}
+}
+
+// Transact schedules fn for when a transaction of the given size
+// completes, after queueing behind earlier transactions.
+func (b *Bus) Transact(bytes int, fn func()) {
+	start := b.sim.now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	dur := b.OverheadNS + float64(bytes)*b.PerByteNS
+	b.busyUntil = start + dur
+	b.BusyNS += dur
+	b.Transactions++
+	b.sim.Schedule(b.busyUntil, fn)
+}
+
+// Utilization returns the fraction of elapsed time the bus was busy.
+func (b *Bus) Utilization() float64 {
+	if b.sim.now == 0 {
+		return 0
+	}
+	return b.BusyNS / b.sim.now
+}

@@ -1,0 +1,350 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lang"
+)
+
+// Alignment describes what is known about packet data alignment at some
+// point in a configuration: data offsets are congruent to Offset modulo
+// Modulus. Modulus 1 means nothing is known; Modulus 0 is the "no
+// packets reach here" top element of the lattice.
+type Alignment struct {
+	Modulus int
+	Offset  int
+}
+
+// Unknown is the bottom lattice element (no alignment guarantee).
+var Unknown = Alignment{Modulus: 1}
+
+// Unreached marks edges no packet traverses.
+var Unreached = Alignment{Modulus: 0}
+
+// Known reports whether the alignment carries information.
+func (a Alignment) Known() bool { return a.Modulus > 1 }
+
+// Shift returns the alignment after the data pointer moves forward by n
+// bytes (Strip) — or backward for negative n (encapsulation).
+func (a Alignment) Shift(n int) Alignment {
+	if a.Modulus <= 1 {
+		return a
+	}
+	off := (a.Offset + n) % a.Modulus
+	if off < 0 {
+		off += a.Modulus
+	}
+	return Alignment{Modulus: a.Modulus, Offset: off}
+}
+
+// Join combines alignments from converging paths: the strongest claim
+// implied by both.
+func (a Alignment) Join(b Alignment) Alignment {
+	if a == Unreached {
+		return b
+	}
+	if b == Unreached {
+		return a
+	}
+	m := gcd(a.Modulus, b.Modulus)
+	for m > 1 && a.Offset%m != b.Offset%m {
+		m /= 2
+	}
+	if m <= 1 {
+		return Unknown
+	}
+	return Alignment{Modulus: m, Offset: a.Offset % m}
+}
+
+// Satisfies reports whether data aligned as a is necessarily aligned as
+// requirement want.
+func (a Alignment) Satisfies(want Alignment) bool {
+	if !want.Known() {
+		return true
+	}
+	if a == Unreached {
+		return true
+	}
+	return a.Modulus%want.Modulus == 0 && a.Offset%want.Modulus == want.Offset
+}
+
+func (a Alignment) String() string {
+	if a == Unreached {
+		return "unreached"
+	}
+	return fmt.Sprintf("%d/%d", a.Modulus, a.Offset)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// alignClassInfo is the per-class alignment knowledge click-align
+// carries. The paper notes (§5.3, §7.1) that alignment behaviour
+// couldn't be specified textually in the element source, so the tool
+// contains explicit code for the relevant classes; this table is that
+// code.
+type alignClassInfo struct {
+	// want is the alignment the element requires on its inputs
+	// (zero value = no requirement).
+	want Alignment
+	// xfer transforms the (joined) input alignment into each output's
+	// alignment. Nil means identity on all outputs.
+	xfer func(in Alignment, g *graph.Router, i int, out int) Alignment
+}
+
+// deviceAlignment is what simulated devices deliver: Ethernet header at
+// a 4-byte boundary, so after Strip(14) the IP header is at offset 2
+// mod 4 — the misalignment click-align exists to fix on strict
+// architectures.
+var deviceAlignment = Alignment{Modulus: 4, Offset: 0}
+
+// wordAligned is the common requirement of word-loading elements.
+var wordAligned = Alignment{Modulus: 4, Offset: 0}
+
+func alignTable() map[string]alignClassInfo {
+	shiftBy := func(n int) func(Alignment, *graph.Router, int, int) Alignment {
+		return func(in Alignment, g *graph.Router, i, out int) Alignment { return in.Shift(n) }
+	}
+	configShift := func(sign int) func(Alignment, *graph.Router, int, int) Alignment {
+		return func(in Alignment, g *graph.Router, i, out int) Alignment {
+			args := lang.SplitConfig(g.Element(i).Config)
+			if len(args) == 0 {
+				return in
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+			if err != nil {
+				return Unknown
+			}
+			return in.Shift(sign * n)
+		}
+	}
+	fresh := func(a Alignment) func(Alignment, *graph.Router, int, int) Alignment {
+		return func(Alignment, *graph.Router, int, int) Alignment { return a }
+	}
+	return map[string]alignClassInfo{
+		"PollDevice":     {xfer: fresh(deviceAlignment)},
+		"FromDevice":     {xfer: fresh(deviceAlignment)},
+		"InfiniteSource": {xfer: fresh(deviceAlignment)},
+		// Classifier loads words relative to the data start.
+		"Classifier":   {want: wordAligned},
+		"IPClassifier": {want: wordAligned},
+		"IPFilter":     {want: wordAligned},
+		// IP elements load header words; packets reaching them start
+		// at the IP header.
+		"CheckIPHeader": {want: wordAligned},
+		"IPInputCombo":  {want: Alignment{Modulus: 4, Offset: 2}, xfer: shiftBy(14)},
+		"IPOutputCombo": {want: wordAligned},
+		"GetIPAddress":  {want: wordAligned},
+		"LookupIPRoute": {want: wordAligned},
+		"DecIPTTL":      {want: wordAligned},
+		"IPGWOptions":   {want: wordAligned},
+		"FixIPSrc":      {want: wordAligned},
+		"IPFragmenter":  {want: wordAligned},
+		"ICMPError":     {want: wordAligned, xfer: fresh(Alignment{Modulus: 4, Offset: 0})},
+		// Data-pointer movers.
+		"Strip":      {xfer: configShift(1)},
+		"Unstrip":    {xfer: configShift(-1)},
+		"EtherEncap": {xfer: shiftBy(-14)},
+		"ARPQuerier": {xfer: func(in Alignment, g *graph.Router, i, out int) Alignment {
+			// Output carries both encapsulated packets (shifted -14)
+			// and self-generated queries (fresh device alignment).
+			return in.Shift(-14).Join(deviceAlignment)
+		}},
+		"ARPResponder": {xfer: fresh(deviceAlignment)},
+		"Align": {xfer: func(in Alignment, g *graph.Router, i, out int) Alignment {
+			args := lang.SplitConfig(g.Element(i).Config)
+			if len(args) != 2 {
+				return Unknown
+			}
+			m, err1 := strconv.Atoi(strings.TrimSpace(args[0]))
+			o, err2 := strconv.Atoi(strings.TrimSpace(args[1]))
+			if err1 != nil || err2 != nil {
+				return Unknown
+			}
+			return Alignment{Modulus: m, Offset: o}
+		}},
+	}
+}
+
+// AlignResult reports what the pass did.
+type AlignResult struct {
+	Inserted int
+	Removed  int
+	// Final maps element names to the alignment of data arriving at
+	// them (the AlignmentInfo content).
+	Final map[string]Alignment
+}
+
+// AlignPass implements click-align (§7.1): a forward data-flow analysis
+// over the configuration computes the alignment of packet data entering
+// every element; an Align element is inserted wherever the computed
+// alignment fails an element's requirement; redundant Align elements
+// (whose input already satisfies their output spec) are removed; and an
+// AlignmentInfo element records the final facts.
+func AlignPass(g *graph.Router, reg *core.Registry) (*AlignResult, error) {
+	table := alignTable()
+	res := &AlignResult{Final: map[string]Alignment{}}
+
+	// Pass 1: remove existing redundant Aligns after computing flow
+	// with them in place; then insert missing Aligns. We iterate the
+	// dataflow to fixpoint each time the graph changes.
+	flow := func() (map[int]Alignment, error) {
+		in := map[int]Alignment{}
+		for _, i := range g.LiveIndices() {
+			in[i] = Unreached
+		}
+		// Iterate to fixpoint: graphs can have cycles (ICMPError loops
+		// back to the routing table).
+		for round := 0; round < 4*len(g.Elements)+8; round++ {
+			changed := false
+			for _, i := range g.LiveIndices() {
+				e := g.Element(i)
+				info := table[e.Class]
+				inAl := in[i]
+				nout := g.NOutputs(i)
+				for p := 0; p < nout; p++ {
+					outAl := inAl
+					if info.xfer != nil {
+						outAl = info.xfer(inAl, g, i, p)
+					} else if g.NInputs(i) == 0 {
+						// Source class without a transfer entry:
+						// unknown output alignment.
+						outAl = Unknown
+					}
+					for _, c := range g.OutputConns(i, p) {
+						j := c.To
+						nv := in[j].Join(outAl)
+						if nv != in[j] {
+							in[j] = nv
+							changed = true
+						}
+					}
+				}
+			}
+			if !changed {
+				return in, nil
+			}
+		}
+		return nil, fmt.Errorf("opt: align dataflow did not converge")
+	}
+
+	// removeRedundant strips Aligns whose input already satisfies their
+	// spec; onlyOurs limits it to Aligns this pass inserted (the final
+	// cleanup). It returns how many it removed.
+	inserted := map[string]bool{}
+	removeRedundant := func(onlyOurs bool) (int, error) {
+		n := 0
+		for {
+			in, err := flow()
+			if err != nil {
+				return n, err
+			}
+			removed := false
+			for _, i := range g.LiveIndices() {
+				e := g.Element(i)
+				if e.Class != "Align" {
+					continue
+				}
+				if onlyOurs && !inserted[e.Name] {
+					continue
+				}
+				args := lang.SplitConfig(e.Config)
+				if len(args) != 2 {
+					continue
+				}
+				m, _ := strconv.Atoi(strings.TrimSpace(args[0]))
+				o, _ := strconv.Atoi(strings.TrimSpace(args[1]))
+				if in[i].Satisfies(Alignment{Modulus: m, Offset: o}) {
+					g.RemoveAndSplice(i)
+					n++
+					removed = true
+					break
+				}
+			}
+			if !removed {
+				return n, nil
+			}
+		}
+	}
+	n, err := removeRedundant(false)
+	if err != nil {
+		return nil, err
+	}
+	res.Removed += n
+
+	// Insert Aligns where requirements fail.
+	for {
+		in, err := flow()
+		if err != nil {
+			return nil, err
+		}
+		didInsert := false
+		for _, i := range g.LiveIndices() {
+			e := g.Element(i)
+			info := table[e.Class]
+			if !info.want.Known() || in[i].Satisfies(info.want) {
+				continue
+			}
+			if g.NInputs(i) > 1 {
+				// All word-loading classes take one input; skip
+				// anything unusual rather than merge its ports.
+				continue
+			}
+			al := g.MustAddElement("", "Align",
+				fmt.Sprintf("%d, %d", info.want.Modulus, info.want.Offset), "click-align")
+			inserted[g.Element(al).Name] = true
+			for _, c := range g.ConnsTo(i) {
+				g.Disconnect(c.From, c.FromPort, c.To, c.ToPort)
+				g.Connect(c.From, c.FromPort, al, 0)
+			}
+			g.Connect(al, 0, i, 0)
+			res.Inserted++
+			didInsert = true
+			break
+		}
+		if !didInsert {
+			break
+		}
+	}
+
+	// Cleanup: an Align inserted early (e.g. before a join point) can
+	// become redundant once upstream paths are fixed; strip those.
+	n, err = removeRedundant(true)
+	if err != nil {
+		return nil, err
+	}
+	res.Inserted -= n
+
+	// Record final alignments in an AlignmentInfo element.
+	in, err := flow()
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if e.Class == "AlignmentInfo" {
+			g.RemoveElement(i)
+			continue
+		}
+		a := in[i]
+		res.Final[e.Name] = a
+		if a.Known() {
+			entries = append(entries, fmt.Sprintf("%s %d %d", e.Name, a.Modulus, a.Offset))
+		}
+	}
+	sort.Strings(entries)
+	if len(entries) > 0 {
+		g.MustAddElement("AlignmentInfo@@", "AlignmentInfo", lang.JoinConfig(entries), "click-align")
+	}
+	return res, nil
+}

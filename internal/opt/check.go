@@ -1,0 +1,45 @@
+// Package opt implements the Click optimization tools as library passes
+// over configuration graphs: click-fastclassifier, click-devirtualize,
+// click-xform, click-undead, click-align, click-check,
+// click-mkmindriver, click-pretty, and click-combine/click-uncombine.
+// Each pass reads a graph, analyzes and transforms it, and leaves the
+// result ready to unparse — the cmd/ wrappers pipe them together like
+// compiler passes (§5).
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Check verifies a configuration the way click-check does: every class
+// known, port counts legal, push/pull assignment consistent, and
+// connection discipline respected (each push output and pull input
+// connected exactly once, no dangling ports). It returns all problems
+// found.
+func Check(g *graph.Router, reg *core.Registry) []error {
+	var errs []error
+	errs = append(errs, graph.CheckPorts(g, reg)...)
+	pr, err := graph.AssignProcessing(g, reg)
+	if err != nil {
+		errs = append(errs, err)
+		return errs
+	}
+	errs = append(errs, graph.CheckConnectionDiscipline(g, pr)...)
+	return errs
+}
+
+// CheckInstantiable additionally verifies that every class has a
+// runtime factory (specification-only classes cannot run).
+func CheckInstantiable(g *graph.Router, reg *core.Registry) []error {
+	errs := Check(g, reg)
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if spec, ok := reg.Lookup(e.Class); ok && spec.Make == nil {
+			errs = append(errs, fmt.Errorf("element class %q is specification-only (element %q)", e.Class, e.Name))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/iprouter"
+	"repro/internal/lang"
+	"repro/internal/packet"
+)
+
+// twoRouterNetwork builds routers A and B joined back-to-back:
+// A's eth1 connects to B's eth0 (both directions).
+func twoRouterNetwork(t *testing.T) (*graph.Router, []iprouter.Interface, []iprouter.Interface) {
+	t.Helper()
+	// Router A: interfaces 10.0.0.1 (edge) and 10.0.1.1 (link side).
+	// Router B: interfaces 10.0.1.2-equivalent... use distinct subnets:
+	// B gets 10.0.2.x and 10.0.3.x; the A.eth1 <-> B.eth0 link is
+	// point-to-point, addressing doesn't matter for combination.
+	ifsA := iprouter.Interfaces(2)
+	ifsB := []iprouter.Interface{
+		{
+			Device: "eth0", Addr: mustIP(t, "10.0.2.1"),
+			Ether:    mustEth(t, "00:00:c0:00:02:01"),
+			HostAddr: mustIP(t, "10.0.2.2"), HostEth: mustEth(t, "00:00:c0:00:02:02"),
+		},
+		{
+			Device: "eth1", Addr: mustIP(t, "10.0.3.1"),
+			Ether:    mustEth(t, "00:00:c0:00:03:01"),
+			HostAddr: mustIP(t, "10.0.3.2"), HostEth: mustEth(t, "00:00:c0:00:03:02"),
+		},
+	}
+	ga, err := lang.ParseRouter(iprouter.Config(ifsA), "routerA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := lang.ParseRouter(iprouter.Config(ifsB), "routerB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Combine(
+		[]RouterInput{{Name: "a", Config: ga}, {Name: "b", Config: gb}},
+		[]Link{
+			{FromRouter: "a", FromDev: "eth1", ToRouter: "b", ToDev: "eth0"},
+			{FromRouter: "b", FromDev: "eth0", ToRouter: "a", ToDev: "eth1"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return combined, ifsA, ifsB
+}
+
+func mustIP(t *testing.T, s string) packet.IP4 {
+	t.Helper()
+	ip, err := packet.ParseIP4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+func TestParseLink(t *testing.T) {
+	l, err := ParseLink("a.eth0 -> b.eth1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.FromRouter != "a" || l.FromDev != "eth0" || l.ToRouter != "b" || l.ToDev != "eth1" {
+		t.Errorf("link = %+v", l)
+	}
+	for _, bad := range []string{"", "a.eth0", "a -> b", ".eth0 -> b.eth1", "a.eth0 -> b."} {
+		if _, err := ParseLink(bad); err == nil {
+			t.Errorf("ParseLink(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestCombineStructure(t *testing.T) {
+	combined, _, _ := twoRouterNetwork(t)
+	// RouterLinks exist for both directions.
+	if combined.FindElement("a.eth1-b.eth0") < 0 || combined.FindElement("b.eth0-a.eth1") < 0 {
+		t.Fatalf("RouterLinks missing:\n%s", lang.Unparse(combined))
+	}
+	// The linked ToDevice/PollDevice pairs are gone; edge devices stay.
+	if combined.FindElement("a/td1") >= 0 || combined.FindElement("b/fd0") >= 0 {
+		t.Error("linked device elements survived")
+	}
+	if combined.FindElement("a/fd0") < 0 || combined.FindElement("b/td1") < 0 {
+		t.Error("edge device elements removed")
+	}
+	// Prefixed element names from both routers.
+	if combined.FindElement("a/rt") < 0 || combined.FindElement("b/rt") < 0 {
+		t.Error("router elements not prefixed")
+	}
+	// The combined configuration still validates (RouterLink takes the
+	// absorbed Queue's place).
+	if errs := Check(combined, elements.NewRegistry()); len(errs) > 0 {
+		t.Errorf("combined config errors: %v\n%s", errs, lang.Unparse(combined))
+	}
+}
+
+func TestUncombineRoundTrip(t *testing.T) {
+	combined, ifsA, _ := twoRouterNetwork(t)
+	ga, err := Uncombine(combined, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element names restored without prefix.
+	if ga.FindElement("rt") < 0 || ga.FindElement("c0") < 0 {
+		t.Fatalf("uncombined router missing elements:\n%s", lang.Unparse(ga))
+	}
+	// Device elements reinstated.
+	foundTD, foundPD := false, false
+	for _, i := range ga.LiveIndices() {
+		e := ga.Element(i)
+		if e.Class == "ToDevice" && strings.Contains(e.Config, "eth1") {
+			foundTD = true
+		}
+		if e.Class == "PollDevice" && strings.Contains(e.Config, "eth1") {
+			foundPD = true
+		}
+	}
+	if !foundTD || !foundPD {
+		t.Errorf("device elements not restored (td=%v pd=%v)", foundTD, foundPD)
+	}
+	if errs := Check(ga, elements.NewRegistry()); len(errs) > 0 {
+		t.Errorf("uncombined config errors: %v\n%s", errs, lang.Unparse(ga))
+	}
+	// It should be runnable and forward packets like the original.
+	r := buildRig(t, ga, elements.NewRegistry(), 2)
+	warmARP(r.rt, ifsA)
+	r.inject("eth0", testPacket(ifsA))
+	if got := len(r.devs["eth1"].tx); got != 1 {
+		t.Errorf("uncombined router forwarded %d packets, want 1", got)
+	}
+}
+
+func TestUncombineUnknownRouter(t *testing.T) {
+	combined, _, _ := twoRouterNetwork(t)
+	if _, err := Uncombine(combined, "zzz"); err == nil {
+		t.Error("unknown router name accepted")
+	}
+	plain := graph.New()
+	if _, err := Uncombine(plain, "a"); err == nil {
+		t.Error("uncombine without manifest accepted")
+	}
+}
+
+func TestARPEliminationPattern(t *testing.T) {
+	combined, _, _ := twoRouterNetwork(t)
+	pairs, err := ParsePatterns(iprouter.ARPElimPatterns, "arpelim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Xform(combined, pairs)
+	// Two directions on one inter-router link: two eliminations.
+	if n != 2 {
+		t.Fatalf("ARP elimination applied %d times, want 2\n%s", n, lang.Unparse(combined))
+	}
+	// The link-facing ARPQueriers are gone, replaced by static
+	// encapsulation carrying the peer's MAC.
+	if combined.FindElement("a/arpq1") < 0 {
+		t.Fatal("a/arpq1 name lost")
+	}
+	e := combined.Element(combined.FindElement("a/arpq1"))
+	if e.Class != "EtherEncapARP" {
+		t.Errorf("a/arpq1 class = %s, want EtherEncapARP", e.Class)
+	}
+	args := lang.SplitConfig(e.Config)
+	if len(args) != 2 || args[0] != "00:00:c0:00:01:01" || args[1] != "00:00:c0:00:02:01" {
+		t.Errorf("EtherEncapARP config = %q (want our MAC, peer MAC)", e.Config)
+	}
+	// Edge-facing ARPQueriers survive.
+	if combined.Element(combined.FindElement("a/arpq0")).Class != "ARPQuerier" {
+		t.Error("edge ARPQuerier eliminated")
+	}
+	// RouterLink names preserved for uncombine.
+	if combined.FindElement("a.eth1-b.eth0") < 0 {
+		t.Fatal("RouterLink name lost in replacement")
+	}
+	// Still valid, and uncombine still works.
+	if errs := Check(combined, elements.NewRegistry()); len(errs) > 0 {
+		t.Fatalf("post-elimination errors: %v", errs)
+	}
+	ga, err := Uncombine(combined, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(ga, elements.NewRegistry()); len(errs) > 0 {
+		t.Errorf("uncombined post-elimination errors: %v\n%s", errs, lang.Unparse(ga))
+	}
+	found := false
+	for _, i := range ga.LiveIndices() {
+		if ga.Element(i).Class == "EtherEncapARP" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("extracted router lost its EtherEncapARP")
+	}
+}
+
+func mustEth(t *testing.T, s string) packet.EtherAddr {
+	t.Helper()
+	e, err := packet.ParseEther(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,1029 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/iprouter"
+	"repro/internal/lang"
+	"repro/internal/packet"
+)
+
+// fakeDevice is an in-memory Device for driving routers in tests.
+type fakeDevice struct {
+	name string
+	rx   []*packet.Packet
+	tx   []*packet.Packet
+}
+
+func (d *fakeDevice) DeviceName() string { return d.name }
+
+func (d *fakeDevice) RxDequeue() *packet.Packet {
+	if len(d.rx) == 0 {
+		return nil
+	}
+	p := d.rx[0]
+	d.rx = d.rx[1:]
+	return p
+}
+
+func (d *fakeDevice) TxEnqueue(p *packet.Packet) bool {
+	d.tx = append(d.tx, p)
+	return true
+}
+
+func (d *fakeDevice) TxRoom() bool { return true }
+func (d *fakeDevice) TxClean() int { return 0 }
+
+// rig is a built router plus its fake devices.
+type rig struct {
+	rt   *core.Router
+	devs map[string]*fakeDevice
+}
+
+// buildRig assembles a graph whose PollDevice/ToDevice elements bind to
+// fake devices named eth0..eth<n-1>.
+func buildRig(t *testing.T, g *graph.Router, reg *core.Registry, ndev int) *rig {
+	t.Helper()
+	devs := map[string]*fakeDevice{}
+	env := map[string]interface{}{}
+	for i := 0; i < ndev; i++ {
+		name := "eth" + string(rune('0'+i))
+		d := &fakeDevice{name: name}
+		devs[name] = d
+		env["device:"+name] = d
+	}
+	rt, err := core.Build(g, reg, core.BuildOptions{Env: env})
+	if err != nil {
+		t.Fatalf("build failed: %v\n%s", err, lang.Unparse(g))
+	}
+	return &rig{rt: rt, devs: devs}
+}
+
+// inject queues a packet for reception on a device and runs the router
+// until idle.
+func (r *rig) inject(dev string, p *packet.Packet) {
+	r.devs[dev].rx = append(r.devs[dev].rx, p)
+	r.rt.RunUntilIdle(10000)
+}
+
+// testPacket builds a transit UDP packet arriving on interface 0
+// destined for the host on interface 1.
+func testPacket(ifs []iprouter.Interface) *packet.Packet {
+	p := packet.BuildUDP4(ifs[0].HostEth, ifs[0].Ether,
+		ifs[0].HostAddr, ifs[1].HostAddr, 1234, 5678, make([]byte, 14))
+	return p
+}
+
+// warmARP preloads the router's ARP tables so forwarding needs no
+// queries (the evaluation measures a converged network).
+func warmARP(rt *core.Router, ifs []iprouter.Interface) {
+	for _, e := range rt.Elements() {
+		if aq, ok := e.(*elements.ARPQuerier); ok {
+			for _, itf := range ifs {
+				aq.InsertEntry(itf.HostAddr, itf.HostEth)
+			}
+		}
+	}
+}
+
+func parseIPRouter(t *testing.T, n int) (*graph.Router, []iprouter.Interface) {
+	t.Helper()
+	ifs := iprouter.Interfaces(n)
+	g, err := lang.ParseRouter(iprouter.Config(ifs), "iprouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ifs
+}
+
+func TestIPRouterConfigChecks(t *testing.T) {
+	g, _ := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	if errs := Check(g, reg); len(errs) > 0 {
+		t.Fatalf("IP router config has errors: %v", errs)
+	}
+	// The forwarding path crosses 16 elements (§3): count the
+	// elements a transit packet visits.
+	if n := g.NumElements(); n < 30 {
+		t.Errorf("2-interface router has only %d elements", n)
+	}
+}
+
+func TestIPRouterForwards(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	r := buildRig(t, g, elements.NewRegistry(), 2)
+	warmARP(r.rt, ifs)
+	r.inject("eth0", testPacket(ifs))
+	out := r.devs["eth1"].tx
+	if len(out) != 1 {
+		t.Fatalf("forwarded %d packets, want 1", len(out))
+	}
+	p := out[0]
+	eh, _ := p.EtherHeader()
+	if eh.Dst() != ifs[1].HostEth || eh.Src() != ifs[1].Ether {
+		t.Errorf("Ethernet addressing wrong: dst=%v src=%v", eh.Dst(), eh.Src())
+	}
+	p.Anno.NetworkOffset = 14
+	ih, ok := p.IPHeader()
+	if !ok {
+		t.Fatal("no IP header on output")
+	}
+	if ih.TTL() != 63 {
+		t.Errorf("TTL = %d, want 63", ih.TTL())
+	}
+	if !ih.ChecksumOK() {
+		t.Error("bad checksum on forwarded packet")
+	}
+}
+
+func TestIPRouterAnswersARP(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	r := buildRig(t, g, elements.NewRegistry(), 2)
+	req := packet.Make(packet.DefaultHeadroom, packet.EtherHeaderLen+packet.ARPHeaderLen, 0)
+	eh, _ := req.EtherHeader()
+	eh.SetDst(packet.BroadcastEther)
+	eh.SetSrc(ifs[0].HostEth)
+	eh.SetType(packet.EtherTypeARP)
+	ah, _ := req.ARPHeader(true)
+	ah.InitARP()
+	ah.SetOp(packet.ARPOpRequest)
+	ah.SetSenderEther(ifs[0].HostEth)
+	ah.SetSenderIP(ifs[0].HostAddr)
+	ah.SetTargetIP(ifs[0].Addr)
+	r.inject("eth0", req)
+	out := r.devs["eth0"].tx
+	if len(out) != 1 {
+		t.Fatalf("ARP request produced %d packets, want 1 reply", len(out))
+	}
+	rh, _ := out[0].ARPHeader(true)
+	if rh.Op() != packet.ARPOpReply || rh.SenderIP() != ifs[0].Addr {
+		t.Error("ARP reply wrong")
+	}
+}
+
+func TestIPRouterTTLExpiry(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	r := buildRig(t, g, elements.NewRegistry(), 2)
+	warmARP(r.rt, ifs)
+	p := testPacket(ifs)
+	p.Anno.NetworkOffset = 14
+	ih, _ := p.IPHeader()
+	ih.SetTTL(1)
+	ih.UpdateChecksum()
+	p.Anno.NetworkOffset = -1
+	r.inject("eth0", p)
+	// Expect an ICMP time-exceeded back out interface 0.
+	back := r.devs["eth0"].tx
+	if len(back) != 1 {
+		t.Fatalf("expired packet produced %d packets on eth0, want 1 ICMP error", len(back))
+	}
+	icmp := back[0]
+	icmp.Anno.NetworkOffset = 14
+	ih2, ok := icmp.IPHeader()
+	if !ok || ih2.Proto() != packet.IPProtoICMP {
+		t.Fatal("response is not ICMP")
+	}
+	if ih2.Dst() != ifs[0].HostAddr {
+		t.Errorf("ICMP error addressed to %v, want %v", ih2.Dst(), ifs[0].HostAddr)
+	}
+	if ih2.Src() != ifs[0].Addr {
+		t.Errorf("ICMP error source %v, want interface address %v (FixIPSrc)", ih2.Src(), ifs[0].Addr)
+	}
+	if len(r.devs["eth1"].tx) != 0 {
+		t.Error("expired packet was forwarded anyway")
+	}
+}
+
+func TestCheckCatchesBrokenConfigs(t *testing.T) {
+	reg := elements.NewRegistry()
+	bad := []string{
+		"x :: Nonexistent -> Discard;",
+		"s :: InfiniteSource -> d :: ToDevice(e);",                                              // push into pull
+		"i :: Idle -> q :: Queue; q2 :: Queue; i2 :: Idle -> q2 -> td :: ToDevice(e); q -> td;", // pull input twice
+	}
+	for _, cfg := range bad {
+		g, err := lang.ParseRouter(cfg, "test")
+		if err != nil {
+			continue // parse errors also count as caught
+		}
+		if errs := Check(g, reg); len(errs) == 0 {
+			t.Errorf("Check accepted broken config %q", cfg)
+		}
+	}
+	// Specification-only classes flagged by CheckInstantiable.
+	reg.Register(&core.Spec{Name: "SpecOnly", Processing: "a/a"})
+	g, err := lang.ParseRouter("i :: Idle -> s :: SpecOnly -> x :: Idle;", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := CheckInstantiable(g, reg); len(errs) == 0 {
+		t.Error("specification-only class not flagged")
+	}
+}
+
+func TestXformComboPatternsOnIPRouter(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	pairs, err := ParsePatterns(iprouter.ComboPatterns, "combopatterns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("parsed %d pattern pairs, want 3", len(pairs))
+	}
+	before := g.NumElements()
+	n := Xform(g, pairs)
+	// Two interfaces: each interface's input path (Paint, Strip,
+	// CheckIPHeader, then +GetIPAddress) and output path (6 elements)
+	// collapse: 3 applications per interface.
+	if n != 6 {
+		t.Errorf("applied %d replacements, want 6\n%s", n, lang.Unparse(g))
+	}
+	after := g.NumElements()
+	// Per interface: 4 input elements -> 1 combo, 6 output elements ->
+	// 1 combo: net -8 per interface, -16 total.
+	if before-after != 16 {
+		t.Errorf("element count %d -> %d (removed %d, want 16)", before, after, before-after)
+	}
+	for _, class := range []string{"IPInputCombo", "IPOutputCombo"} {
+		found := 0
+		for _, i := range g.LiveIndices() {
+			if g.Element(i).Class == class {
+				found++
+			}
+		}
+		if found != 2 {
+			t.Errorf("%d %s elements, want 2", found, class)
+		}
+	}
+	for _, gone := range []string{"Paint", "Strip", "CheckIPHeader", "GetIPAddress", "DropBroadcasts", "CheckPaint", "IPGWOptions", "FixIPSrc", "DecIPTTL", "IPFragmenter"} {
+		for _, i := range g.LiveIndices() {
+			if g.Element(i).Class == gone {
+				t.Errorf("general-purpose element %s survived xform", gone)
+			}
+		}
+	}
+	// IPInputCombo configs carry the folded GetIPAddress offset.
+	for _, i := range g.LiveIndices() {
+		if g.Element(i).Class == "IPInputCombo" {
+			if args := lang.SplitConfig(g.Element(i).Config); len(args) != 3 || args[2] != "16" {
+				t.Errorf("IPInputCombo config = %q", g.Element(i).Config)
+			}
+		}
+	}
+	if errs := Check(g, elements.NewRegistry()); len(errs) > 0 {
+		t.Fatalf("xformed config has errors: %v\n%s", errs, lang.Unparse(g))
+	}
+
+	// Behaviour must be preserved.
+	r := buildRig(t, g, elements.NewRegistry(), 2)
+	warmARP(r.rt, ifs)
+	r.inject("eth0", testPacket(ifs))
+	if len(r.devs["eth1"].tx) != 1 {
+		t.Fatalf("xformed router forwarded %d packets, want 1", len(r.devs["eth1"].tx))
+	}
+	p := r.devs["eth1"].tx[0]
+	p.Anno.NetworkOffset = 14
+	ih, _ := p.IPHeader()
+	if ih.TTL() != 63 || !ih.ChecksumOK() {
+		t.Error("xformed router corrupted packet")
+	}
+}
+
+func TestXformIdempotentAtFixpoint(t *testing.T) {
+	g, _ := parseIPRouter(t, 2)
+	pairs, _ := ParsePatterns(iprouter.ComboPatterns, "combopatterns")
+	Xform(g, pairs)
+	if n := Xform(g, pairs); n != 0 {
+		t.Errorf("second Xform applied %d more replacements", n)
+	}
+}
+
+func TestXformWildcardConsistency(t *testing.T) {
+	// A pattern whose wildcard appears twice must only match elements
+	// with equal arguments.
+	src := `
+elementclass P {
+	input -> a :: Paint($x) -> b :: Paint($x) -> output;
+}
+elementclass P_Replacement {
+	input -> Paint($x) -> output;
+}
+`
+	pairs, err := ParsePatterns(src, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := lang.ParseRouter("i :: Idle -> Paint(1) -> Paint(1) -> d :: Discard;", "t")
+	if n := Xform(g1, pairs); n != 1 {
+		t.Errorf("equal args: %d applications, want 1", n)
+	}
+	g2, _ := lang.ParseRouter("i :: Idle -> Paint(1) -> Paint(2) -> d :: Discard;", "t")
+	if n := Xform(g2, pairs); n != 0 {
+		t.Errorf("unequal args: %d applications, want 0", n)
+	}
+}
+
+func TestXformRespectsBoundary(t *testing.T) {
+	// Pattern: Strip(14) -> CheckIPHeader() with only the chain's ends
+	// exposed. A config where something else also pushes into
+	// CheckIPHeader must NOT match.
+	src := `
+elementclass P {
+	input -> Strip(14) -> CheckIPHeader($b) -> output;
+}
+elementclass P_Replacement {
+	input -> IPInputCombo(0, $b) -> output;
+}
+`
+	pairs, err := ParsePatterns(src, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := lang.ParseRouter(`
+i :: Idle -> Strip(14) -> chk :: CheckIPHeader(10.0.0.255) -> d :: Discard;
+j :: Idle -> chk;
+`, "t")
+	if n := Xform(g, pairs); n != 0 {
+		t.Errorf("boundary violation matched anyway (%d applications)", n)
+	}
+	// Without the interloper it matches.
+	g2, _ := lang.ParseRouter(`i :: Idle -> Strip(14) -> chk :: CheckIPHeader(10.0.0.255) -> d :: Discard;`, "t")
+	if n := Xform(g2, pairs); n != 1 {
+		t.Errorf("clean config: %d applications, want 1", n)
+	}
+}
+
+func TestFastClassifierOnIPRouter(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	if err := FastClassifier(g, reg); err != nil {
+		t.Fatal(err)
+	}
+	fast := 0
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if e.Class == "Classifier" {
+			t.Error("generic Classifier survived")
+		}
+		if strings.HasPrefix(e.Class, "FastClassifier@@") {
+			fast++
+		}
+	}
+	if fast != 2 {
+		t.Errorf("%d FastClassifier elements, want 2", fast)
+	}
+	// Both classifiers have identical trees, so they share one
+	// generated class.
+	classes := map[string]bool{}
+	for _, i := range g.LiveIndices() {
+		if strings.HasPrefix(g.Element(i).Class, "FastClassifier@@") {
+			classes[g.Element(i).Class] = true
+		}
+	}
+	if len(classes) != 1 {
+		t.Errorf("identical trees got %d generated classes, want 1 (shared)", len(classes))
+	}
+	if _, ok := g.Archive["fastclassifier/programs"]; !ok {
+		t.Error("no programs member in archive")
+	}
+	srcFound := false
+	for name := range g.Archive {
+		if strings.HasPrefix(name, "fastclassifier/") && strings.HasSuffix(name, ".go") {
+			srcFound = true
+		}
+	}
+	if !srcFound {
+		t.Error("no generated source in archive")
+	}
+
+	// Semantics preserved.
+	r := buildRig(t, g, reg, 2)
+	warmARP(r.rt, ifs)
+	r.inject("eth0", testPacket(ifs))
+	if len(r.devs["eth1"].tx) != 1 {
+		t.Fatalf("fastclassified router forwarded %d packets", len(r.devs["eth1"].tx))
+	}
+}
+
+func TestFastClassifierArchiveRoundTrip(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	if err := FastClassifier(g, reg); err != nil {
+		t.Fatal(err)
+	}
+	// Unparse to an archive and reload with a fresh registry — the
+	// click driver's path.
+	text := lang.Unparse(g)
+	var members []lang.ArchiveMember
+	for name, data := range g.Archive {
+		members = append(members, lang.ArchiveMember{Name: name, Data: data})
+	}
+	packed := lang.PackConfig(text, members)
+
+	cfg, extra, err := lang.UnpackConfig(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := lang.ParseRouter(cfg, "reloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range extra {
+		g2.Archive[m.Name] = m.Data
+	}
+	reg2 := elements.NewRegistry()
+	if err := InstallArchive(g2, reg2); err != nil {
+		t.Fatal(err)
+	}
+	r := buildRig(t, g2, reg2, 2)
+	warmARP(r.rt, ifs)
+	r.inject("eth0", testPacket(ifs))
+	if len(r.devs["eth1"].tx) != 1 {
+		t.Fatalf("reloaded router forwarded %d packets", len(r.devs["eth1"].tx))
+	}
+}
+
+func TestCombineAdjacentClassifiers(t *testing.T) {
+	g, err := lang.ParseRouter(`
+i :: Idle -> a :: Classifier(12/0800, -);
+a [0] -> b :: Classifier(23/11, 23/06, -);
+a [1] -> d0 :: Discard;
+b [0] -> d1 :: Discard;
+b [1] -> d2 :: Discard;
+b [2] -> d3 :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := elements.NewRegistry()
+	combineAdjacentClassifiers(g, reg)
+	// b merged into a.
+	if g.FindElement("b") != -1 {
+		t.Fatalf("downstream classifier not merged:\n%s", lang.Unparse(g))
+	}
+	a := g.FindElement("a")
+	args := lang.SplitConfig(g.Element(a).Config)
+	if len(args) != 4 {
+		t.Fatalf("merged config = %q, want 4 patterns", g.Element(a).Config)
+	}
+	// Semantics: UDP packet (proto 17 = 0x11) must reach d1.
+	prAfter, err := lang.ParseRouter(lang.Unparse(g), "reparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(prAfter, reg); len(errs) > 0 {
+		t.Fatalf("merged config invalid: %v", errs)
+	}
+	rt, err := core.Build(g, reg, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp := packet.BuildUDP4(packet.EtherAddr{}, packet.EtherAddr{},
+		packet.MakeIP4(1, 1, 1, 1), packet.MakeIP4(2, 2, 2, 2), 1, 2, make([]byte, 14))
+	rt.Find("a").(core.Element).Push(0, udp)
+	if d1 := rt.Find("d1").(*elements.Discard); d1.Count != 1 {
+		t.Errorf("UDP packet did not reach d1 (count=%d)", d1.Count)
+	}
+	arp := packet.Make(packet.DefaultHeadroom, 60, 0)
+	eh, _ := arp.EtherHeader()
+	eh.SetType(packet.EtherTypeARP)
+	rt.Find("a").(core.Element).Push(0, arp)
+	if d0 := rt.Find("d0").(*elements.Discard); d0.Count != 1 {
+		t.Errorf("non-IP packet did not reach d0 (count=%d)", d0.Count)
+	}
+}
+
+func TestDevirtualizeSharing(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	if err := Devirtualize(g, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	// "In our IP router configurations, analogous elements in
+	// different interface paths can always share code" (§6.1).
+	analogous := [][2]string{
+		{"fd0", "fd1"}, {"c0", "c1"}, {"arpq0", "arpq1"},
+		{"out0", "out1"}, {"td0", "td1"}, {"cp0", "cp1"},
+		{"dt0", "dt1"}, {"fr0", "fr1"},
+	}
+	for _, pair := range analogous {
+		a, b := g.FindElement(pair[0]), g.FindElement(pair[1])
+		if a < 0 || b < 0 {
+			t.Fatalf("missing elements %v", pair)
+		}
+		ca, cb := g.Element(a).Class, g.Element(b).Class
+		if ca != cb {
+			t.Errorf("%s (%s) and %s (%s) do not share code", pair[0], ca, pair[1], cb)
+		}
+		if !strings.Contains(ca, "_dv") {
+			t.Errorf("%s not devirtualized: %s", pair[0], ca)
+		}
+	}
+	if errs := Check(g, reg); len(errs) > 0 {
+		t.Fatalf("devirtualized config has errors: %v", errs)
+	}
+
+	// Behaviour preserved, and transfers now direct.
+	r := buildRig(t, g, reg, 2)
+	warmARP(r.rt, ifs)
+	r.inject("eth0", testPacket(ifs))
+	if len(r.devs["eth1"].tx) != 1 {
+		t.Fatalf("devirtualized router forwarded %d packets", len(r.devs["eth1"].tx))
+	}
+}
+
+func TestDevirtualizeSplitsDifferentTargets(t *testing.T) {
+	// Figure 2's configuration: two same-class elements connecting to
+	// different classes must NOT share code (rule 4).
+	g, err := lang.ParseRouter(`
+i :: Idle -> a1 :: Paint(1) -> ctr :: Counter -> d0 :: Discard;
+j :: Idle -> a2 :: Paint(1) -> d1 :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := elements.NewRegistry()
+	if err := Devirtualize(g, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	c1 := g.Element(g.FindElement("a1")).Class
+	c2 := g.Element(g.FindElement("a2")).Class
+	if c1 == c2 {
+		t.Errorf("Paints with different successors share class %q", c1)
+	}
+	// The two Discards share (same class, same ports).
+	d0 := g.Element(g.FindElement("d0")).Class
+	d1 := g.Element(g.FindElement("d1")).Class
+	if d0 != d1 {
+		t.Errorf("Discards do not share: %q vs %q", d0, d1)
+	}
+}
+
+func TestDevirtualizeExclusion(t *testing.T) {
+	g, _ := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	if err := Devirtualize(g, reg, map[string]bool{"rt": true}); err != nil {
+		t.Fatal(err)
+	}
+	rt := g.Element(g.FindElement("rt"))
+	if rt.Class != "LookupIPRoute" {
+		t.Errorf("excluded element was devirtualized: %s", rt.Class)
+	}
+}
+
+func TestUndeadStaticSwitch(t *testing.T) {
+	g, err := lang.ParseRouter(`
+i :: InfiniteSource -> sw :: StaticSwitch(1);
+sw [0] -> p0 :: Paint(1) -> d0 :: Discard;
+sw [1] -> p1 :: Paint(2) -> d1 :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := elements.NewRegistry()
+	removed := Undead(g, reg)
+	if removed == 0 {
+		t.Fatal("nothing removed")
+	}
+	if g.FindElement("sw") != -1 {
+		t.Error("StaticSwitch survived")
+	}
+	if g.FindElement("p0") != -1 || g.FindElement("d0") != -1 {
+		t.Errorf("dead branch survived:\n%s", lang.Unparse(g))
+	}
+	if g.FindElement("p1") == -1 || g.FindElement("d1") == -1 {
+		t.Error("live branch removed")
+	}
+	if errs := Check(g, reg); len(errs) > 0 {
+		t.Errorf("undead output has errors: %v\n%s", errs, lang.Unparse(g))
+	}
+}
+
+func TestUndeadKeepsLiveConfig(t *testing.T) {
+	g, _ := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	before := g.NumElements()
+	removed := Undead(g, reg)
+	// None of the IP router's elements are dead code (§6.3).
+	if removed != 0 {
+		t.Errorf("Undead removed %d elements from the IP router (%d -> %d)", removed, before, g.NumElements())
+	}
+}
+
+func TestAlignPassInsertsAligns(t *testing.T) {
+	g, ifs := parseIPRouter(t, 2)
+	reg := elements.NewRegistry()
+	res, err := AlignPass(g, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Devices deliver Ethernet frames word-aligned, so after Strip(14)
+	// the IP header is off by two: one Align per interface input path.
+	if res.Inserted != 2 {
+		t.Errorf("inserted %d Aligns, want 2\n%s", res.Inserted, lang.Unparse(g))
+	}
+	if g.FindElement("AlignmentInfo@@") == -1 {
+		t.Error("no AlignmentInfo element added")
+	}
+	if errs := Check(g, reg); len(errs) > 0 {
+		t.Fatalf("aligned config has errors: %v", errs)
+	}
+	// Re-running is a no-op: the inserted Aligns satisfy everything.
+	res2, err := AlignPass(g, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Inserted != 0 {
+		t.Errorf("second pass inserted %d more Aligns", res2.Inserted)
+	}
+
+	// Behaviour preserved, and packets at CheckIPHeader's position are
+	// word-aligned at runtime.
+	r := buildRig(t, g, reg, 2)
+	warmARP(r.rt, ifs)
+	r.inject("eth0", testPacket(ifs))
+	if len(r.devs["eth1"].tx) != 1 {
+		t.Fatalf("aligned router forwarded %d packets", len(r.devs["eth1"].tx))
+	}
+}
+
+func TestAlignRemovesRedundant(t *testing.T) {
+	g, err := lang.ParseRouter(`
+i :: InfiniteSource -> a1 :: Align(4, 0) -> a2 :: Align(4, 0) -> d :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AlignPass(g, elements.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed < 1 {
+		t.Errorf("removed %d redundant Aligns, want >= 1\n%s", res.Removed, lang.Unparse(g))
+	}
+}
+
+func TestAlignmentLattice(t *testing.T) {
+	a42 := Alignment{4, 2}
+	a40 := Alignment{4, 0}
+	a20 := Alignment{2, 0}
+	if got := a42.Shift(14); got != a40 {
+		t.Errorf("shift(4/2, 14) = %v", got)
+	}
+	if got := a40.Shift(-14); got != a42 {
+		t.Errorf("shift(4/0, -14) = %v", got)
+	}
+	if got := a40.Join(a42); got != a20 {
+		t.Errorf("join(4/0, 4/2) = %v, want 2/0", got)
+	}
+	if got := a40.Join(Unreached); got != a40 {
+		t.Errorf("join with unreached = %v", got)
+	}
+	if !a40.Satisfies(a20) {
+		t.Error("4/0 should satisfy 2/0")
+	}
+	if a20.Satisfies(a40) {
+		t.Error("2/0 should not satisfy 4/0")
+	}
+	if !(Alignment{8, 4}).Satisfies(a40) {
+		t.Error("8/4 should satisfy 4/0")
+	}
+	if got := (Alignment{8, 1}).Join(Alignment{8, 5}); got != (Alignment{4, 1}) {
+		t.Errorf("join(8/1, 8/5) = %v, want 4/1", got)
+	}
+}
+
+func TestMinDriver(t *testing.T) {
+	g, _ := parseIPRouter(t, 2)
+	classes, src, err := MinDriver(g, elements.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ARPQuerier", "CheckIPHeader", "Classifier", "LookupIPRoute", "PollDevice", "Queue", "ToDevice"}
+	for _, w := range want {
+		found := false
+		for _, c := range classes {
+			if c == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("MinDriver missing %s (got %v)", w, classes)
+		}
+	}
+	if !strings.Contains(src, "package mindriver") {
+		t.Error("generated source malformed")
+	}
+}
+
+func TestPretty(t *testing.T) {
+	g, _ := parseIPRouter(t, 2)
+	htmlOut := Pretty(g, "IP Router")
+	for _, want := range []string{"<html>", "IP Router", "LookupIPRoute", "rt", "&rarr;"} {
+		if !strings.Contains(htmlOut, want) {
+			t.Errorf("pretty output missing %q", want)
+		}
+	}
+	// Configs with special characters must be escaped.
+	g2 := graph.New()
+	g2.MustAddElement("x", "Classifier", "12/0800 <script>", "t")
+	out := Pretty(g2, "t")
+	if strings.Contains(out, "<script>") {
+		t.Error("unescaped HTML in pretty output")
+	}
+}
+
+func TestUndeadSplicesNull(t *testing.T) {
+	g, err := lang.ParseRouter(`
+i :: InfiniteSource -> n :: Null -> c :: Counter -> d :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := elements.NewRegistry()
+	Undead(g, reg)
+	if g.FindElement("n") != -1 {
+		t.Error("Null survived undead")
+	}
+	src, ctr := g.FindElement("i"), g.FindElement("c")
+	found := false
+	for _, c := range g.OutputConns(src, 0) {
+		if c.To == ctr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("splice lost the connection:\n%s", lang.Unparse(g))
+	}
+	if errs := Check(g, reg); len(errs) > 0 {
+		t.Errorf("spliced config invalid: %v", errs)
+	}
+}
+
+func TestXformDeterministic(t *testing.T) {
+	pairs, err := ParsePatterns(iprouter.ComboPatterns, "combo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref string
+	for trial := 0; trial < 5; trial++ {
+		g, _ := parseIPRouter(t, 4)
+		Xform(g, pairs)
+		g.SortConns()
+		text := lang.Unparse(g)
+		if trial == 0 {
+			ref = text
+			continue
+		}
+		if text != ref {
+			t.Fatal("Xform output differs between runs on identical input")
+		}
+	}
+}
+
+func TestXformInternalFanoutPattern(t *testing.T) {
+	// A pattern with an internal branching element: Tee feeding two
+	// Counters, replaced by one Counter (contrived, but exercises the
+	// matcher on non-chain shapes).
+	src := `
+elementclass P {
+	input -> t :: Tee;
+	t [0] -> a :: Counter -> output;
+	t [1] -> b :: Counter -> [1] output;
+}
+elementclass P_Replacement {
+	input -> t :: Tee;
+	t [0] -> c :: Counter -> output;
+	t [1] -> [1] output;
+}
+`
+	pairs, err := ParsePatterns(src, "fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lang.ParseRouter(`
+i :: InfiniteSource -> t :: Tee;
+t [0] -> x :: Counter -> d0 :: Discard;
+t [1] -> y :: Counter -> d1 :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Xform(g, pairs); n != 1 {
+		t.Fatalf("applied %d, want 1\n%s", n, lang.Unparse(g))
+	}
+	// One Counter remains, wired from the Tee to d0; d1 fed by Tee[1].
+	counters := 0
+	for _, i := range g.LiveIndices() {
+		if g.Element(i).Class == "Counter" {
+			counters++
+		}
+	}
+	if counters != 1 {
+		t.Errorf("%d Counters after replacement, want 1:\n%s", counters, lang.Unparse(g))
+	}
+	if errs := Check(g, elements.NewRegistry()); len(errs) > 0 {
+		t.Errorf("result invalid: %v", errs)
+	}
+}
+
+func TestXformNoFalsePositiveOnPortMismatch(t *testing.T) {
+	// Pattern matches a[1]->b; config connects a[0]->b: no match.
+	src := `
+elementclass P {
+	input -> a :: Tee;
+	a [1] -> b :: Counter -> output;
+	a [0] -> [1] output;
+}
+elementclass P_Replacement {
+	input -> a :: Tee;
+	a [1] -> c :: Null -> output;
+	a [0] -> [1] output;
+}
+`
+	pairs, err := ParsePatterns(src, "ports")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := lang.ParseRouter(`
+i :: InfiniteSource -> a :: Tee;
+a [0] -> b :: Counter -> d0 :: Discard;
+a [1] -> d1 :: Discard;
+`, "t")
+	if n := Xform(g, pairs); n != 0 {
+		t.Errorf("port-mismatched pattern applied %d times", n)
+	}
+}
+
+func TestXformScalesToThousandsOfElements(t *testing.T) {
+	// §6.2: "click-xform takes about one minute to run several hundred
+	// replacements on a router graph with thousands of elements". Our
+	// machine budget is tighter: 300 pattern instances (3,3xx elements)
+	// must finish in seconds.
+	if testing.Short() {
+		t.Skip("scalability test")
+	}
+	pairs, err := ParsePatterns(iprouter.ComboPatterns, "combo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	const n = 300
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "s%d :: InfiniteSource -> Paint(%d) -> Strip(14) -> CheckIPHeader(10.0.0.255) -> GetIPAddress(16) -> dt%d :: DecIPTTL -> d%d :: Discard;\n",
+			i, i%250+1, i, i)
+	}
+	g, err := lang.ParseRouter(b.String(), "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumElements() < 2000 {
+		t.Fatalf("test graph too small: %d", g.NumElements())
+	}
+	start := time.Now()
+	// Patterns 1+2 apply per chain: 600 replacements.
+	applied := Xform(g, pairs)
+	elapsed := time.Since(start)
+	if applied != 2*n {
+		t.Errorf("applied %d replacements, want %d", applied, 2*n)
+	}
+	t.Logf("%d replacements over %d elements in %v", applied, 7*n, elapsed)
+	if elapsed > 60*time.Second {
+		t.Errorf("xform took %v", elapsed)
+	}
+}
+
+func TestUndeadCompoundStaticSwitch(t *testing.T) {
+	// §6.3's motivating case: a compound element uses StaticSwitch to
+	// select one of several paths from a configuration argument; the
+	// untaken path is dead code only click-undead can remove.
+	src := `
+elementclass MaybeCount {
+	$which |
+	input -> sw :: StaticSwitch($which);
+	sw [0] -> output;
+	sw [1] -> c :: Counter -> output;
+}
+src :: InfiniteSource -> m :: MaybeCount(0) -> d :: Discard;
+`
+	g, err := lang.ParseRouter(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := elements.NewRegistry()
+	removed := Undead(g, reg)
+	if removed == 0 {
+		t.Fatal("nothing removed")
+	}
+	if g.FindElement("m/c") != -1 {
+		t.Errorf("dead Counter survived:\n%s", lang.Unparse(g))
+	}
+	if g.FindElement("m/sw") != -1 {
+		t.Error("StaticSwitch survived")
+	}
+	// The live path src -> d still exists.
+	si, di := g.FindElement("src"), g.FindElement("d")
+	ok := false
+	for _, c := range g.OutputConns(si, 0) {
+		if c.To == di {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("live path broken:\n%s", lang.Unparse(g))
+	}
+	if errs := Check(g, reg); len(errs) > 0 {
+		t.Errorf("result invalid: %v", errs)
+	}
+}
+
+func TestUndeadLeavesRuntimeSwitchAlone(t *testing.T) {
+	// StaticSwitch is compile-time constant and gets spliced; Switch is
+	// runtime-mutable (its port has a write handler) and must survive
+	// click-undead.
+	g, err := lang.ParseRouter(`
+i :: InfiniteSource -> sw :: Switch(0);
+sw [0] -> d0 :: Discard;
+sw [1] -> d1 :: Discard;
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Undead(g, elements.NewRegistry())
+	if g.FindElement("sw") < 0 {
+		t.Error("runtime Switch was removed")
+	}
+	if g.FindElement("d1") < 0 {
+		t.Error("runtime-selectable branch was removed")
+	}
+}
+
+func TestFullChainOn32InterfaceRouter(t *testing.T) {
+	// Stress: the complete optimizer chain over a 32-interface router
+	// (673 elements) must stay correct and fast.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	ifs := iprouter.Interfaces(32)
+	g, err := lang.ParseRouter(iprouter.Config(ifs), "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := elements.NewRegistry()
+	start := time.Now()
+	pairs, err := ParsePatterns(iprouter.ComboPatterns, "combo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Xform(g, pairs); n != 96 { // 3 per interface
+		t.Errorf("xform applied %d, want 96", n)
+	}
+	if err := FastClassifier(g, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Devirtualize(g, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("full chain over %d elements in %v", g.NumElements(), elapsed)
+	if errs := CheckInstantiable(g, reg); len(errs) > 0 {
+		t.Fatalf("optimized 32-interface router invalid: %v", errs[0])
+	}
+	// All 32 classifiers share one generated class (identical trees),
+	// and analogous elements share devirtualized classes: the class
+	// count must stay far below the element count.
+	classes := map[string]bool{}
+	for _, i := range g.LiveIndices() {
+		classes[g.Element(i).Class] = true
+	}
+	if len(classes) > 25 {
+		t.Errorf("%d distinct classes; sharing failed", len(classes))
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("chain took %v", elapsed)
+	}
+}
+
+func TestPacketsForRouterReachHost(t *testing.T) {
+	// Figure 1's "to Linux" arrow: packets addressed to the router's
+	// own interface address are delivered to ToHost, not forwarded.
+	g, ifs := parseIPRouter(t, 2)
+	r := buildRig(t, g, elements.NewRegistry(), 2)
+	warmARP(r.rt, ifs)
+	p := packet.BuildUDP4(ifs[0].HostEth, ifs[0].Ether,
+		ifs[0].HostAddr, ifs[0].Addr, 1234, 7, make([]byte, 14))
+	r.inject("eth0", p)
+	th := r.rt.Find("th").(*elements.ToHost)
+	if th.Count != 1 {
+		t.Errorf("ToHost received %d packets, want 1", th.Count)
+	}
+	if len(r.devs["eth1"].tx)+len(r.devs["eth0"].tx) != 0 {
+		t.Error("router-addressed packet was transmitted")
+	}
+}

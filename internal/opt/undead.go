@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Undead performs dead-code elimination on a configuration (§6.3):
+//
+//   - StaticSwitch elements route every packet to one fixed branch, so
+//     the switch is spliced out and the untaken branches lose their
+//     packet source;
+//   - connections through Idle carry no packets and are severed;
+//   - elements that can no longer receive packets from any source, or
+//     whose packets can never reach a sink, are removed;
+//   - ports left dangling by removals are capped with Idle so the
+//     result still passes click-check.
+//
+// It reports the number of elements removed. Dead code mostly arises
+// from compound element abstractions, where a configuration argument
+// selects one of several StaticSwitch branches.
+func Undead(g *graph.Router, reg *core.Registry) int {
+	removed := 0
+
+	// Pass 1: splice StaticSwitches and sever Idle connections.
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		switch e.Class {
+		case "StaticSwitch":
+			port := staticSwitchPort(e.Config)
+			ins := g.ConnsTo(i)
+			outs := g.OutputConns(i, port)
+			g.RemoveElement(i)
+			removed++
+			for _, ic := range ins {
+				for _, oc := range outs {
+					g.Connect(ic.From, ic.FromPort, oc.To, oc.ToPort)
+				}
+			}
+		case "Idle":
+			// Idle neither forwards nor produces: its connections are
+			// dead. Remove the element; caps are re-added at the end
+			// where still needed.
+			g.RemoveElement(i)
+			removed++
+		case "Null":
+			// Null forwards unchanged; splice it out.
+			g.RemoveAndSplice(i)
+			removed++
+		}
+	}
+
+	// Pass 2: iteratively remove elements that cannot carry packets.
+	// A source can originate packets (no inputs required, at least one
+	// output); a sink can consume them (no outputs required).
+	for {
+		changed := false
+		for _, i := range g.LiveIndices() {
+			e := g.Element(i)
+			nin, nout, ok := reg.PortCounts(e.Class, e.Config)
+			if !ok {
+				continue
+			}
+			isSource := nin.Min == 0 && g.NOutputs(i) > 0
+			isSink := nout.Min == 0
+			isInfo := nin.Min == 0 && nout.Min == 0 && nin.Max == 0 && nout.Max == 0
+			if isInfo {
+				continue // AlignmentInfo, ScheduleInfo
+			}
+			if !isSource && len(g.ConnsTo(i)) == 0 {
+				g.RemoveElement(i)
+				removed++
+				changed = true
+				continue
+			}
+			if !isSink && len(g.ConnsFrom(i)) == 0 {
+				g.RemoveElement(i)
+				removed++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	capDangling(g)
+	return removed
+}
+
+// staticSwitchPort parses a StaticSwitch config (-1 on bad input, which
+// drops everything — matching the element's runtime behaviour).
+func staticSwitchPort(config string) int {
+	n := 0
+	neg := false
+	for i := 0; i < len(config); i++ {
+		c := config[i]
+		switch {
+		case c == '-' && i == 0:
+			neg = true
+		case c >= '0' && c <= '9':
+			n = n*10 + int(c-'0')
+		case c == ' ' || c == '\t':
+		default:
+			return -1
+		}
+	}
+	if neg {
+		return -1
+	}
+	return n
+}
+
+// capDangling connects every used-but-now-unconnected port to a fresh
+// Idle element so the pruned configuration still validates. Ports are
+// "used" when the element's specification requires them.
+func capDangling(g *graph.Router) {
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if e.Class == "Idle" {
+			continue
+		}
+		// Cap output port gaps: ports below the max used port with no
+		// connection.
+		nout := g.NOutputs(i)
+		for p := 0; p < nout; p++ {
+			if len(g.OutputConns(i, p)) == 0 {
+				idle := g.MustAddElement("", "Idle", "", "click-undead")
+				g.Connect(i, p, idle, 0)
+			}
+		}
+		nin := g.NInputs(i)
+		for p := 0; p < nin; p++ {
+			if len(g.InputConns(i, p)) == 0 {
+				idle := g.MustAddElement("", "Idle", "", "click-undead")
+				g.Connect(idle, 0, i, p)
+			}
+		}
+	}
+}

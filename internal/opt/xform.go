@@ -1,0 +1,507 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/lang"
+)
+
+// Xform is the pattern-replacement engine of click-xform (§6.2): it
+// searches a configuration for occurrences of pattern subgraphs and
+// replaces each with the corresponding replacement subgraph, repeating
+// until no pattern matches. Patterns and replacements are written as
+// compound element classes; a class named N pairs with the class named
+// N_Replacement. Configuration arguments beginning with '$' are
+// wildcards that bind the matched element's argument and may be used in
+// replacement configurations.
+//
+// A pattern matches a subset of the configuration graph when the subset
+// contains corresponding elements connected the same way, and
+// connections into or out of the subset occur only at the places the
+// pattern's input/output pseudoelements allow.
+//
+// Matching is subgraph isomorphism — NP-complete in general; like the
+// tool, we implement Ullman's algorithm (refinement plus backtracking),
+// which works well for the patterns and configurations seen in
+// practice.
+
+// PatternPair is one compiled pattern-replacement rule.
+type PatternPair struct {
+	Name        string
+	Pattern     *graph.Router // with materialized input/output pseudoelements
+	Replacement *graph.Router
+}
+
+// ParsePatterns compiles a pattern file: every elementclass N with a
+// companion N_Replacement forms a pair, in source order.
+func ParsePatterns(src, file string) ([]*PatternPair, error) {
+	f, err := lang.Parse(src, file)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	var order []string
+	for _, st := range f.Stmts {
+		if cd, ok := st.(*lang.ClassDefStmt); ok {
+			names[cd.Name] = true
+			order = append(order, cd.Name)
+		}
+	}
+	var pairs []*PatternPair
+	for _, n := range order {
+		if strings.HasSuffix(n, "_Replacement") {
+			continue
+		}
+		if !names[n+"_Replacement"] {
+			continue
+		}
+		pat, err := lang.ElaborateClassBody(src, n, file)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := lang.ElaborateClassBody(src, n+"_Replacement", file)
+		if err != nil {
+			return nil, err
+		}
+		if err := validatePattern(pat, n); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, &PatternPair{Name: n, Pattern: pat, Replacement: rep})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%s: no pattern/replacement pairs found", file)
+	}
+	return pairs, nil
+}
+
+func isPseudo(e *graph.Element) bool {
+	return e.Class == lang.InputPseudoClass || e.Class == lang.OutputPseudoClass
+}
+
+func validatePattern(pat *graph.Router, name string) error {
+	real := 0
+	for _, i := range pat.LiveIndices() {
+		if !isPseudo(pat.Element(i)) {
+			real++
+		}
+	}
+	if real == 0 {
+		return fmt.Errorf("pattern %q has no concrete elements", name)
+	}
+	return nil
+}
+
+// bindings maps wildcard names ("$x") to matched argument text.
+type bindings map[string]string
+
+// matchConfig matches a pattern element's configuration against a graph
+// element's, binding wildcards. Arguments must agree in count; a
+// pattern argument "$name" binds (consistently across the whole match),
+// anything else must match exactly after whitespace trimming.
+func matchConfig(patCfg, gotCfg string, b bindings) (bindings, bool) {
+	pargs := lang.SplitConfig(patCfg)
+	gargs := lang.SplitConfig(gotCfg)
+	if len(pargs) != len(gargs) {
+		return nil, false
+	}
+	for i := range pargs {
+		pa, ga := strings.TrimSpace(pargs[i]), strings.TrimSpace(gargs[i])
+		if strings.HasPrefix(pa, "$") && !strings.ContainsAny(pa, " \t") {
+			if prev, ok := b[pa]; ok {
+				if prev != ga {
+					return nil, false
+				}
+				continue
+			}
+			nb := bindings{}
+			for k, v := range b {
+				nb[k] = v
+			}
+			nb[pa] = ga
+			b = nb
+			continue
+		}
+		if pa != ga {
+			return nil, false
+		}
+	}
+	return b, true
+}
+
+// substBindings replaces bound wildcards in a replacement config.
+func substBindings(cfg string, b bindings) string {
+	args := lang.SplitConfig(cfg)
+	for i, a := range args {
+		a = strings.TrimSpace(a)
+		if v, ok := b[a]; ok {
+			args[i] = v
+		}
+	}
+	return lang.JoinConfig(args)
+}
+
+// match is one found occurrence.
+type match struct {
+	pair *PatternPair
+	// m maps pattern element index -> graph element index (concrete
+	// elements only).
+	m map[int]int
+	b bindings
+}
+
+// findMatch searches g for an occurrence of the pattern, excluding
+// graph elements in the tabu set (elements created by replacements are
+// never re-matched by the same pair to guarantee termination).
+func findMatch(g *graph.Router, pair *PatternPair, tabu map[string]bool) *match {
+	pat := pair.Pattern
+	var pelems []int
+	for _, i := range pat.LiveIndices() {
+		if !isPseudo(pat.Element(i)) {
+			pelems = append(pelems, i)
+		}
+	}
+
+	// Ullman candidate sets: class equality and config compatibility.
+	cands := make([][]int, len(pelems))
+	for pi, p := range pelems {
+		pe := pat.Element(p)
+		for _, gidx := range g.LiveIndices() {
+			ge := g.Element(gidx)
+			if ge.Class != pe.Class || tabu[pair.Name+"\x00"+ge.Name] {
+				continue
+			}
+			if _, ok := matchConfig(pe.Config, ge.Config, bindings{}); !ok {
+				continue
+			}
+			cands[pi] = append(cands[pi], gidx)
+		}
+		if len(cands[pi]) == 0 {
+			return nil
+		}
+	}
+
+	// Ullman refinement: a candidate g for pattern element p must have,
+	// for every pattern edge p->p' (or p'<-p), a graph edge to some
+	// candidate of p'. Iterate to fixpoint.
+	patIdx := map[int]int{}
+	for pi, p := range pelems {
+		patIdx[p] = pi
+	}
+	inCand := make([]map[int]bool, len(pelems))
+	rebuild := func() {
+		for pi := range cands {
+			inCand[pi] = map[int]bool{}
+			for _, c := range cands[pi] {
+				inCand[pi][c] = true
+			}
+		}
+	}
+	rebuild()
+	for changed := true; changed; {
+		changed = false
+		for pi, p := range pelems {
+			kept := cands[pi][:0]
+		cand:
+			for _, gc := range cands[pi] {
+				for _, pc := range pat.ConnsFrom(p) {
+					ti, ok := patIdx[pc.To]
+					if !ok {
+						continue // edge to pseudo
+					}
+					found := false
+					for _, gcc := range g.OutputConns(gc, pc.FromPort) {
+						if gcc.ToPort == pc.ToPort && inCand[ti][gcc.To] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						continue cand
+					}
+				}
+				for _, pc := range pat.ConnsTo(p) {
+					fi, ok := patIdx[pc.From]
+					if !ok {
+						continue
+					}
+					found := false
+					for _, gcc := range g.InputConns(gc, pc.ToPort) {
+						if gcc.FromPort == pc.FromPort && inCand[fi][gcc.From] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						continue cand
+					}
+				}
+				kept = append(kept, gc)
+			}
+			if len(kept) != len(cands[pi]) {
+				cands[pi] = kept
+				changed = true
+				if len(kept) == 0 {
+					return nil
+				}
+			}
+		}
+		if changed {
+			rebuild()
+		}
+	}
+
+	// Backtracking search over refined candidates.
+	assign := map[int]int{} // pattern elem -> graph elem
+	used := map[int]bool{}  // graph elems already assigned
+	var try func(k int, b bindings) *match
+	try = func(k int, b bindings) *match {
+		if k == len(pelems) {
+			if mm := verifyMatch(g, pair, pelems, assign, b); mm != nil {
+				return mm
+			}
+			return nil
+		}
+		p := pelems[k]
+		pe := pat.Element(p)
+		for _, gc := range cands[k] {
+			if used[gc] {
+				continue
+			}
+			nb, ok := matchConfig(pe.Config, g.Element(gc).Config, b)
+			if !ok {
+				continue
+			}
+			assign[p] = gc
+			used[gc] = true
+			if mm := try(k+1, nb); mm != nil {
+				return mm
+			}
+			delete(assign, p)
+			delete(used, gc)
+		}
+		return nil
+	}
+	return try(0, bindings{})
+}
+
+// verifyMatch checks the full structural conditions for an assignment:
+// every pattern-internal connection exists in the graph, and every
+// graph connection incident to a matched element is licensed — either
+// it corresponds to a pattern-internal connection, or the pattern
+// routes that port to an input/output pseudoelement.
+func verifyMatch(g *graph.Router, pair *PatternPair, pelems []int, assign map[int]int, b bindings) *match {
+	pat := pair.Pattern
+	inSet := map[int]bool{}
+	for _, p := range pelems {
+		inSet[assign[p]] = true
+	}
+
+	// Pattern-internal edges must exist (refinement checked per-edge
+	// reachability into candidate sets, not the final assignment).
+	patConnSet := map[graph.Connection]bool{}
+	borderIn := map[[2]int]bool{}  // (graph elem, port) allowed external input
+	borderOut := map[[2]int]bool{} // (graph elem, port) allowed external output
+	for _, pc := range pat.Conns {
+		fromPseudo := isPseudo(pat.Element(pc.From))
+		toPseudo := isPseudo(pat.Element(pc.To))
+		switch {
+		case fromPseudo && toPseudo:
+			return nil // degenerate pattern
+		case fromPseudo:
+			borderIn[[2]int{assign[pc.To], pc.ToPort}] = true
+		case toPseudo:
+			borderOut[[2]int{assign[pc.From], pc.FromPort}] = true
+		default:
+			gc := graph.Connection{From: assign[pc.From], FromPort: pc.FromPort, To: assign[pc.To], ToPort: pc.ToPort}
+			patConnSet[gc] = true
+			found := false
+			for _, c := range g.Conns {
+				if c == gc {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil
+			}
+		}
+	}
+
+	// License check for all graph connections touching the set.
+	for _, c := range g.Conns {
+		fromIn, toIn := inSet[c.From], inSet[c.To]
+		if !fromIn && !toIn {
+			continue
+		}
+		if fromIn && toIn {
+			if patConnSet[c] {
+				continue
+			}
+			// An internal connection the pattern doesn't mention is
+			// allowed only if the pattern exposes both endpoints as
+			// border ports (it then survives as an external path).
+			if borderOut[[2]int{c.From, c.FromPort}] && borderIn[[2]int{c.To, c.ToPort}] {
+				continue
+			}
+			return nil
+		}
+		if fromIn && !borderOut[[2]int{c.From, c.FromPort}] {
+			return nil
+		}
+		if toIn && !borderIn[[2]int{c.To, c.ToPort}] {
+			return nil
+		}
+	}
+	m := &match{pair: pair, m: map[int]int{}, b: b}
+	for _, p := range pelems {
+		m.m[p] = assign[p]
+	}
+	return m
+}
+
+// applyMatch splices the replacement into g, returning the names of the
+// created elements. A replacement element that shares its name with a
+// pattern element inherits the matched graph element's name (and thus
+// its identity for later tools — the ARP-elimination patterns use this
+// to keep RouterLinks addressable by click-uncombine).
+func applyMatch(g *graph.Router, mm *match) []string {
+	pat, rep := mm.pair.Pattern, mm.pair.Replacement
+
+	// Pattern element name -> matched graph element name, for name
+	// inheritance.
+	patNameOf := map[string]string{}
+	for p, gi := range mm.m {
+		patNameOf[pat.Element(p).Name] = g.Element(gi).Name
+	}
+
+	// Border ports of the pattern, mapped onto matched graph elements.
+	patBorderIn := map[[2]int]int{}  // (graph elem, port) -> pseudo input port
+	patBorderOut := map[[2]int]int{} // (graph elem, port) -> pseudo output port
+	for _, pc := range pat.Conns {
+		if isPseudo(pat.Element(pc.From)) {
+			patBorderIn[[2]int{mm.m[pc.To], pc.ToPort}] = pc.FromPort
+		}
+		if isPseudo(pat.Element(pc.To)) {
+			patBorderOut[[2]int{mm.m[pc.From], pc.FromPort}] = pc.ToPort
+		}
+	}
+
+	inSet := map[int]bool{}
+	for _, gi := range mm.m {
+		inSet[gi] = true
+	}
+
+	// Snapshot external attachment points before removing anything.
+	type attach struct {
+		elem, port int // external endpoint
+		pseudoPort int // pattern border port
+	}
+	var extIn, extOut []attach // external conns into/out of the set
+	type bridge struct{ outPort, inPort int }
+	var bridges []bridge // set-internal conns licensed as external paths
+	for _, c := range g.Conns {
+		fromIn, toIn := inSet[c.From], inSet[c.To]
+		switch {
+		case fromIn && toIn:
+			op, okO := patBorderOut[[2]int{c.From, c.FromPort}]
+			ip, okI := patBorderIn[[2]int{c.To, c.ToPort}]
+			if okO && okI {
+				bridges = append(bridges, bridge{op, ip})
+			}
+		case toIn:
+			if ip, ok := patBorderIn[[2]int{c.To, c.ToPort}]; ok {
+				extIn = append(extIn, attach{c.From, c.FromPort, ip})
+			}
+		case fromIn:
+			if op, ok := patBorderOut[[2]int{c.From, c.FromPort}]; ok {
+				extOut = append(extOut, attach{c.To, c.ToPort, op})
+			}
+		}
+	}
+
+	// Remove the matched elements first so inherited names are free.
+	for gi := range inSet {
+		g.RemoveElement(gi)
+	}
+
+	// Instantiate the replacement.
+	type end struct{ elem, port int }
+	repInputs := map[int][]end{}
+	repOutputs := map[int][]end{}
+	created := map[int]int{}
+	var createdNames []string
+	for _, ri := range rep.LiveIndices() {
+		re := rep.Element(ri)
+		if isPseudo(re) {
+			continue
+		}
+		cfg := substBindings(re.Config, mm.b)
+		name := ""
+		if inherited, ok := patNameOf[re.Name]; ok {
+			name = inherited
+		}
+		idx := g.MustAddElement(name, re.Class, cfg, "click-xform:"+mm.pair.Name)
+		created[ri] = idx
+		createdNames = append(createdNames, g.Element(idx).Name)
+	}
+	for _, rc := range rep.Conns {
+		fromPseudo := isPseudo(rep.Element(rc.From))
+		toPseudo := isPseudo(rep.Element(rc.To))
+		switch {
+		case fromPseudo:
+			repInputs[rc.FromPort] = append(repInputs[rc.FromPort], end{created[rc.To], rc.ToPort})
+		case toPseudo:
+			repOutputs[rc.ToPort] = append(repOutputs[rc.ToPort], end{created[rc.From], rc.FromPort})
+		default:
+			g.Connect(created[rc.From], rc.FromPort, created[rc.To], rc.ToPort)
+		}
+	}
+
+	// Reattach the outside world through the replacement's border.
+	for _, a := range extIn {
+		for _, t := range repInputs[a.pseudoPort] {
+			g.Connect(a.elem, a.port, t.elem, t.port)
+		}
+	}
+	for _, a := range extOut {
+		for _, s := range repOutputs[a.pseudoPort] {
+			g.Connect(s.elem, s.port, a.elem, a.port)
+		}
+	}
+	for _, br := range bridges {
+		for _, s := range repOutputs[br.outPort] {
+			for _, t := range repInputs[br.inPort] {
+				g.Connect(s.elem, s.port, t.elem, t.port)
+			}
+		}
+	}
+	return createdNames
+}
+
+// Xform applies pattern pairs to the configuration until none matches,
+// returning the number of replacements performed. Elements created by a
+// pair are excluded from re-matching by that same pair, which, with the
+// fixpoint bound, guarantees termination.
+func Xform(g *graph.Router, pairs []*PatternPair) int {
+	applied := 0
+	tabu := map[string]bool{}
+	const maxApplications = 10000
+	for applied < maxApplications {
+		var mm *match
+		for _, pair := range pairs {
+			if mm = findMatch(g, pair, tabu); mm != nil {
+				break
+			}
+		}
+		if mm == nil {
+			break
+		}
+		for _, name := range applyMatch(g, mm) {
+			tabu[mm.pair.Name+"\x00"+name] = true
+		}
+		applied++
+	}
+	return applied
+}

@@ -1,0 +1,320 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol numbers and EtherTypes used by the element library.
+const (
+	EtherTypeIP  = 0x0800
+	EtherTypeARP = 0x0806
+
+	IPProtoICMP = 1
+	IPProtoTCP  = 6
+	IPProtoUDP  = 17
+
+	ARPOpRequest = 1
+	ARPOpReply   = 2
+
+	EtherHeaderLen = 14
+	ARPHeaderLen   = 28
+	IPHeaderMinLen = 20
+	UDPHeaderLen   = 8
+	ICMPHeaderLen  = 8
+)
+
+// ICMP types and codes used by ICMPError.
+const (
+	ICMPEchoReply      = 0
+	ICMPUnreachable    = 3
+	ICMPRedirect       = 5
+	ICMPEchoRequest    = 8
+	ICMPTimeExceeded   = 11
+	ICMPParameterProb  = 12
+	ICMPCodeHost       = 1
+	ICMPCodeFragNeeded = 4
+	ICMPCodeTTLExpired = 0
+)
+
+// Ether is an accessor over a 14-byte Ethernet header.
+type Ether []byte
+
+// EtherHeader returns the Ethernet header view if the packet starts with
+// one.
+func (p *Packet) EtherHeader() (Ether, bool) {
+	if p.Len() < EtherHeaderLen {
+		return nil, false
+	}
+	return Ether(p.Data()[:EtherHeaderLen]), true
+}
+
+// Dst returns the destination MAC address.
+func (h Ether) Dst() EtherAddr { var a EtherAddr; copy(a[:], h[0:6]); return a }
+
+// Src returns the source MAC address.
+func (h Ether) Src() EtherAddr { var a EtherAddr; copy(a[:], h[6:12]); return a }
+
+// Type returns the EtherType.
+func (h Ether) Type() uint16 { return binary.BigEndian.Uint16(h[12:14]) }
+
+// SetDst sets the destination MAC address.
+func (h Ether) SetDst(a EtherAddr) { copy(h[0:6], a[:]) }
+
+// SetSrc sets the source MAC address.
+func (h Ether) SetSrc(a EtherAddr) { copy(h[6:12], a[:]) }
+
+// SetType sets the EtherType.
+func (h Ether) SetType(t uint16) { binary.BigEndian.PutUint16(h[12:14], t) }
+
+// ARP is an accessor over a 28-byte Ethernet/IPv4 ARP message.
+type ARP []byte
+
+// ARPHeader returns the ARP view of the packet data (which must begin
+// with the ARP message, i.e. after the Ethernet header is stripped, or
+// at offset 14 if offset14 is true).
+func (p *Packet) ARPHeader(offset14 bool) (ARP, bool) {
+	off := 0
+	if offset14 {
+		off = EtherHeaderLen
+	}
+	if p.Len() < off+ARPHeaderLen {
+		return nil, false
+	}
+	return ARP(p.Data()[off : off+ARPHeaderLen]), true
+}
+
+// Op returns the ARP opcode.
+func (h ARP) Op() uint16 { return binary.BigEndian.Uint16(h[6:8]) }
+
+// SetOp sets the ARP opcode.
+func (h ARP) SetOp(op uint16) { binary.BigEndian.PutUint16(h[6:8], op) }
+
+// SenderEther returns the sender hardware address.
+func (h ARP) SenderEther() EtherAddr { var a EtherAddr; copy(a[:], h[8:14]); return a }
+
+// SenderIP returns the sender protocol address.
+func (h ARP) SenderIP() IP4 { var ip IP4; copy(ip[:], h[14:18]); return ip }
+
+// TargetEther returns the target hardware address.
+func (h ARP) TargetEther() EtherAddr { var a EtherAddr; copy(a[:], h[18:24]); return a }
+
+// TargetIP returns the target protocol address.
+func (h ARP) TargetIP() IP4 { var ip IP4; copy(ip[:], h[24:28]); return ip }
+
+// SetSenderEther sets the sender hardware address.
+func (h ARP) SetSenderEther(a EtherAddr) { copy(h[8:14], a[:]) }
+
+// SetSenderIP sets the sender protocol address.
+func (h ARP) SetSenderIP(ip IP4) { copy(h[14:18], ip[:]) }
+
+// SetTargetEther sets the target hardware address.
+func (h ARP) SetTargetEther(a EtherAddr) { copy(h[18:24], a[:]) }
+
+// SetTargetIP sets the target protocol address.
+func (h ARP) SetTargetIP(ip IP4) { copy(h[24:28], ip[:]) }
+
+// InitARP fills the fixed hardware/protocol type fields for an
+// Ethernet/IPv4 ARP message.
+func (h ARP) InitARP() {
+	binary.BigEndian.PutUint16(h[0:2], 1) // hardware type: Ethernet
+	binary.BigEndian.PutUint16(h[2:4], EtherTypeIP)
+	h[4] = 6 // hardware address length
+	h[5] = 4 // protocol address length
+}
+
+// IP4Header is an accessor over an IPv4 header.
+type IP4Header []byte
+
+// IPHeader returns the IP header view based on the packet's network
+// offset annotation (or offset 0 if unset).
+func (p *Packet) IPHeader() (IP4Header, bool) {
+	off := p.Anno.NetworkOffset
+	if off < 0 {
+		off = 0
+	}
+	d := p.Data()
+	if len(d) < off+IPHeaderMinLen {
+		return nil, false
+	}
+	h := IP4Header(d[off:])
+	hl := h.HeaderLen()
+	if hl < IPHeaderMinLen || len(d) < off+hl {
+		return nil, false
+	}
+	return h, true
+}
+
+// Version returns the IP version field.
+func (h IP4Header) Version() int { return int(h[0] >> 4) }
+
+// HeaderLen returns the header length in bytes.
+func (h IP4Header) HeaderLen() int { return int(h[0]&0x0f) * 4 }
+
+// TotalLen returns the datagram's total length field.
+func (h IP4Header) TotalLen() int { return int(binary.BigEndian.Uint16(h[2:4])) }
+
+// ID returns the identification field.
+func (h IP4Header) ID() uint16 { return binary.BigEndian.Uint16(h[4:6]) }
+
+// FragOff returns the fragment offset field including flags.
+func (h IP4Header) FragOff() uint16 { return binary.BigEndian.Uint16(h[6:8]) }
+
+// TTL returns the time-to-live field.
+func (h IP4Header) TTL() int { return int(h[8]) }
+
+// Proto returns the transport protocol number.
+func (h IP4Header) Proto() int { return int(h[9]) }
+
+// Checksum returns the header checksum field.
+func (h IP4Header) Checksum() uint16 { return binary.BigEndian.Uint16(h[10:12]) }
+
+// Src returns the source address.
+func (h IP4Header) Src() IP4 { var ip IP4; copy(ip[:], h[12:16]); return ip }
+
+// Dst returns the destination address.
+func (h IP4Header) Dst() IP4 { var ip IP4; copy(ip[:], h[16:20]); return ip }
+
+// SetVersionIHL sets the version and header length (in bytes).
+func (h IP4Header) SetVersionIHL(version, hdrBytes int) {
+	h[0] = byte(version<<4 | hdrBytes/4)
+}
+
+// SetTotalLen sets the total length field.
+func (h IP4Header) SetTotalLen(n int) { binary.BigEndian.PutUint16(h[2:4], uint16(n)) }
+
+// SetID sets the identification field.
+func (h IP4Header) SetID(v uint16) { binary.BigEndian.PutUint16(h[4:6], v) }
+
+// SetFragOff sets the fragment offset field including flags.
+func (h IP4Header) SetFragOff(v uint16) { binary.BigEndian.PutUint16(h[6:8], v) }
+
+// SetTTL sets the time-to-live field.
+func (h IP4Header) SetTTL(v int) { h[8] = byte(v) }
+
+// SetProto sets the transport protocol number.
+func (h IP4Header) SetProto(v int) { h[9] = byte(v) }
+
+// SetChecksum sets the header checksum field.
+func (h IP4Header) SetChecksum(v uint16) { binary.BigEndian.PutUint16(h[10:12], v) }
+
+// SetSrc sets the source address.
+func (h IP4Header) SetSrc(ip IP4) { copy(h[12:16], ip[:]) }
+
+// SetDst sets the destination address.
+func (h IP4Header) SetDst(ip IP4) { copy(h[16:20], ip[:]) }
+
+// DontFragment reports whether the DF flag is set.
+func (h IP4Header) DontFragment() bool { return h.FragOff()&0x4000 != 0 }
+
+// MoreFragments reports whether the MF flag is set.
+func (h IP4Header) MoreFragments() bool { return h.FragOff()&0x2000 != 0 }
+
+// UpdateChecksum recomputes and stores the header checksum.
+func (h IP4Header) UpdateChecksum() {
+	h.SetChecksum(0)
+	h.SetChecksum(InternetChecksum(h[:h.HeaderLen()]))
+}
+
+// ChecksumOK verifies the stored header checksum.
+func (h IP4Header) ChecksumOK() bool {
+	return InternetChecksum(h[:h.HeaderLen()]) == 0
+}
+
+// DecTTLIncremental decrements the TTL and patches the checksum
+// incrementally per RFC 1141, as Click's DecIPTTL does.
+func (h IP4Header) DecTTLIncremental() {
+	h[8]--
+	// Incremental update: adding 0x0100 to the one's-complement sum.
+	sum := uint32(^binary.BigEndian.Uint16(h[10:12])) + 0xfeff
+	binary.BigEndian.PutUint16(h[10:12], ^uint16(sum+(sum>>16)))
+}
+
+// UDP is an accessor over an 8-byte UDP header.
+type UDP []byte
+
+// UDPHeader returns the UDP header view assuming it directly follows the
+// IP header.
+func (p *Packet) UDPHeader() (UDP, bool) {
+	iph, ok := p.IPHeader()
+	if !ok {
+		return nil, false
+	}
+	hl := iph.HeaderLen()
+	if len(iph) < hl+UDPHeaderLen {
+		return nil, false
+	}
+	return UDP(iph[hl : hl+UDPHeaderLen]), true
+}
+
+// SrcPort returns the source port.
+func (h UDP) SrcPort() uint16 { return binary.BigEndian.Uint16(h[0:2]) }
+
+// DstPort returns the destination port.
+func (h UDP) DstPort() uint16 { return binary.BigEndian.Uint16(h[2:4]) }
+
+// Length returns the UDP length field.
+func (h UDP) Length() int { return int(binary.BigEndian.Uint16(h[4:6])) }
+
+// SetSrcPort sets the source port.
+func (h UDP) SetSrcPort(v uint16) { binary.BigEndian.PutUint16(h[0:2], v) }
+
+// SetDstPort sets the destination port.
+func (h UDP) SetDstPort(v uint16) { binary.BigEndian.PutUint16(h[2:4], v) }
+
+// SetLength sets the UDP length field.
+func (h UDP) SetLength(n int) { binary.BigEndian.PutUint16(h[4:6], uint16(n)) }
+
+// SetChecksum sets the UDP checksum field.
+func (h UDP) SetChecksum(v uint16) { binary.BigEndian.PutUint16(h[6:8], v) }
+
+// InternetChecksum computes the RFC 1071 one's-complement checksum of b.
+func InternetChecksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// BuildUDP4 builds a complete Ethernet+IPv4+UDP packet with the given
+// addresses, ports, and payload. It is the workload generator used by
+// the evaluation: the paper's 64-byte test packets are 14 bytes of
+// Ethernet header, 20 of IP, 8 of UDP, 14 of data, and the 4-byte CRC
+// (the CRC is counted in wire length but not carried in packet data).
+func BuildUDP4(srcE, dstE EtherAddr, src, dst IP4, sport, dport uint16, payload []byte) *Packet {
+	n := EtherHeaderLen + IPHeaderMinLen + UDPHeaderLen + len(payload)
+	p := Make(DefaultHeadroom, n, DefaultTailroom)
+	d := p.Data()
+	eh := Ether(d[:EtherHeaderLen])
+	eh.SetDst(dstE)
+	eh.SetSrc(srcE)
+	eh.SetType(EtherTypeIP)
+	ih := IP4Header(d[EtherHeaderLen:])
+	ih.SetVersionIHL(4, IPHeaderMinLen)
+	ih.SetTotalLen(n - EtherHeaderLen)
+	ih.SetTTL(64)
+	ih.SetProto(IPProtoUDP)
+	ih.SetSrc(src)
+	ih.SetDst(dst)
+	ih.UpdateChecksum()
+	uh := UDP(d[EtherHeaderLen+IPHeaderMinLen:])
+	uh.SetSrcPort(sport)
+	uh.SetDstPort(dport)
+	uh.SetLength(UDPHeaderLen + len(payload))
+	copy(d[EtherHeaderLen+IPHeaderMinLen+UDPHeaderLen:], payload)
+	p.Anno.NetworkOffset = EtherHeaderLen
+	return p
+}
+
+// String summarizes the packet for debugging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("Packet{len=%d headroom=%d paint=%d}", p.Len(), p.Headroom(), p.Anno.Paint)
+}

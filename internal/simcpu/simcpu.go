@@ -1,0 +1,320 @@
+// Package simcpu models the CPU cost of running a Click router, in
+// cycles, on the hardware platforms of the paper's evaluation (§8.1,
+// §8.5). Go cannot observe Pentium III branch misprediction or cache
+// behaviour directly, so the runtime charges this model instead: every
+// inter-element packet transfer charges an indirect-call cost through a
+// simulated branch target buffer (correctly predicted virtual calls take
+// about 7 cycles, mispredicted ones dozens — §3), devirtualized
+// transfers charge a direct-call cost, element work charges per-class
+// costs, and compulsory cache misses charge a main-memory fetch
+// (~112 ns on the 700 MHz platform, §8.2).
+//
+// The model is deterministic, so experiment output is reproducible.
+package simcpu
+
+import "fmt"
+
+// Category classifies charged time, mirroring Figure 8's CPU cost
+// breakdown.
+type Category int
+
+const (
+	// CatRxDevice is receiving-device interaction (DMA ring handling).
+	CatRxDevice Category = iota
+	// CatForward is the Click forwarding path.
+	CatForward
+	// CatTxDevice is transmitting-device interaction.
+	CatTxDevice
+	// CatOther is everything else (task scheduling overhead).
+	CatOther
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatRxDevice:
+		return "receiving device interactions"
+	case CatForward:
+		return "Click forwarding path"
+	case CatTxDevice:
+		return "transmitting device interactions"
+	}
+	return "other"
+}
+
+// Platform describes one evaluation machine. P0 is the paper's primary
+// testbed router host; P1–P3 are the hardware-evolution platforms of
+// §8.5.
+type Platform struct {
+	Name string
+	// MHz is the CPU clock rate.
+	MHz float64
+	// MemFetchNS is a main-memory fetch (cache miss) latency.
+	MemFetchNS float64
+	// PredictedCall is the cycle cost of a correctly predicted
+	// indirect (virtual) call.
+	PredictedCall int64
+	// MispredictPenalty is the additional cost of a mispredicted
+	// indirect call.
+	MispredictPenalty int64
+	// DirectCall is the cycle cost of a conventional (devirtualized)
+	// call.
+	DirectCall int64
+	// BTBEntries is the size of the direct-mapped branch target
+	// buffer.
+	BTBEntries int
+	// PCIBuses is the number of independent PCI buses.
+	PCIBuses int
+	// PCIMBps is the usable bandwidth of each PCI bus in MB/s.
+	PCIMBps float64
+	// PCITransOverheadNS is the fixed per-transaction PCI overhead
+	// (arbitration, address phase).
+	PCITransOverheadNS float64
+}
+
+// CyclesToNS converts a cycle count to nanoseconds on this platform.
+func (pl *Platform) CyclesToNS(cycles int64) float64 {
+	return float64(cycles) * 1e3 / pl.MHz
+}
+
+// NSToCycles converts nanoseconds to (rounded) cycles.
+func (pl *Platform) NSToCycles(ns float64) int64 {
+	return int64(ns*pl.MHz/1e3 + 0.5)
+}
+
+// The evaluation platforms. P0: 700 MHz Pentium III, two 32-bit/33 MHz
+// PCI buses, Tulip NICs. P1: 800 MHz P-III, 32-bit/33 MHz PCI. P2: same
+// CPU, 64-bit/66 MHz PCI. P3: 1.6 GHz Athlon MP, 64-bit/66 MHz PCI.
+// Usable PCI bandwidth is set below the theoretical 133 / 533 MB/s to
+// account for arbitration and descriptor traffic.
+var (
+	P0 = &Platform{
+		Name: "P0", MHz: 700, MemFetchNS: 112,
+		PredictedCall: 7, MispredictPenalty: 40, DirectCall: 2,
+		BTBEntries: 512,
+		// Two 32-bit/33 MHz buses. Usable bandwidth and per-transaction
+		// overhead are calibrated so the bus saturates where Figures 10
+		// and 11 show it: "Simple" caps near 470 kpps while the
+		// unoptimized IP router stays CPU-limited.
+		PCIBuses: 2, PCIMBps: 61, PCITransOverheadNS: 415,
+	}
+	P1 = &Platform{
+		Name: "P1", MHz: 800, MemFetchNS: 110,
+		PredictedCall: 7, MispredictPenalty: 40, DirectCall: 2,
+		BTBEntries: 512,
+		// One 32-bit/33 MHz bus shared by both gigabit NICs; the newer
+		// chipset has lower per-transaction overhead than P0's. (The
+		// Pro/1000's programmed-I/O CPU cost is a testbed option, not a
+		// bus parameter.)
+		PCIBuses: 1, PCIMBps: 100, PCITransOverheadNS: 150,
+	}
+	P2 = &Platform{
+		Name: "P2", MHz: 800, MemFetchNS: 110,
+		PredictedCall: 7, MispredictPenalty: 40, DirectCall: 2,
+		BTBEntries: 512,
+		PCIBuses:   1, PCIMBps: 400, PCITransOverheadNS: 60,
+	}
+	P3 = &Platform{
+		Name: "P3", MHz: 1600, MemFetchNS: 90,
+		PredictedCall: 7, MispredictPenalty: 30, DirectCall: 2,
+		BTBEntries: 2048,
+		PCIBuses:   1, PCIMBps: 400, PCITransOverheadNS: 60,
+	}
+	Platforms = []*Platform{P0, P1, P2, P3}
+)
+
+// SiteID identifies an indirect-call site. Elements of the same class
+// share call sites (the push in Counter's code is one instruction, no
+// matter how many Counters a configuration has) — this sharing is what
+// defeats the branch predictor in Figure 2.
+type SiteID int32
+
+// TargetID identifies an indirect-call target (a class's packet-handling
+// function).
+type TargetID int32
+
+// Sites allocates call-site and target identifiers. One Sites table is
+// shared by a router so that same-class elements share sites.
+type Sites struct {
+	sites   map[string]SiteID
+	targets map[string]TargetID
+}
+
+// NewSites returns an empty site table.
+func NewSites() *Sites {
+	return &Sites{sites: map[string]SiteID{}, targets: map[string]TargetID{}}
+}
+
+// Site returns the call-site ID for the given class's output port
+// (e.g. "ARPQuerier/out0").
+func (s *Sites) Site(class string, port int, output bool) SiteID {
+	dir := "out"
+	if !output {
+		dir = "in"
+	}
+	key := fmt.Sprintf("%s/%s%d", class, dir, port)
+	id, ok := s.sites[key]
+	if !ok {
+		id = SiteID(len(s.sites))
+		s.sites[key] = id
+	}
+	return id
+}
+
+// Target returns the target ID for a class's handler function.
+func (s *Sites) Target(class string) TargetID {
+	id, ok := s.targets[class]
+	if !ok {
+		id = TargetID(len(s.targets))
+		s.targets[class] = id
+	}
+	return id
+}
+
+type btbEntry struct {
+	site   SiteID
+	target TargetID
+	valid  bool
+}
+
+// CPU accumulates simulated cycles. It is not safe for concurrent use;
+// the Click task loop is single-threaded, as in the paper.
+type CPU struct {
+	Plat     *Platform
+	cycles   [numCategories]int64
+	current  Category
+	btb      []btbEntry
+	Calls    int64
+	Mispred  int64
+	MemMiss  int64
+	Direct   int64
+	disabled bool
+}
+
+// New returns a CPU for the given platform.
+func New(pl *Platform) *CPU {
+	return &CPU{Plat: pl, btb: make([]btbEntry, pl.BTBEntries), current: CatForward}
+}
+
+// SetCategory switches the accounting category for subsequent charges
+// and returns the previous category.
+func (c *CPU) SetCategory(cat Category) Category {
+	prev := c.current
+	c.current = cat
+	return prev
+}
+
+// Charge adds cycles to the current category.
+func (c *CPU) Charge(cycles int64) {
+	if c.disabled {
+		return
+	}
+	c.cycles[c.current] += cycles
+}
+
+// ChargeNS adds a nanosecond-denominated cost (converted to cycles).
+func (c *CPU) ChargeNS(ns float64) {
+	c.Charge(c.Plat.NSToCycles(ns))
+}
+
+// MemFetch charges n main-memory fetches (cache misses).
+func (c *CPU) MemFetch(n int) {
+	if c.disabled {
+		return
+	}
+	c.MemMiss += int64(n)
+	c.ChargeNS(float64(n) * c.Plat.MemFetchNS)
+}
+
+// IndirectCall charges one virtual packet-transfer call through the
+// branch target buffer. The BTB is direct-mapped by site; a lookup hits
+// when the entry holds this site and predicted the right target.
+func (c *CPU) IndirectCall(site SiteID, target TargetID) {
+	if c.disabled {
+		return
+	}
+	c.Calls++
+	e := &c.btb[int(site)%len(c.btb)]
+	hit := e.valid && e.site == site && e.target == target
+	e.site, e.target, e.valid = site, target, true
+	cost := c.Plat.PredictedCall
+	if !hit {
+		c.Mispred++
+		cost += c.Plat.MispredictPenalty
+	}
+	c.cycles[c.current] += cost
+}
+
+// DirectCall charges one devirtualized (conventional) call.
+func (c *CPU) DirectCall() {
+	if c.disabled {
+		return
+	}
+	c.Direct++
+	c.cycles[c.current] += c.Plat.DirectCall
+}
+
+// Cycles returns the total cycles charged to a category.
+func (c *CPU) Cycles(cat Category) int64 { return c.cycles[cat] }
+
+// TotalCycles returns all cycles charged.
+func (c *CPU) TotalCycles() int64 {
+	var t int64
+	for _, v := range c.cycles {
+		t += v
+	}
+	return t
+}
+
+// NS returns the nanoseconds charged to a category.
+func (c *CPU) NS(cat Category) float64 { return c.Plat.CyclesToNS(c.cycles[cat]) }
+
+// TotalNS returns all charged time in nanoseconds.
+func (c *CPU) TotalNS() float64 { return c.Plat.CyclesToNS(c.TotalCycles()) }
+
+// CatSnapshot captures per-category cycle totals.
+type CatSnapshot [numCategories]int64
+
+// CategorySnapshot returns the current per-category totals.
+func (c *CPU) CategorySnapshot() CatSnapshot { return c.cycles }
+
+// ReclassifyAsOther moves everything charged since the snapshot into
+// the Other category. The simulator uses this for task-loop rounds that
+// did no packet work: the cycles are real (the loop polled and found
+// nothing) but they are scheduler idling, not per-packet path cost —
+// exactly what the paper's per-block cycle counters exclude.
+func (c *CPU) ReclassifyAsOther(snap CatSnapshot) {
+	for cat := Category(0); cat < numCategories; cat++ {
+		if cat == CatOther {
+			continue
+		}
+		d := c.cycles[cat] - snap[cat]
+		if d != 0 {
+			c.cycles[cat] -= d
+			c.cycles[CatOther] += d
+		}
+	}
+}
+
+// Reset zeroes accumulated counts but preserves predictor state, so a
+// warmed-up predictor can be measured over a clean window.
+func (c *CPU) Reset() {
+	c.cycles = [numCategories]int64{}
+	c.Calls, c.Mispred, c.MemMiss, c.Direct = 0, 0, 0, 0
+}
+
+// ResetPredictor clears BTB state.
+func (c *CPU) ResetPredictor() {
+	for i := range c.btb {
+		c.btb[i] = btbEntry{}
+	}
+}
+
+// SetDisabled turns charging off (used by wall-clock benchmarks that
+// measure real time instead of model time) and returns the previous
+// state.
+func (c *CPU) SetDisabled(d bool) bool {
+	prev := c.disabled
+	c.disabled = d
+	return prev
+}

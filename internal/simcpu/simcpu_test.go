@@ -1,0 +1,208 @@
+package simcpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCycleNSConversion(t *testing.T) {
+	// 700 MHz: 700 cycles = 1000 ns.
+	if ns := P0.CyclesToNS(700); ns != 1000 {
+		t.Errorf("CyclesToNS(700) = %v, want 1000", ns)
+	}
+	if cyc := P0.NSToCycles(1000); cyc != 700 {
+		t.Errorf("NSToCycles(1000) = %v, want 700", cyc)
+	}
+}
+
+func TestConversionRoundTripProperty(t *testing.T) {
+	f := func(cyc uint16) bool {
+		c := int64(cyc)
+		return P0.NSToCycles(P0.CyclesToNS(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChargeCategories(t *testing.T) {
+	c := New(P0)
+	c.SetCategory(CatRxDevice)
+	c.Charge(100)
+	c.SetCategory(CatForward)
+	c.Charge(200)
+	prev := c.SetCategory(CatTxDevice)
+	if prev != CatForward {
+		t.Errorf("SetCategory returned %v", prev)
+	}
+	c.Charge(300)
+	if c.Cycles(CatRxDevice) != 100 || c.Cycles(CatForward) != 200 || c.Cycles(CatTxDevice) != 300 {
+		t.Error("category accounting wrong")
+	}
+	if c.TotalCycles() != 600 {
+		t.Errorf("TotalCycles = %d", c.TotalCycles())
+	}
+}
+
+func TestIndirectCallPrediction(t *testing.T) {
+	c := New(P0)
+	sites := NewSites()
+	site := sites.Site("ARPQuerier", 0, true)
+	tgtA := sites.Target("Queue")
+	tgtB := sites.Target("ToDevice")
+
+	// First call: cold BTB, mispredict.
+	c.IndirectCall(site, tgtA)
+	if c.Mispred != 1 {
+		t.Fatalf("cold call mispredicts = %d, want 1", c.Mispred)
+	}
+	// Repeat same target: predicted.
+	c.IndirectCall(site, tgtA)
+	if c.Mispred != 1 {
+		t.Error("repeated call should be predicted")
+	}
+	// The Figure 2 pathology: same call site alternating targets is
+	// always wrong.
+	before := c.Mispred
+	for i := 0; i < 10; i++ {
+		c.IndirectCall(site, tgtB)
+		c.IndirectCall(site, tgtA)
+	}
+	if got := c.Mispred - before; got != 20 {
+		t.Errorf("alternating targets mispredicted %d of 20", got)
+	}
+}
+
+func TestPredictedVsMispredictedCost(t *testing.T) {
+	c := New(P0)
+	sites := NewSites()
+	site := sites.Site("X", 0, true)
+	tgt := sites.Target("Y")
+	c.IndirectCall(site, tgt) // mispredict
+	miss := c.TotalCycles()
+	c.Reset()
+	c.IndirectCall(site, tgt) // predicted
+	hit := c.TotalCycles()
+	if hit != P0.PredictedCall {
+		t.Errorf("predicted call = %d cycles, want %d", hit, P0.PredictedCall)
+	}
+	if miss != P0.PredictedCall+P0.MispredictPenalty {
+		t.Errorf("mispredicted call = %d cycles", miss)
+	}
+}
+
+func TestDirectCallCheaperThanIndirect(t *testing.T) {
+	c := New(P0)
+	c.DirectCall()
+	if c.TotalCycles() != P0.DirectCall {
+		t.Errorf("direct call = %d cycles", c.TotalCycles())
+	}
+	if P0.DirectCall >= P0.PredictedCall {
+		t.Error("direct call should be cheaper than predicted indirect")
+	}
+}
+
+func TestSiteSharingByClass(t *testing.T) {
+	sites := NewSites()
+	// Two elements of the same class share the call site for a given
+	// port — the Figure 2 setup.
+	s1 := sites.Site("ARPQuerier", 0, true)
+	s2 := sites.Site("ARPQuerier", 0, true)
+	if s1 != s2 {
+		t.Error("same class+port should share a site")
+	}
+	if sites.Site("ARPQuerier", 1, true) == s1 {
+		t.Error("different ports should not share a site")
+	}
+	if sites.Site("Counter", 0, true) == s1 {
+		t.Error("different classes should not share a site")
+	}
+	if sites.Site("ARPQuerier", 0, false) == s1 {
+		t.Error("input and output sites should differ")
+	}
+}
+
+func TestMemFetch(t *testing.T) {
+	c := New(P0)
+	c.MemFetch(4)
+	want := P0.NSToCycles(4 * P0.MemFetchNS)
+	if c.TotalCycles() != want {
+		t.Errorf("4 fetches = %d cycles, want %d", c.TotalCycles(), want)
+	}
+	if c.MemMiss != 4 {
+		t.Errorf("MemMiss = %d", c.MemMiss)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := New(P0)
+	c.SetDisabled(true)
+	c.Charge(100)
+	c.IndirectCall(0, 0)
+	c.DirectCall()
+	c.MemFetch(1)
+	if c.TotalCycles() != 0 || c.Calls != 0 {
+		t.Error("disabled CPU accumulated charges")
+	}
+	c.SetDisabled(false)
+	c.Charge(1)
+	if c.TotalCycles() != 1 {
+		t.Error("re-enabled CPU did not charge")
+	}
+}
+
+func TestResetPreservesPredictor(t *testing.T) {
+	c := New(P0)
+	sites := NewSites()
+	site := sites.Site("X", 0, true)
+	tgt := sites.Target("Y")
+	c.IndirectCall(site, tgt)
+	c.Reset()
+	c.IndirectCall(site, tgt)
+	if c.Mispred != 0 {
+		t.Error("Reset cleared predictor state")
+	}
+	c.ResetPredictor()
+	c.IndirectCall(site, tgt)
+	if c.Mispred != 1 {
+		t.Error("ResetPredictor did not clear predictor state")
+	}
+}
+
+func TestPlatformSanity(t *testing.T) {
+	for _, pl := range Platforms {
+		if pl.MHz <= 0 || pl.MemFetchNS <= 0 || pl.BTBEntries <= 0 || pl.PCIBuses <= 0 {
+			t.Errorf("platform %s has non-positive parameters", pl.Name)
+		}
+	}
+	if P3.MHz <= P2.MHz {
+		t.Error("P3 should be faster than P2")
+	}
+	if P2.PCIMBps <= P1.PCIMBps {
+		t.Error("P2 should have the faster bus")
+	}
+}
+
+func TestReclassifyAsOther(t *testing.T) {
+	c := New(P0)
+	c.SetCategory(CatRxDevice)
+	c.Charge(100)
+	snap := c.CategorySnapshot()
+	c.SetCategory(CatForward)
+	c.Charge(50)
+	c.SetCategory(CatTxDevice)
+	c.Charge(25)
+	c.ReclassifyAsOther(snap)
+	if c.Cycles(CatForward) != 0 || c.Cycles(CatTxDevice) != 0 {
+		t.Error("charges after snapshot not moved")
+	}
+	if c.Cycles(CatRxDevice) != 100 {
+		t.Error("charges before snapshot were moved")
+	}
+	if c.Cycles(CatOther) != 75 {
+		t.Errorf("Other = %d, want 75", c.Cycles(CatOther))
+	}
+	if c.TotalCycles() != 175 {
+		t.Error("total changed during reclassification")
+	}
+}

@@ -1,0 +1,76 @@
+// Package tool carries the shared plumbing of the click-* command-line
+// tools: reading a configuration (plain text or archive) from a file or
+// standard input, parsing it into a graph, and writing the transformed
+// result back out — the Unix-filter shape that lets the optimizers
+// chain like compiler passes (§5).
+package tool
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/opt"
+)
+
+// ReadConfig loads a configuration from path ("-" or "" means standard
+// input), unpacks any archive, parses and elaborates it, and installs
+// dynamic element specifications from the archive into reg.
+func ReadConfig(path string, reg *core.Registry) (*graph.Router, error) {
+	var data []byte
+	var err error
+	name := path
+	if path == "" || path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+		name = "<stdin>"
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	config, extra, err := lang.UnpackConfig(data)
+	if err != nil {
+		return nil, err
+	}
+	g, err := lang.ParseRouter(config, name)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range extra {
+		g.Archive[m.Name] = m.Data
+	}
+	if err := opt.InstallArchive(g, reg); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteConfig unparses the graph and writes it (packing the archive when
+// the graph carries one) to path ("-" or "" means standard output).
+func WriteConfig(g *graph.Router, path string) error {
+	text := lang.Unparse(g)
+	var members []lang.ArchiveMember
+	for name, data := range g.Archive {
+		members = append(members, lang.ArchiveMember{Name: name, Data: data})
+	}
+	out := lang.PackConfig(text, members)
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// Registry returns the builtin element registry.
+func Registry() *core.Registry { return elements.NewRegistry() }
+
+// Fail prints an error in the conventional tool format and exits.
+func Fail(toolName string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", toolName, err)
+	os.Exit(1)
+}
