@@ -51,6 +51,13 @@ func (d *benchDevice) TxClean() int                    { return 0 }
 // devices, returning the router and the input device.
 func benchRouter(b *testing.B, variant string) (*core.Router, *benchDevice, []iprouter.Interface) {
 	b.Helper()
+	return benchRouterBurst(b, variant, 0)
+}
+
+// benchRouterBurst is benchRouter with a router Burst build option
+// (0 or 1 = the scalar transfer path).
+func benchRouterBurst(b *testing.B, variant string, burst int) (*core.Router, *benchDevice, []iprouter.Interface) {
+	b.Helper()
 	ifs := iprouter.Interfaces(2)
 	g, err := lang.ParseRouter(iprouter.Config(ifs), "bench")
 	if err != nil {
@@ -84,7 +91,7 @@ func benchRouter(b *testing.B, variant string) (*core.Router, *benchDevice, []ip
 	in := &benchDevice{name: "eth0"}
 	devs["device:eth0"] = in
 	devs["device:eth1"] = &benchDevice{name: "eth1"}
-	rt, err := core.Build(g, reg, core.BuildOptions{Env: devs})
+	rt, err := core.Build(g, reg, core.BuildOptions{Env: devs, Burst: burst})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -120,6 +127,66 @@ func benchForward(b *testing.B, variant string) {
 func BenchmarkFig9ForwardingBase(b *testing.B) { benchForward(b, "Base") }
 func BenchmarkFig9ForwardingXF(b *testing.B)   { benchForward(b, "XF") }
 func BenchmarkFig9ForwardingAll(b *testing.B)  { benchForward(b, "All") }
+
+// benchBatchForward measures wall-clock per forwarded packet with the
+// batch transfer path: packets arrive and cross the graph in bursts,
+// amortizing the task-loop and dispatch overhead the scalar benchmarks
+// pay per packet. Compare BenchmarkBatchForwardingAll against
+// BenchmarkFig9ForwardingAll for the batching win.
+func benchBatchForward(b *testing.B, variant string) {
+	const burst = 32
+	rt, in, ifs := benchRouterBurst(b, variant, burst)
+	tmpl := transitPacket(ifs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += burst {
+		n := burst
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		in.rx = in.rx[:0]
+		for j := 0; j < n; j++ {
+			in.rx = append(in.rx, tmpl.Clone())
+		}
+		rt.RunTaskRound()
+		rt.RunTaskRound() // second round drains the output queue
+	}
+}
+
+func BenchmarkBatchForwardingBase(b *testing.B) { benchBatchForward(b, "Base") }
+func BenchmarkBatchForwardingAll(b *testing.B)  { benchBatchForward(b, "All") }
+
+// BenchmarkParallelScaling drives the batched optimized router through
+// the work-stealing scheduler at 1, 2, and 4 workers. On a single-core
+// host the workers serialize; the benchmark then reports the
+// scheduler's coordination overhead rather than a speedup.
+func BenchmarkParallelScaling(b *testing.B) {
+	const burst = 32
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P%d", workers), func(b *testing.B) {
+			rt, in, ifs := benchRouterBurst(b, "All", burst)
+			s, err := core.NewScheduler(rt, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tmpl := transitPacket(ifs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += burst {
+				n := burst
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				in.rx = in.rx[:0]
+				for j := 0; j < n; j++ {
+					in.rx = append(in.rx, tmpl.Clone())
+				}
+				s.RunRound()
+				s.RunRound()
+			}
+		})
+	}
+}
 
 // BenchmarkFig8Breakdown reports the model's Figure 8 numbers as
 // metrics (the table itself is printed by click-bench -experiment

@@ -1,7 +1,10 @@
 // Command click-bench regenerates the paper's tables and figures
 // (§4, §8) on the simulated testbed. Run with -experiment all for the
 // full evaluation, or name one of: fastclassifier, vcall, fig8, fig9,
-// fig10, fig11, fig12, fig13, ablation.
+// fig10, fig11, fig12, fig13, ablation, parallel.
+//
+// The parallel experiment also writes machine-readable results when
+// given -json (e.g. -experiment parallel -json BENCH_parallel.json).
 package main
 
 import (
@@ -16,7 +19,9 @@ import (
 
 func main() {
 	name := flag.String("experiment", "all", "experiment to run")
+	jsonPath := flag.String("json", "", "also write JSON results to this file (parallel experiment)")
 	flag.Parse()
+	experiments.JSONPath = *jsonPath
 
 	fn, ok := experiments.Experiments[*name]
 	if !ok {

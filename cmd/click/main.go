@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	click [-f config] [-rounds n] [-h element.handler]... [-report]
+//	click [-f config] [-rounds n] [-batch n] [-workers n] [-h element.handler]... [-report]
+//
+// -batch moves packets between elements in bursts of up to n (amortized
+// dispatch); -workers runs the task scheduler on n workers with work
+// stealing.
 package main
 
 import (
@@ -29,6 +33,8 @@ func main() {
 	file := flag.String("f", "-", "configuration file (- = stdin)")
 	rounds := flag.Int("rounds", 100000, "maximum task-loop rounds")
 	report := flag.Bool("report", true, "print element counters on exit")
+	batch := flag.Int("batch", 1, "move packets between elements in bursts of up to this size")
+	workers := flag.Int("workers", 1, "task scheduler workers (work stealing when > 1)")
 	var reads handlerList
 	flag.Var(&reads, "h", "read handler \"element.name\" after the run (repeatable)")
 	flag.Parse()
@@ -38,11 +44,18 @@ func main() {
 	if err != nil {
 		tool.Fail("click", err)
 	}
-	rt, err := core.Build(g, reg, core.BuildOptions{})
+	rt, err := core.Build(g, reg, core.BuildOptions{Burst: *batch})
 	if err != nil {
 		tool.Fail("click", err)
 	}
-	ran := rt.RunUntilIdle(*rounds)
+	var ran int
+	if *workers > 1 {
+		if ran, err = rt.RunParallelUntilIdle(*workers, *rounds); err != nil {
+			tool.Fail("click", err)
+		}
+	} else {
+		ran = rt.RunUntilIdle(*rounds)
+	}
 	fmt.Fprintf(os.Stderr, "click: ran %d active task rounds\n", ran)
 	defer rt.Close()
 

@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/packet"
+
+// The batch transfer path amortizes inter-element dispatch over several
+// packets, the modern analogue of the paper's transfer-cost
+// optimizations: where click-devirtualize removes the indirection of
+// one virtual call, batching removes all but one of N of them. Elements
+// opt in per class; chains fall back to the scalar path at the first
+// element that has not been converted, so batch and scalar elements mix
+// freely in one configuration.
+
+// BatchPusher is implemented by elements whose push inputs accept a
+// batch of packets in one call. The callee takes ownership of the
+// packets but not of the slice: it may reorder or overwrite the slice
+// contents while the call runs (e.g. to compact survivors in place),
+// but must not retain the slice, which the caller may refill
+// immediately after PushBatch returns.
+type BatchPusher interface {
+	PushBatch(port int, ps []*packet.Packet)
+}
+
+// BatchPuller is implemented by elements whose pull outputs can hand
+// over several packets in one call. PullBatch fills buf with up to
+// len(buf) packets and returns how many it delivered.
+type BatchPuller interface {
+	PullBatch(port int, buf []*packet.Packet) int
+}
+
+// PushBatch transfers a batch of packets downstream. When the target
+// element implements BatchPusher, the whole batch crosses in a single
+// (charged) dispatch; otherwise each packet takes the scalar Push path,
+// with its usual per-packet dispatch charge.
+func (p *OutPort) PushBatch(pkts []*packet.Packet) {
+	switch {
+	case len(pkts) == 0:
+		return
+	case len(pkts) == 1:
+		p.Push(pkts[0])
+		return
+	case p.batch == nil:
+		for _, pk := range pkts {
+			p.Push(pk)
+		}
+		return
+	}
+	if p.cpu != nil {
+		if p.direct != nil {
+			p.cpu.DirectCall()
+		} else {
+			p.cpu.IndirectCall(p.site, p.targetID)
+		}
+		p.cpu.BatchTransfer(len(pkts))
+	}
+	p.batch.PushBatch(p.targetPort, pkts)
+}
+
+// PullBatch requests up to len(buf) packets from upstream, returning
+// the number delivered. When the source element implements BatchPuller
+// the batch crosses in a single (charged) dispatch; otherwise packets
+// are pulled one at a time through the scalar path.
+func (p *InPort) PullBatch(buf []*packet.Packet) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	if p.batch == nil {
+		n := 0
+		for n < len(buf) {
+			pk := p.Pull()
+			if pk == nil {
+				break
+			}
+			buf[n] = pk
+			n++
+		}
+		return n
+	}
+	if p.cpu != nil {
+		if p.direct != nil {
+			p.cpu.DirectCall()
+		} else {
+			p.cpu.IndirectCall(p.site, p.targetID)
+		}
+	}
+	n := p.batch.PullBatch(p.sourcePort, buf)
+	if p.cpu != nil && n > 0 {
+		p.cpu.BatchTransfer(n)
+	}
+	return n
+}
+
+// Synchronizer is implemented by elements holding state that several
+// scheduler workers may touch concurrently (Queue's ring, ARPQuerier's
+// tables). The parallel scheduler calls EnableSync on every element
+// before starting workers; in the default single-threaded runtime the
+// guards stay disabled and cost nothing.
+type Synchronizer interface {
+	EnableSync()
+}

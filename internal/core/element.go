@@ -87,6 +87,17 @@ func (b *Base) Input(i int) *InPort { return &b.inputs[i] }
 // CPU returns the simulated CPU, or nil when cost modeling is off.
 func (b *Base) CPU() *simcpu.CPU { return b.cpu }
 
+// DefaultBurst returns the router-wide batch size elements without an
+// explicit per-element burst configuration should use (1 when the
+// router was built without a Burst option, preserving per-packet
+// semantics and the calibrated cost model).
+func (b *Base) DefaultBurst() int {
+	if b.router != nil && b.router.burst > 1 {
+		return b.router.burst
+	}
+	return 1
+}
+
 // Work charges the element's per-invocation cost to the cost model.
 // Element Push/Pull implementations call it once per handled packet.
 func (b *Base) Work() {
@@ -147,6 +158,7 @@ type OutPort struct {
 	target     Element
 	targetPort int
 	direct     PushFunc
+	batch      BatchPusher
 	cpu        *simcpu.CPU
 	site       simcpu.SiteID
 	targetID   simcpu.TargetID
@@ -181,6 +193,7 @@ type InPort struct {
 	source     Element
 	sourcePort int
 	direct     PullFunc
+	batch      BatchPuller
 	cpu        *simcpu.CPU
 	site       simcpu.SiteID
 	targetID   simcpu.TargetID

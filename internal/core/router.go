@@ -23,6 +23,7 @@ type Router struct {
 	weights  []int
 	proc     *graph.Processing
 	env      map[string]interface{}
+	burst    int
 }
 
 // Env returns the named environment object supplied at build time, or
@@ -43,6 +44,11 @@ type BuildOptions struct {
 	// share (one call instruction per class — the Figure 2 pathology);
 	// this switch exists for the modeling ablation.
 	PerElementSites bool
+	// Burst is the router-wide default batch size for batch-capable
+	// schedulable elements (PollDevice, ToDevice, Unqueue). 0 or 1
+	// keeps the scalar per-packet path, which is what the calibrated
+	// Figure 8/9 experiments run.
+	Burst int
 }
 
 // Build assembles a runnable router from a configuration graph. The
@@ -66,6 +72,7 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 		byName:   map[string]Element{},
 		proc:     proc,
 		env:      opts.Env,
+		burst:    opts.Burst,
 	}
 	sites := simcpu.NewSites()
 
@@ -124,6 +131,9 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 			if specs[c.From].Devirtualized {
 				out.direct = dst.Push
 			}
+			if bp, ok := dst.(BatchPusher); ok {
+				out.batch = bp
+			}
 		} else {
 			in.source = src
 			in.sourcePort = c.FromPort
@@ -132,6 +142,9 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 			in.targetID = sites.Target(srcClass)
 			if specs[c.To].Devirtualized {
 				in.direct = src.Pull
+			}
+			if bp, ok := src.(BatchPuller); ok {
+				in.batch = bp
 			}
 		}
 	}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler runs a router's tasks on P workers, the multi-core
+// counterpart of the single kernel thread RunTaskRound stands in for.
+// Tasks (PollDevice loops, ToDevice and Unqueue pulls) are statically
+// partitioned across per-worker run queues; within each round an idle
+// worker steals queued tasks from its peers, so a worker whose devices
+// went quiet helps drain the busy ones. A task is one queue entry per
+// round — it never runs on two workers at once, so per-task state needs
+// no locks; state shared between tasks (Queue rings, ARP tables) is
+// guarded by the elements themselves, armed via Synchronizer.
+type Scheduler struct {
+	rt      *Router
+	workers int
+	assign  [][]taskEntry // static partition, one slice per worker
+	queues  []workerQueue
+}
+
+// taskEntry is one schedulable unit: a task and the number of times it
+// runs per round (its ScheduleInfo weight).
+type taskEntry struct {
+	task Task
+	runs int
+}
+
+// workerQueue is one worker's run queue for the current round. The
+// owner pops from the front; thieves take from the back.
+type workerQueue struct {
+	mu      sync.Mutex
+	entries []taskEntry
+}
+
+func (q *workerQueue) popFront() (taskEntry, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) == 0 {
+		return taskEntry{}, false
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	return e, true
+}
+
+func (q *workerQueue) popBack() (taskEntry, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) == 0 {
+		return taskEntry{}, false
+	}
+	e := q.entries[len(q.entries)-1]
+	q.entries = q.entries[:len(q.entries)-1]
+	return e, true
+}
+
+// NewScheduler builds a P-worker scheduler for an assembled router.
+// The simulated-CPU cost model is single-threaded by design (it is the
+// calibrated model of one Pentium III), so a parallel scheduler refuses
+// routers built with one attached.
+func NewScheduler(rt *Router, workers int) (*Scheduler, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && rt.CPU != nil {
+		return nil, fmt.Errorf("core: parallel scheduler cannot run with the simulated CPU cost model attached")
+	}
+	s := &Scheduler{
+		rt:      rt,
+		workers: workers,
+		assign:  make([][]taskEntry, workers),
+		queues:  make([]workerQueue, workers),
+	}
+	for i, t := range rt.tasks {
+		w := i % workers
+		s.assign[w] = append(s.assign[w], taskEntry{task: t, runs: rt.weights[i]})
+	}
+	if workers > 1 {
+		for _, e := range rt.elements {
+			if sy, ok := e.(Synchronizer); ok {
+				sy.EnableSync()
+			}
+		}
+	}
+	return s, nil
+}
+
+// Workers returns the worker count.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// steal takes a task from the back of another worker's queue.
+func (s *Scheduler) steal(self int) (taskEntry, bool) {
+	for off := 1; off < s.workers; off++ {
+		if e, ok := s.queues[(self+off)%s.workers].popBack(); ok {
+			return e, true
+		}
+	}
+	return taskEntry{}, false
+}
+
+// RunRound runs every task once (weight times each) across the workers
+// and reports whether any did useful work — the parallel equivalent of
+// Router.RunTaskRound, with the same idle-detection semantics.
+func (s *Scheduler) RunRound() bool {
+	if s.workers == 1 {
+		return s.rt.RunTaskRound()
+	}
+	for w := range s.queues {
+		q := &s.queues[w]
+		q.mu.Lock()
+		q.entries = append(q.entries[:0], s.assign[w]...)
+		q.mu.Unlock()
+	}
+	var any atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			did := false
+			for {
+				e, ok := s.queues[self].popFront()
+				if !ok {
+					if e, ok = s.steal(self); !ok {
+						break
+					}
+				}
+				for r := 0; r < e.runs; r++ {
+					if e.task.RunTask() {
+						did = true
+					}
+				}
+			}
+			if did {
+				any.Store(true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return any.Load()
+}
+
+// RunUntilIdle runs rounds until none does useful work, up to
+// maxRounds, returning the number of rounds that did work.
+func (s *Scheduler) RunUntilIdle(maxRounds int) int {
+	rounds := 0
+	for rounds < maxRounds && s.RunRound() {
+		rounds++
+	}
+	return rounds
+}
+
+// RunParallelUntilIdle builds a scheduler with the given worker count
+// and drives the router until idle — the parallel counterpart of
+// RunUntilIdle.
+func (rt *Router) RunParallelUntilIdle(workers, maxRounds int) (int, error) {
+	s, err := NewScheduler(rt, workers)
+	if err != nil {
+		return 0, err
+	}
+	return s.RunUntilIdle(maxRounds), nil
+}

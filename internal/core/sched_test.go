@@ -1,0 +1,275 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+// tBatchSink records packets and whether they arrived via the batch
+// path.
+type tBatchSink struct {
+	Base
+	got        []*packet.Packet
+	batchCalls int
+}
+
+func (s *tBatchSink) Push(port int, p *packet.Packet) { s.got = append(s.got, p) }
+func (s *tBatchSink) PushBatch(port int, ps []*packet.Packet) {
+	s.batchCalls++
+	s.got = append(s.got, ps...)
+}
+
+// tBatchPuller hands out its queue in bulk.
+type tBatchPuller struct {
+	Base
+	queue      []*packet.Packet
+	batchCalls int
+}
+
+func (e *tBatchPuller) Push(port int, p *packet.Packet) { e.queue = append(e.queue, p) }
+func (e *tBatchPuller) Pull(port int) *packet.Packet {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	p := e.queue[0]
+	e.queue = e.queue[1:]
+	return p
+}
+func (e *tBatchPuller) PullBatch(port int, buf []*packet.Packet) int {
+	e.batchCalls++
+	n := copy(buf, e.queue)
+	e.queue = e.queue[n:]
+	return n
+}
+
+// tSyncSink reports whether the scheduler armed its guards.
+type tSyncSink struct {
+	Base
+	synced bool
+}
+
+func (s *tSyncSink) Push(port int, p *packet.Packet) { p.Kill() }
+func (s *tSyncSink) EnableSync()                     { s.synced = true }
+
+func batchTestRegistry() *Registry {
+	reg := testRegistry()
+	sinkPorts := func(string) (graph.PortRange, graph.PortRange) {
+		return graph.Between(0, 1), graph.Exactly(0)
+	}
+	reg.Register(&Spec{Name: "TBatchSink", Processing: "h/", Ports: sinkPorts,
+		Make: func() Element { return &tBatchSink{} }})
+	reg.Register(&Spec{Name: "TBatchPuller", Processing: "h/l", Ports: func(string) (graph.PortRange, graph.PortRange) {
+		return graph.Between(0, 1), graph.Between(0, 1)
+	}, Make: func() Element { return &tBatchPuller{} }})
+	reg.Register(&Spec{Name: "TSyncSink", Processing: "h/", Ports: sinkPorts,
+		Make: func() Element { return &tSyncSink{} }})
+	return reg
+}
+
+func mkBatch(n int) []*packet.Packet {
+	ps := make([]*packet.Packet, n)
+	for i := range ps {
+		ps[i] = packet.New([]byte{byte(i)})
+	}
+	return ps
+}
+
+func TestPushBatchScalarFallback(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> s :: TSink;", "t", batchTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, s := rt.Find("a").(*tPass), rt.Find("s").(*tSink)
+	a.Output(0).PushBatch(mkBatch(3))
+	if len(s.got) != 3 {
+		t.Fatalf("sink got %d packets, want 3", len(s.got))
+	}
+	for i, p := range s.got {
+		if p.Data()[0] != byte(i) {
+			t.Fatalf("packet %d out of order: %v", i, p.Data())
+		}
+	}
+}
+
+func TestPushBatchTarget(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> s :: TBatchSink;", "t", batchTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, s := rt.Find("a").(*tPass), rt.Find("s").(*tBatchSink)
+	a.Output(0).PushBatch(mkBatch(4))
+	if s.batchCalls != 1 || len(s.got) != 4 {
+		t.Fatalf("batchCalls=%d got=%d, want 1 call with 4 packets", s.batchCalls, len(s.got))
+	}
+	for i, p := range s.got {
+		if p.Data()[0] != byte(i) {
+			t.Fatalf("packet %d out of order: %v", i, p.Data())
+		}
+	}
+	// Single-packet batches take the scalar path — no dispatch savings
+	// to be had.
+	a.Output(0).PushBatch(mkBatch(1))
+	if s.batchCalls != 1 || len(s.got) != 5 {
+		t.Errorf("len-1 batch: batchCalls=%d got=%d, want scalar delivery", s.batchCalls, len(s.got))
+	}
+	// Empty batches are no-ops.
+	a.Output(0).PushBatch(nil)
+	if len(s.got) != 5 {
+		t.Errorf("empty batch delivered packets")
+	}
+}
+
+func TestPushBatchChargesLessThanScalar(t *testing.T) {
+	charge := func(batched bool) int64 {
+		cpu := simcpu.New(simcpu.P0)
+		rt, err := BuildFromText("a :: TPass -> s :: TBatchSink;", "t", batchTestRegistry(), BuildOptions{CPU: cpu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := rt.Find("a").(*tPass)
+		before := cpu.TotalCycles()
+		if batched {
+			a.Output(0).PushBatch(mkBatch(8))
+		} else {
+			for _, p := range mkBatch(8) {
+				a.Output(0).Push(p)
+			}
+		}
+		return cpu.TotalCycles() - before
+	}
+	scalar, batch := charge(false), charge(true)
+	if batch >= scalar {
+		t.Errorf("8-packet batch charged %d cycles, scalar pushes %d — batching amortizes nothing", batch, scalar)
+	}
+}
+
+func TestPullBatch(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> q :: TPuller -> k :: TPullSink;", "t", batchTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, k := rt.Find("a").(*tPass), rt.Find("k").(*tPullSink)
+	for _, p := range mkBatch(5) {
+		a.Push(0, p)
+	}
+	buf := make([]*packet.Packet, 8)
+	if n := k.Input(0).PullBatch(buf); n != 5 {
+		t.Fatalf("scalar-fallback PullBatch returned %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if buf[i].Data()[0] != byte(i) {
+			t.Fatalf("packet %d out of order", i)
+		}
+	}
+	if n := k.Input(0).PullBatch(buf); n != 0 {
+		t.Errorf("drained queue returned %d packets", n)
+	}
+}
+
+func TestPullBatchTarget(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> q :: TBatchPuller -> k :: TPullSink;", "t", batchTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, q, k := rt.Find("a").(*tPass), rt.Find("q").(*tBatchPuller), rt.Find("k").(*tPullSink)
+	for _, p := range mkBatch(6) {
+		a.Push(0, p)
+	}
+	buf := make([]*packet.Packet, 4)
+	if n := k.Input(0).PullBatch(buf); n != 4 || q.batchCalls != 1 {
+		t.Fatalf("PullBatch returned %d (calls %d), want 4 in 1 call", n, q.batchCalls)
+	}
+	for i := 0; i < 4; i++ {
+		if buf[i].Data()[0] != byte(i) {
+			t.Fatalf("packet %d out of order", i)
+		}
+	}
+}
+
+func TestSchedulerRunsAllTasks(t *testing.T) {
+	cfg := "t1 :: TTask -> s1 :: TSink; t2 :: TTask -> s2 :: TSink; t3 :: TTask -> s3 :: TSink;"
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt, err := BuildFromText(cfg, "t", batchTestRegistry(), BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheduler(rt, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", s.Workers(), workers)
+		}
+		rounds := s.RunUntilIdle(100)
+		if rounds != 3 {
+			t.Errorf("workers=%d: active rounds = %d, want 3", workers, rounds)
+		}
+		for _, name := range []string{"s1", "s2", "s3"} {
+			if got := len(rt.Find(name).(*tSink).got); got != 3 {
+				t.Errorf("workers=%d: %s got %d packets, want 3", workers, name, got)
+			}
+		}
+	}
+}
+
+func TestSchedulerRefusesSimulatedCPU(t *testing.T) {
+	rt, err := BuildFromText("t1 :: TTask -> s1 :: TSink;", "t", batchTestRegistry(),
+		BuildOptions{CPU: simcpu.New(simcpu.P0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScheduler(rt, 2); err == nil || !strings.Contains(err.Error(), "simulated CPU") {
+		t.Errorf("NewScheduler(2) with CPU attached: err = %v, want refusal", err)
+	}
+	// One worker is the scalar path and stays legal.
+	if _, err := NewScheduler(rt, 1); err != nil {
+		t.Errorf("NewScheduler(1) with CPU attached: %v", err)
+	}
+}
+
+func TestSchedulerArmsSynchronizers(t *testing.T) {
+	build := func() *Router {
+		rt, err := BuildFromText("t1 :: TTask -> s :: TSyncSink;", "t", batchTestRegistry(), BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	rt := build()
+	if _, err := NewScheduler(rt, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Find("s").(*tSyncSink).synced {
+		t.Error("single-worker scheduler armed sync guards")
+	}
+	rt = build()
+	if _, err := NewScheduler(rt, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Find("s").(*tSyncSink).synced {
+		t.Error("parallel scheduler did not arm sync guards")
+	}
+}
+
+func TestSchedulerStealing(t *testing.T) {
+	// More workers than tasks: the surplus workers must steal (or idle)
+	// without deadlocking, and every packet must still arrive.
+	rt, err := BuildFromText("t1 :: TTask -> s1 :: TSink;", "t", batchTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := rt.RunParallelUntilIdle(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("active rounds = %d, want 3", ran)
+	}
+	if got := len(rt.Find("s1").(*tSink).got); got != 3 {
+		t.Errorf("sink got %d packets, want 3", got)
+	}
+}

@@ -3,6 +3,7 @@ package elements
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -38,7 +39,7 @@ func (e *Align) Configure(args []string) error {
 
 func (e *Align) align(p *packet.Packet) {
 	if p.AlignOffset(e.modulus) != e.offset {
-		e.Copies++
+		atomic.AddInt64(&e.Copies, 1)
 		e.Charge(costAlign)
 		p.Realign(e.modulus, e.offset)
 	}

@@ -3,6 +3,8 @@ package elements
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -17,8 +19,17 @@ type Discard struct {
 // Push drops the packet.
 func (e *Discard) Push(port int, p *packet.Packet) {
 	e.Work()
-	e.Count++
+	atomic.AddInt64(&e.Count, 1)
 	p.Kill()
+}
+
+// PushBatch drops the whole batch.
+func (e *Discard) PushBatch(port int, ps []*packet.Packet) {
+	atomic.AddInt64(&e.Count, int64(len(ps)))
+	for _, p := range ps {
+		e.Work()
+		p.Kill()
+	}
 }
 
 // Idle never produces packets and silently swallows any it is given; it
@@ -40,13 +51,32 @@ func (e *Null) Push(port int, p *packet.Packet) {
 	e.Output(0).Push(p)
 }
 
+// PushBatch forwards the batch.
+func (e *Null) PushBatch(port int, ps []*packet.Packet) {
+	for range ps {
+		e.Work()
+	}
+	e.Output(0).PushBatch(ps)
+}
+
 // Pull forwards.
 func (e *Null) Pull(port int) *packet.Packet {
 	e.Work()
 	return e.Input(0).Pull()
 }
 
-// Counter counts passing packets and bytes.
+// PullBatch forwards a batch from upstream.
+func (e *Null) PullBatch(port int, buf []*packet.Packet) int {
+	n := e.Input(0).PullBatch(buf)
+	for i := 0; i < n; i++ {
+		e.Work()
+	}
+	return n
+}
+
+// Counter counts passing packets and bytes. Counts are updated
+// atomically: a Counter may sit downstream of several scheduler
+// workers' task chains at once.
 type Counter struct {
 	core.Base
 	Packets int64
@@ -56,9 +86,21 @@ type Counter struct {
 // Push counts and forwards.
 func (e *Counter) Push(port int, p *packet.Packet) {
 	e.Work()
-	e.Packets++
-	e.Bytes += int64(p.Len())
+	atomic.AddInt64(&e.Packets, 1)
+	atomic.AddInt64(&e.Bytes, int64(p.Len()))
 	e.Output(0).Push(p)
+}
+
+// PushBatch counts the batch in two atomic updates and forwards it.
+func (e *Counter) PushBatch(port int, ps []*packet.Packet) {
+	var bytes int64
+	for _, p := range ps {
+		e.Work()
+		bytes += int64(p.Len())
+	}
+	atomic.AddInt64(&e.Packets, int64(len(ps)))
+	atomic.AddInt64(&e.Bytes, bytes)
+	e.Output(0).PushBatch(ps)
 }
 
 // Pull forwards and counts.
@@ -66,14 +108,32 @@ func (e *Counter) Pull(port int) *packet.Packet {
 	e.Work()
 	p := e.Input(0).Pull()
 	if p != nil {
-		e.Packets++
-		e.Bytes += int64(p.Len())
+		atomic.AddInt64(&e.Packets, 1)
+		atomic.AddInt64(&e.Bytes, int64(p.Len()))
 	}
 	return p
 }
 
+// PullBatch forwards a batch from upstream, counting it.
+func (e *Counter) PullBatch(port int, buf []*packet.Packet) int {
+	n := e.Input(0).PullBatch(buf)
+	var bytes int64
+	for i := 0; i < n; i++ {
+		e.Work()
+		bytes += int64(buf[i].Len())
+	}
+	if n > 0 {
+		atomic.AddInt64(&e.Packets, int64(n))
+		atomic.AddInt64(&e.Bytes, bytes)
+	}
+	return n
+}
+
 // Queue is the standard FIFO packet queue: push input, pull output,
-// tail drop when full.
+// tail drop when full. A Queue is the hand-off point between scheduler
+// tasks, so under the parallel runtime its ring is mutex-guarded; the
+// guard is armed by EnableSync and costs one predictable branch in the
+// default single-threaded runtime.
 type Queue struct {
 	core.Base
 	capacity int
@@ -84,6 +144,24 @@ type Queue struct {
 	Enqueued int64
 	// HighWater tracks the maximum occupancy reached.
 	HighWater int
+
+	mu      sync.Mutex
+	guarded bool
+}
+
+// EnableSync arms the ring guard for multi-worker execution.
+func (e *Queue) EnableSync() { e.guarded = true }
+
+func (e *Queue) lock() {
+	if e.guarded {
+		e.mu.Lock()
+	}
+}
+
+func (e *Queue) unlock() {
+	if e.guarded {
+		e.mu.Unlock()
+	}
 }
 
 // DefaultQueueCapacity matches Click's default Queue length.
@@ -107,14 +185,18 @@ func (e *Queue) Configure(args []string) error {
 }
 
 // Len returns the current occupancy.
-func (e *Queue) Len() int { return e.count }
+func (e *Queue) Len() int {
+	e.lock()
+	defer e.unlock()
+	return e.count
+}
 
 // Capacity returns the configured capacity.
 func (e *Queue) Capacity() int { return e.capacity }
 
-// Push enqueues or tail-drops.
-func (e *Queue) Push(port int, p *packet.Packet) {
-	e.Work()
+// enqueue adds one packet to the ring or tail-drops; the caller holds
+// the guard.
+func (e *Queue) enqueue(p *packet.Packet) {
 	if e.count == e.capacity {
 		e.Drops++
 		p.Kill()
@@ -128,9 +210,29 @@ func (e *Queue) Push(port int, p *packet.Packet) {
 	}
 }
 
+// Push enqueues or tail-drops.
+func (e *Queue) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.lock()
+	e.enqueue(p)
+	e.unlock()
+}
+
+// PushBatch enqueues the batch under one guard acquisition.
+func (e *Queue) PushBatch(port int, ps []*packet.Packet) {
+	e.lock()
+	for _, p := range ps {
+		e.Work()
+		e.enqueue(p)
+	}
+	e.unlock()
+}
+
 // Pull dequeues. An empty queue charges only a cheap occupancy check,
 // so idle ToDevice polling does not masquerade as per-packet work.
 func (e *Queue) Pull(port int) *packet.Packet {
+	e.lock()
+	defer e.unlock()
 	if e.count == 0 {
 		e.Charge(costQueueEmptyCheck)
 		return nil
@@ -141,6 +243,27 @@ func (e *Queue) Pull(port int) *packet.Packet {
 	e.head = (e.head + 1) % e.capacity
 	e.count--
 	return p
+}
+
+// PullBatch dequeues up to len(buf) packets under one guard
+// acquisition, returning the number delivered.
+func (e *Queue) PullBatch(port int, buf []*packet.Packet) int {
+	e.lock()
+	defer e.unlock()
+	if e.count == 0 {
+		e.Charge(costQueueEmptyCheck)
+		return 0
+	}
+	n := 0
+	for n < len(buf) && e.count > 0 {
+		e.Work()
+		buf[n] = e.buf[e.head]
+		e.buf[e.head] = nil
+		e.head = (e.head + 1) % e.capacity
+		e.count--
+		n++
+	}
+	return n
 }
 
 // RouterLink stands for an inter-router link in configurations produced
@@ -156,8 +279,17 @@ type RouterLink struct {
 // Push forwards into the peer router.
 func (e *RouterLink) Push(port int, p *packet.Packet) {
 	e.Work()
-	e.Carried++
+	atomic.AddInt64(&e.Carried, 1)
 	e.Output(0).Push(p)
+}
+
+// PushBatch forwards the batch into the peer router.
+func (e *RouterLink) PushBatch(port int, ps []*packet.Packet) {
+	for range ps {
+		e.Work()
+	}
+	atomic.AddInt64(&e.Carried, int64(len(ps)))
+	e.Output(0).PushBatch(ps)
 }
 
 // Tee clones each input packet to every output.
@@ -175,6 +307,31 @@ func (e *Tee) Push(port int, p *packet.Packet) {
 	} else {
 		p.Kill()
 	}
+}
+
+// PushBatch clones the batch to every output (the final one gets the
+// originals).
+func (e *Tee) PushBatch(port int, ps []*packet.Packet) {
+	for range ps {
+		e.Work()
+	}
+	n := e.NOutputs()
+	if n == 0 {
+		for _, p := range ps {
+			p.Kill()
+		}
+		return
+	}
+	if n > 1 {
+		clones := make([]*packet.Packet, len(ps))
+		for i := 0; i < n-1; i++ {
+			for j, p := range ps {
+				clones[j] = p.Clone()
+			}
+			e.Output(i).PushBatch(clones)
+		}
+	}
+	e.Output(n - 1).PushBatch(ps)
 }
 
 // StaticSwitch routes every packet to one fixed output chosen by
@@ -216,6 +373,7 @@ type InfiniteSource struct {
 	burst   int
 	Emitted int64
 	tmpl    *packet.Packet
+	scratch []*packet.Packet
 }
 
 // Configure accepts optional LIMIT (-1 = unlimited, default), BURST
@@ -264,19 +422,39 @@ func (e *InfiniteSource) Configure(args []string) error {
 	return nil
 }
 
-// RunTask emits up to one burst.
+// RunTask emits up to one burst. Bursts of more than one packet leave
+// as a single batched transfer. A router-wide Burst build option raises
+// the effective burst of sources configured with the default of 1.
 func (e *InfiniteSource) RunTask() bool {
-	did := false
-	for i := 0; i < e.burst; i++ {
-		if e.limit >= 0 && e.Emitted >= e.limit {
-			return did
+	n := e.burst
+	if d := e.DefaultBurst(); d > n {
+		n = d
+	}
+	if e.limit >= 0 {
+		if left := e.limit - e.Emitted; int64(n) > left {
+			n = int(left)
 		}
+	}
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
 		e.Work()
 		e.Emitted++
 		e.Output(0).Push(e.tmpl.Clone())
-		did = true
+		return true
 	}
-	return did
+	if cap(e.scratch) < n {
+		e.scratch = make([]*packet.Packet, n)
+	}
+	batch := e.scratch[:n]
+	for i := range batch {
+		e.Work()
+		batch[i] = e.tmpl.Clone()
+	}
+	e.Emitted += int64(n)
+	e.Output(0).PushBatch(batch)
+	return true
 }
 
 // RED implements random early detection dropping: when the average

@@ -2,6 +2,7 @@ package elements
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/classifier"
 	"repro/internal/core"
@@ -31,16 +32,59 @@ func (e *classifierBase) classify(p *packet.Packet) {
 	port, ok, steps := e.prog.Match(p.Data())
 	e.Charge(int64(steps) * costClassifierStep)
 	if !ok || port >= e.NOutputs() {
-		e.Dropped++
+		atomic.AddInt64(&e.Dropped, 1)
 		p.Kill()
 		return
 	}
-	e.Matched++
+	atomic.AddInt64(&e.Matched, 1)
 	e.Output(port).Push(p)
 }
 
 // Push classifies.
 func (e *classifierBase) Push(port int, p *packet.Packet) { e.classify(p) }
+
+// PushBatch classifies each packet and forwards runs of consecutive
+// same-port packets as sub-batches, preserving per-port packet order.
+func (e *classifierBase) PushBatch(port int, ps []*packet.Packet) {
+	pushRunsBatch(ps, e.NOutputs(), func(p *packet.Packet) int {
+		e.Work()
+		e.MemFetch(1)
+		out, ok, steps := e.prog.Match(p.Data())
+		e.Charge(int64(steps) * costClassifierStep)
+		if !ok || out >= e.NOutputs() {
+			atomic.AddInt64(&e.Dropped, 1)
+			return -1
+		}
+		atomic.AddInt64(&e.Matched, 1)
+		return out
+	}, e.Output)
+}
+
+// pushRunsBatch routes a batch through a per-packet port decision,
+// emitting maximal runs of consecutive same-port packets as one
+// batched transfer each. A decision of -1 kills the packet.
+func pushRunsBatch(ps []*packet.Packet, nout int, decide func(*packet.Packet) int, output func(int) *core.OutPort) {
+	start, cur := 0, -2
+	flush := func(end int) {
+		if cur >= 0 && end > start {
+			output(cur).PushBatch(ps[start:end])
+		}
+	}
+	for i, p := range ps {
+		out := decide(p)
+		if out < 0 {
+			flush(i)
+			p.Kill()
+			cur, start = -2, i+1
+			continue
+		}
+		if out != cur {
+			flush(i)
+			cur, start = out, i
+		}
+	}
+	flush(len(ps))
+}
 
 // Classifier matches raw packet data against hex patterns
 // ("12/0806 20/0001, 12/0800, -"); each pattern is an output port.
@@ -120,10 +164,27 @@ func (e *FastClassifier) Push(port int, p *packet.Packet) {
 	out, ok, steps := e.compiled.Match(p.Data())
 	e.Charge(int64(steps) * costFastClassStep)
 	if !ok || out >= e.NOutputs() {
-		e.Dropped++
+		atomic.AddInt64(&e.Dropped, 1)
 		p.Kill()
 		return
 	}
-	e.Matched++
+	atomic.AddInt64(&e.Matched, 1)
 	e.Output(out).Push(p)
+}
+
+// PushBatch classifies the batch with the compiled matcher, forwarding
+// runs of consecutive same-port packets as sub-batches.
+func (e *FastClassifier) PushBatch(port int, ps []*packet.Packet) {
+	pushRunsBatch(ps, e.NOutputs(), func(p *packet.Packet) int {
+		e.Work()
+		e.MemFetch(1)
+		out, ok, steps := e.compiled.Match(p.Data())
+		e.Charge(int64(steps) * costFastClassStep)
+		if !ok || out >= e.NOutputs() {
+			atomic.AddInt64(&e.Dropped, 1)
+			return -1
+		}
+		atomic.AddInt64(&e.Matched, 1)
+		return out
+	}, e.Output)
 }

@@ -3,6 +3,7 @@ package elements
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -58,39 +59,41 @@ func (e *IPInputCombo) fail(p *packet.Packet) {
 	p.Kill()
 }
 
-// Push performs the fused input path in one traversal of the header.
-func (e *IPInputCombo) Push(port int, p *packet.Packet) {
+// process runs the fused input path on one packet and reports whether
+// it survived to be forwarded on output 0. Failed packets have already
+// been dispatched (to output 1 or killed).
+func (e *IPInputCombo) process(p *packet.Packet) bool {
 	e.Work()
 	e.MemFetch(1) // first touch of the packet's IP header
 	p.Anno.Paint = e.color
 	if p.Len() < packet.EtherHeaderLen {
 		p.Kill()
-		return
+		return false
 	}
 	p.Pull(packet.EtherHeaderLen)
 	d := p.Data()
 	if len(d) < packet.IPHeaderMinLen {
 		e.fail(p)
-		return
+		return false
 	}
 	h := packet.IP4Header(d)
 	hl := h.HeaderLen()
 	if h.Version() != 4 || hl < packet.IPHeaderMinLen || hl > len(d) {
 		e.fail(p)
-		return
+		return false
 	}
 	tl := h.TotalLen()
 	if tl < hl || tl > len(d) {
 		e.fail(p)
-		return
+		return false
 	}
 	if !h.ChecksumOK() {
 		e.fail(p)
-		return
+		return false
 	}
 	if e.check.bad[h.Src()] {
 		e.fail(p)
-		return
+		return false
 	}
 	p.Anno.NetworkOffset = 0
 	if tl < p.Len() {
@@ -99,8 +102,29 @@ func (e *IPInputCombo) Push(port int, p *packet.Packet) {
 	if e.addrOff >= 0 && len(d) >= e.addrOff+4 {
 		copy(p.Anno.DstIPAnno[:], d[e.addrOff:e.addrOff+4])
 	}
-	e.Processed++
-	e.Output(0).Push(p)
+	atomic.AddInt64(&e.Processed, 1)
+	return true
+}
+
+// Push performs the fused input path in one traversal of the header.
+func (e *IPInputCombo) Push(port int, p *packet.Packet) {
+	if e.process(p) {
+		e.Output(0).Push(p)
+	}
+}
+
+// PushBatch runs the fused input path over the batch, compacting
+// survivors in place and forwarding them as one batch on output 0;
+// failures leave on the scalar error path as they are found.
+func (e *IPInputCombo) PushBatch(port int, ps []*packet.Packet) {
+	k := 0
+	for _, p := range ps {
+		if e.process(p) {
+			ps[k] = p
+			k++
+		}
+	}
+	e.Output(0).PushBatch(ps[:k])
 }
 
 // IPOutputCombo fuses the output path: DropBroadcasts → CheckPaint(COLOR)
@@ -146,14 +170,24 @@ func (e *IPOutputCombo) errorOut(port int, p *packet.Packet) {
 	p.Kill()
 }
 
-// Push performs the fused output path.
-func (e *IPOutputCombo) Push(port int, p *packet.Packet) {
+// Outcomes of IPOutputCombo.process.
+const (
+	outDone     = iota // dispatched to an error output or killed
+	outForward         // forward unmodified on output 0
+	outFragment        // exceeds the MTU: caller must fragmentTo
+)
+
+// process runs the fused output path on one packet. Error-path packets
+// are dispatched (or killed) inside and report outDone; packets that
+// need fragmentation report outFragment so the caller can order the
+// fragments correctly relative to other output-0 traffic.
+func (e *IPOutputCombo) process(p *packet.Packet) int {
 	e.Work()
-	e.Processed++
+	atomic.AddInt64(&e.Processed, 1)
 	// DropBroadcasts.
 	if p.Anno.MACBroadcast {
 		p.Kill()
-		return
+		return outDone
 	}
 	// CheckPaint: clone to the redirect output, keep forwarding.
 	if p.Anno.Paint == e.color && e.NOutputs() > 1 {
@@ -162,13 +196,13 @@ func (e *IPOutputCombo) Push(port int, p *packet.Packet) {
 	h, ok := p.IPHeader()
 	if !ok {
 		p.Kill()
-		return
+		return outDone
 	}
 	// IPGWOptions.
 	if h.HeaderLen() > packet.IPHeaderMinLen {
 		if !e.gwOpts.processOptions(p, h, h.HeaderLen()) {
 			e.errorOut(2, p)
-			return
+			return outDone
 		}
 	}
 	// FixIPSrc.
@@ -180,7 +214,7 @@ func (e *IPOutputCombo) Push(port int, p *packet.Packet) {
 	// DecIPTTL.
 	if h.TTL() <= 1 {
 		e.errorOut(3, p)
-		return
+		return outDone
 	}
 	p.Uniqueify()
 	h, _ = p.IPHeader()
@@ -189,14 +223,43 @@ func (e *IPOutputCombo) Push(port int, p *packet.Packet) {
 	if p.Len() > e.frag.mtu {
 		if h.DontFragment() {
 			e.errorOut(4, p)
-			return
+			return outDone
 		}
-		// Delegate data-dependent fragmentation to the component
-		// implementation, emitting on our output 0.
-		e.fragmentTo(p, h)
-		return
+		return outFragment
 	}
-	e.Output(0).Push(p)
+	return outForward
+}
+
+// Push performs the fused output path.
+func (e *IPOutputCombo) Push(port int, p *packet.Packet) {
+	switch e.process(p) {
+	case outForward:
+		e.Output(0).Push(p)
+	case outFragment:
+		h, _ := p.IPHeader()
+		e.fragmentTo(p, h)
+	}
+}
+
+// PushBatch runs the fused output path over the batch, forwarding
+// survivors as one compacted batch on output 0. When a packet needs
+// fragmentation, pending survivors are flushed first so output-0 order
+// matches the scalar path exactly.
+func (e *IPOutputCombo) PushBatch(port int, ps []*packet.Packet) {
+	k := 0
+	for _, p := range ps {
+		switch e.process(p) {
+		case outForward:
+			ps[k] = p
+			k++
+		case outFragment:
+			e.Output(0).PushBatch(ps[:k])
+			k = 0
+			h, _ := p.IPHeader()
+			e.fragmentTo(p, h)
+		}
+	}
+	e.Output(0).PushBatch(ps[:k])
 }
 
 func (e *IPOutputCombo) fragmentTo(p *packet.Packet, h packet.IP4Header) {

@@ -2,6 +2,7 @@ package elements
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -27,6 +28,70 @@ type Device interface {
 	TxClean() int
 }
 
+// BatchDevice is implemented by devices whose DMA rings can be drained
+// or filled several packets at a time, saving the per-call ring
+// bookkeeping. PollDevice and ToDevice use it when running with a
+// burst greater than one; devices without it are driven through the
+// scalar ring operations in a loop.
+type BatchDevice interface {
+	// RxDequeueBatch fills buf with up to len(buf) received packets and
+	// returns how many it delivered.
+	RxDequeueBatch(buf []*packet.Packet) int
+	// TxEnqueueBatch places packets on the TX ring until it fills,
+	// returning how many were accepted.
+	TxEnqueueBatch(ps []*packet.Packet) int
+}
+
+// rxDequeueBatch drains up to len(buf) packets from dev, batched when
+// the device supports it.
+func rxDequeueBatch(dev Device, buf []*packet.Packet) int {
+	if bd, ok := dev.(BatchDevice); ok {
+		return bd.RxDequeueBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		p := dev.RxDequeue()
+		if p == nil {
+			break
+		}
+		buf[n] = p
+		n++
+	}
+	return n
+}
+
+// txEnqueueBatch enqueues packets until the ring fills, batched when
+// the device supports it, and returns how many were accepted.
+func txEnqueueBatch(dev Device, ps []*packet.Packet) int {
+	if bd, ok := dev.(BatchDevice); ok {
+		return bd.TxEnqueueBatch(ps)
+	}
+	n := 0
+	for _, p := range ps {
+		if !dev.TxEnqueue(p) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// parseDeviceArgs parses DEVNAME [, BURST] for the device elements.
+func parseDeviceArgs(class string, args []string) (string, int, error) {
+	if len(args) < 1 || len(args) > 2 || args[0] == "" {
+		return "", 0, fmt.Errorf("%s: expects DEVNAME [, BURST]", class)
+	}
+	burst := 0
+	if len(args) == 2 && args[1] != "" {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("%s: bad burst %q", class, args[1])
+		}
+		burst = n
+	}
+	return args[0], burst, nil
+}
+
 // EnvDevice returns the device registered under "device:<name>" in the
 // router environment.
 func EnvDevice(rt *core.Router, name string) (Device, error) {
@@ -44,21 +109,26 @@ func EnvDevice(rt *core.Router, name string) (Device, error) {
 // PollDevice polls a device's receive DMA ring and pushes received
 // packets into the graph — Click's polling driver structure, which
 // replaced interrupt-driven receive to eliminate receive livelock (§3).
-// Each RunTask handles at most one packet (Click's POLLDEV burst of 1 in
-// the evaluation configuration).
+// By default each RunTask handles at most one packet (Click's POLLDEV
+// burst of 1 in the evaluation configuration); an optional BURST
+// argument, or the router's Burst build option, drains up to BURST
+// packets per run and pushes them as one batch.
 type PollDevice struct {
 	core.Base
 	devName string
 	dev     Device
+	burst   int
+	scratch []*packet.Packet
 	Recv    int64
 }
 
-// Configure accepts the device name.
+// Configure accepts DEVNAME [, BURST].
 func (e *PollDevice) Configure(args []string) error {
-	if len(args) != 1 || args[0] == "" {
-		return fmt.Errorf("PollDevice: expects DEVNAME")
+	name, burst, err := parseDeviceArgs("PollDevice", args)
+	if err != nil {
+		return err
 	}
-	e.devName = args[0]
+	e.devName, e.burst = name, burst
 	return nil
 }
 
@@ -72,28 +142,61 @@ func (e *PollDevice) Initialize(rt *core.Router) error {
 	return nil
 }
 
-// RunTask polls the RX ring once.
+// RunTask polls the RX ring once, draining up to one burst.
 func (e *PollDevice) RunTask() bool {
 	if e.dev == nil {
 		return false
 	}
-	p := e.dev.RxDequeue()
-	if p == nil {
-		return false
+	burst := e.burst
+	if burst == 0 {
+		burst = e.DefaultBurst()
 	}
-	e.Recv++
-	if cpu := e.CPU(); cpu != nil {
-		prev := cpu.SetCategory(simcpu.CatRxDevice)
-		cpu.Charge(costRxDeviceInteraction)
-		cpu.MemFetch(1) // load the RX DMA descriptor
-		cpu.SetCategory(simcpu.CatForward)
+	if burst <= 1 {
+		p := e.dev.RxDequeue()
+		if p == nil {
+			return false
+		}
+		e.Recv++
+		if cpu := e.CPU(); cpu != nil {
+			prev := cpu.SetCategory(simcpu.CatRxDevice)
+			cpu.Charge(costRxDeviceInteraction)
+			cpu.MemFetch(1) // load the RX DMA descriptor
+			cpu.SetCategory(simcpu.CatForward)
+			e.Work()
+			e.Output(0).Push(p)
+			cpu.SetCategory(prev)
+			return true
+		}
 		e.Work()
 		e.Output(0).Push(p)
+		return true
+	}
+	if cap(e.scratch) < burst {
+		e.scratch = make([]*packet.Packet, burst)
+	}
+	n := rxDequeueBatch(e.dev, e.scratch[:burst])
+	if n == 0 {
+		return false
+	}
+	e.Recv += int64(n)
+	if cpu := e.CPU(); cpu != nil {
+		prev := cpu.SetCategory(simcpu.CatRxDevice)
+		// DMA descriptors are still handled per packet; only the
+		// inter-element transfer is amortized.
+		cpu.Charge(int64(n) * costRxDeviceInteraction)
+		cpu.MemFetch(n)
+		cpu.SetCategory(simcpu.CatForward)
+		for i := 0; i < n; i++ {
+			e.Work()
+		}
+		e.Output(0).PushBatch(e.scratch[:n])
 		cpu.SetCategory(prev)
 		return true
 	}
-	e.Work()
-	e.Output(0).Push(p)
+	for i := 0; i < n; i++ {
+		e.Work()
+	}
+	e.Output(0).PushBatch(e.scratch[:n])
 	return true
 }
 
@@ -103,23 +206,28 @@ type FromDevice struct{ PollDevice }
 
 // ToDevice pulls packets from its input and enqueues them on a device's
 // transmit DMA ring. Each RunTask first reclaims transmitted
-// descriptors, then moves at most one packet.
+// descriptors, then moves at most one packet — or up to BURST packets
+// as one batched pull when a burst is configured (argument or router
+// Burst build option).
 type ToDevice struct {
 	core.Base
 	devName string
 	dev     Device
+	burst   int
+	scratch []*packet.Packet
 	Sent    int64
 	// Rejected counts pulls refused because the TX ring was full —
 	// the §8.4 instrumentation showing ToDevice "chose not to pull".
 	Rejected int64
 }
 
-// Configure accepts the device name.
+// Configure accepts DEVNAME [, BURST].
 func (e *ToDevice) Configure(args []string) error {
-	if len(args) != 1 || args[0] == "" {
-		return fmt.Errorf("ToDevice: expects DEVNAME")
+	name, burst, err := parseDeviceArgs("ToDevice", args)
+	if err != nil {
+		return err
 	}
-	e.devName = args[0]
+	e.devName, e.burst = name, burst
 	return nil
 }
 
@@ -133,10 +241,14 @@ func (e *ToDevice) Initialize(rt *core.Router) error {
 	return nil
 }
 
-// RunTask cleans the TX ring and sends one packet if possible.
+// RunTask cleans the TX ring and sends up to one burst of packets.
 func (e *ToDevice) RunTask() bool {
 	if e.dev == nil {
 		return false
+	}
+	burst := e.burst
+	if burst == 0 {
+		burst = e.DefaultBurst()
 	}
 	cleaned := e.dev.TxClean()
 	// Refuse to pull when the TX DMA queue is full; the packet stays in
@@ -152,28 +264,58 @@ func (e *ToDevice) RunTask() bool {
 		prev = cpu.SetCategory(simcpu.CatForward)
 		snap = cpu.CategorySnapshot()
 	}
-	p := e.Input(0).Pull()
-	if p == nil {
+	if burst <= 1 {
+		p := e.Input(0).Pull()
+		if p == nil {
+			if cpu != nil {
+				// An empty pull is scheduler idling, not per-packet path
+				// cost; keep the Figure 8 categories clean (the paper's
+				// counters wrap actual packet processing).
+				cpu.ReclassifyAsOther(snap)
+				cpu.SetCategory(prev)
+			}
+			return cleaned > 0
+		}
+		e.Work()
 		if cpu != nil {
-			// An empty pull is scheduler idling, not per-packet path
-			// cost; keep the Figure 8 categories clean (the paper's
-			// counters wrap actual packet processing).
+			cpu.SetCategory(simcpu.CatTxDevice)
+			cpu.Charge(costTxDeviceInteraction)
+			cpu.MemFetch(1) // reclaim the sent TX descriptor
+			cpu.SetCategory(prev)
+		}
+		if e.dev.TxEnqueue(p) {
+			e.Sent++
+		} else {
+			p.Kill()
+		}
+		return true
+	}
+	if cap(e.scratch) < burst {
+		e.scratch = make([]*packet.Packet, burst)
+	}
+	n := e.Input(0).PullBatch(e.scratch[:burst])
+	if n == 0 {
+		if cpu != nil {
 			cpu.ReclassifyAsOther(snap)
 			cpu.SetCategory(prev)
 		}
 		return cleaned > 0
 	}
-	e.Work()
+	for i := 0; i < n; i++ {
+		e.Work()
+	}
 	if cpu != nil {
 		cpu.SetCategory(simcpu.CatTxDevice)
-		cpu.Charge(costTxDeviceInteraction)
-		cpu.MemFetch(1) // reclaim the sent TX descriptor
+		// TX descriptors are still per packet; only the pull dispatch
+		// was amortized.
+		cpu.Charge(int64(n) * costTxDeviceInteraction)
+		cpu.MemFetch(n)
 		cpu.SetCategory(prev)
 	}
-	if e.dev.TxEnqueue(p) {
-		e.Sent++
-	} else {
-		p.Kill()
+	sent := txEnqueueBatch(e.dev, e.scratch[:n])
+	e.Sent += int64(sent)
+	for i := sent; i < n; i++ {
+		e.scratch[i].Kill()
 	}
 	return true
 }

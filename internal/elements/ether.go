@@ -3,6 +3,8 @@ package elements
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -72,7 +74,7 @@ func (e *CheckPaint) Configure(args []string) error {
 func (e *CheckPaint) Push(port int, p *packet.Packet) {
 	e.Work()
 	if p.Anno.Paint == e.color {
-		e.Matched++
+		atomic.AddInt64(&e.Matched, 1)
 		if e.NOutputs() > 1 {
 			e.Output(1).Push(p.Clone())
 		}
@@ -236,10 +238,30 @@ type ARPQuerier struct {
 	eth  packet.EtherAddr
 	tbl  map[packet.IP4]packet.EtherAddr
 	wait map[packet.IP4]*packet.Packet
+	// mu guards tbl and wait when the parallel scheduler armed it (IP
+	// traffic and ARP responses may arrive on different workers); in the
+	// single-threaded runtime it stays disabled and costs nothing.
+	mu      sync.Mutex
+	guarded bool
 	// Queries, Responses, and Drops instrument the element.
 	Queries   int64
 	Responses int64
 	Drops     int64
+}
+
+// EnableSync arms the table guard (core.Synchronizer).
+func (e *ARPQuerier) EnableSync() { e.guarded = true }
+
+func (e *ARPQuerier) lock() {
+	if e.guarded {
+		e.mu.Lock()
+	}
+}
+
+func (e *ARPQuerier) unlock() {
+	if e.guarded {
+		e.mu.Unlock()
+	}
 }
 
 // Configure accepts our IP and Ethernet addresses.
@@ -273,19 +295,72 @@ func (e *ARPQuerier) Push(port int, p *packet.Packet) {
 			next = ih.Dst()
 		}
 	}
+	e.lock()
 	if ea, ok := e.tbl[next]; ok {
+		e.unlock()
 		encapEther(p, packet.EtherTypeIP, e.eth, ea)
 		e.Output(0).Push(p)
 		return
 	}
 	// Unknown: hold the packet (replacing any previous) and query.
-	if old := e.wait[next]; old != nil {
-		e.Drops++
+	old := e.wait[next]
+	e.wait[next] = p
+	e.unlock()
+	if old != nil {
+		atomic.AddInt64(&e.Drops, 1)
 		old.Kill()
 	}
-	e.wait[next] = p
-	e.Queries++
+	atomic.AddInt64(&e.Queries, 1)
 	e.Output(0).Push(e.makeQuery(next))
+}
+
+// PushBatch encapsulates a batch of IP packets, forwarding runs whose
+// mappings are known as sub-batches; misses fall back to the scalar
+// hold-and-query path. ARP responses (port 1) are always scalar.
+func (e *ARPQuerier) PushBatch(port int, ps []*packet.Packet) {
+	if port == 1 {
+		for _, p := range ps {
+			e.Push(port, p)
+		}
+		return
+	}
+	k := 0
+	flush := func() {
+		e.Output(0).PushBatch(ps[:k])
+		k = 0
+	}
+	for _, p := range ps {
+		e.Work()
+		next := p.Anno.DstIPAnno
+		if next.IsZero() {
+			if ih, ok := p.IPHeader(); ok {
+				next = ih.Dst()
+			}
+		}
+		e.lock()
+		ea, ok := e.tbl[next]
+		e.unlock()
+		if !ok {
+			// Miss: emit pending hits first so output order matches the
+			// scalar path, then take the hold-and-query path.
+			flush()
+			e.lock()
+			old := e.wait[next]
+			e.wait[next] = p
+			e.unlock()
+			if old != nil {
+				atomic.AddInt64(&e.Drops, 1)
+				old.Kill()
+			}
+			atomic.AddInt64(&e.Queries, 1)
+			e.Output(0).Push(e.makeQuery(next))
+			continue
+		}
+		encapEther(p, packet.EtherTypeIP, e.eth, ea)
+		ps[k] = p
+		k++
+	}
+	flush()
 }
 
 func (e *ARPQuerier) makeQuery(target packet.IP4) *packet.Packet {
@@ -312,11 +387,16 @@ func (e *ARPQuerier) handleResponse(p *packet.Packet) {
 	}
 	ip := ah.SenderIP()
 	eth := ah.SenderEther()
+	e.lock()
 	e.tbl[ip] = eth
-	e.Responses++
-	p.Kill()
-	if held := e.wait[ip]; held != nil {
+	held := e.wait[ip]
+	if held != nil {
 		delete(e.wait, ip)
+	}
+	e.unlock()
+	atomic.AddInt64(&e.Responses, 1)
+	p.Kill()
+	if held != nil {
 		encapEther(held, packet.EtherTypeIP, e.eth, eth)
 		e.Output(0).Push(held)
 	}
@@ -325,7 +405,9 @@ func (e *ARPQuerier) handleResponse(p *packet.Packet) {
 // InsertEntry preloads an ARP table mapping (the simulator uses this to
 // model an already-converged network).
 func (e *ARPQuerier) InsertEntry(ip packet.IP4, eth packet.EtherAddr) {
+	e.lock()
 	e.tbl[ip] = eth
+	e.unlock()
 }
 
 // ARPResponder replies to ARP requests for its configured address.
@@ -373,6 +455,6 @@ func (e *ARPResponder) Push(port int, p *packet.Packet) {
 	rh.SetTargetEther(ah.SenderEther())
 	rh.SetTargetIP(ah.SenderIP())
 	p.Kill()
-	e.Replies++
+	atomic.AddInt64(&e.Replies, 1)
 	e.Output(0).Push(reply)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/packet"
@@ -45,7 +46,7 @@ func (e *CheckIPHeader) Configure(args []string) error {
 }
 
 func (e *CheckIPHeader) fail(p *packet.Packet) {
-	e.Bad++
+	atomic.AddInt64(&e.Bad, 1)
 	if e.NOutputs() > 1 {
 		e.Output(1).Push(p)
 		return
@@ -86,7 +87,7 @@ func (e *CheckIPHeader) Push(port int, p *packet.Packet) {
 	if tl < p.Len() {
 		p.Take(p.Len() - tl)
 	}
-	e.Good++
+	atomic.AddInt64(&e.Good, 1)
 	e.Output(0).Push(p)
 }
 
@@ -207,7 +208,7 @@ func (e *LookupIPRoute) Lookup(a packet.IP4) (route, bool) {
 func (e *LookupIPRoute) Push(port int, p *packet.Packet) {
 	e.Work()
 	e.Charge(int64(len(e.routes)) * costLookupPerRoute)
-	e.Lookups++
+	atomic.AddInt64(&e.Lookups, 1)
 	dst := p.Anno.DstIPAnno
 	if dst.IsZero() {
 		if ih, ok := p.IPHeader(); ok {
@@ -216,7 +217,7 @@ func (e *LookupIPRoute) Push(port int, p *packet.Packet) {
 	}
 	r, ok := e.Lookup(dst)
 	if !ok || r.port >= e.NOutputs() {
-		e.NoRoute++
+		atomic.AddInt64(&e.NoRoute, 1)
 		p.Kill()
 		return
 	}
@@ -239,7 +240,7 @@ type DropBroadcasts struct {
 func (e *DropBroadcasts) Push(port int, p *packet.Packet) {
 	e.Work()
 	if p.Anno.MACBroadcast {
-		e.Drops++
+		atomic.AddInt64(&e.Drops, 1)
 		p.Kill()
 		return
 	}
@@ -283,7 +284,7 @@ func (e *IPGWOptions) Push(port int, p *packet.Packet) {
 		e.Output(0).Push(p)
 		return
 	}
-	e.Bad++
+	atomic.AddInt64(&e.Bad, 1)
 	if e.NOutputs() > 1 {
 		e.Output(1).Push(p)
 	} else {
@@ -381,7 +382,7 @@ func (e *DecIPTTL) Push(port int, p *packet.Packet) {
 		return
 	}
 	if h.TTL() <= 1 {
-		e.Expired++
+		atomic.AddInt64(&e.Expired, 1)
 		if e.NOutputs() > 1 {
 			e.Output(1).Push(p)
 		} else {
@@ -431,7 +432,7 @@ func (e *IPFragmenter) Push(port int, p *packet.Packet) {
 		return
 	}
 	if h.DontFragment() {
-		e.DFDrops++
+		atomic.AddInt64(&e.DFDrops, 1)
 		if e.NOutputs() > 1 {
 			e.Output(1).Push(p)
 		} else {
@@ -470,7 +471,7 @@ func (e *IPFragmenter) fragment(p *packet.Packet, h packet.IP4Header) {
 		fh.UpdateChecksum()
 		frag.Anno = p.Anno
 		frag.Anno.NetworkOffset = 0
-		e.Fragments++
+		atomic.AddInt64(&e.Fragments, 1)
 		e.Output(0).Push(frag)
 	}
 	p.Kill()
@@ -558,7 +559,7 @@ func (e *ICMPError) Push(port int, p *packet.Packet) {
 	ep.Anno.FixIPSrc = true
 	ep.Anno.DstIPAnno = src
 	p.Kill()
-	e.Generated++
+	atomic.AddInt64(&e.Generated, 1)
 	e.Output(0).Push(ep)
 }
 
@@ -604,7 +605,7 @@ func (e *ICMPPingResponder) Push(port int, p *packet.Packet) {
 	icmp[2], icmp[3] = byte(cs>>8), byte(cs)
 	p.Anno.DstIPAnno = src
 	p.Anno.Paint = 0 // replies never look like redirect candidates
-	e.Replies++
+	atomic.AddInt64(&e.Replies, 1)
 	e.Output(0).Push(p)
 }
 

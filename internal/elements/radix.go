@@ -1,6 +1,8 @@
 package elements
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/packet"
 )
@@ -79,7 +81,7 @@ func (e *RadixIPLookup) Push(port int, p *packet.Packet) {
 	}
 	r, ok := e.Lookup(dst)
 	if !ok || r.port >= e.NOutputs() {
-		e.NoRoute++
+		atomic.AddInt64(&e.NoRoute, 1)
 		p.Kill()
 		return
 	}

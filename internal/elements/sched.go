@@ -163,21 +163,62 @@ func (e *RatedSource) RunTask() bool {
 	return true
 }
 
-// Unqueue moves packets from its pull input to its push output, one per
-// task run — the bridge from pull context back to push context.
+// Unqueue moves packets from its pull input to its push output — the
+// bridge from pull context back to push context. By default it moves
+// one packet per task run; an optional BURST argument (or the router's
+// Burst build option) moves up to BURST packets per run as one batched
+// pull + one batched push.
 type Unqueue struct {
 	core.Base
-	Moved int64
+	Moved   int64
+	burst   int
+	scratch []*packet.Packet
 }
 
-// RunTask moves one packet if available.
+// Configure accepts an optional BURST (default 1).
+func (e *Unqueue) Configure(args []string) error {
+	e.burst = 0
+	if len(args) > 1 {
+		return fmt.Errorf("Unqueue: too many arguments")
+	}
+	if len(args) == 1 && args[0] != "" {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("Unqueue: bad burst %q", args[0])
+		}
+		e.burst = n
+	}
+	return nil
+}
+
+// RunTask moves up to one burst of packets if available.
 func (e *Unqueue) RunTask() bool {
-	e.Work()
-	p := e.Input(0).Pull()
-	if p == nil {
+	burst := e.burst
+	if burst == 0 {
+		burst = e.DefaultBurst()
+	}
+	if burst <= 1 {
+		e.Work()
+		p := e.Input(0).Pull()
+		if p == nil {
+			return false
+		}
+		e.Moved++
+		e.Output(0).Push(p)
+		return true
+	}
+	if cap(e.scratch) < burst {
+		e.scratch = make([]*packet.Packet, burst)
+	}
+	n := e.Input(0).PullBatch(e.scratch[:burst])
+	if n == 0 {
+		e.Work()
 		return false
 	}
-	e.Moved++
-	e.Output(0).Push(p)
+	for i := 0; i < n; i++ {
+		e.Work()
+	}
+	e.Moved += int64(n)
+	e.Output(0).PushBatch(e.scratch[:n])
 	return true
 }

@@ -565,5 +565,6 @@ var Experiments = map[string]func(io.Writer) error{
 	"fig12":          Fig12,
 	"fig13":          Fig13,
 	"ablation":       Ablation,
+	"parallel":       ParallelBench,
 	"all":            All,
 }

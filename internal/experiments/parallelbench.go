@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/iprouter"
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/packet"
+)
+
+// The parallel benchmark measures this implementation's own wall-clock
+// forwarding speed (no simulated CPU — the cost model is a
+// single-threaded Pentium III and cannot run under the parallel
+// scheduler): the fully optimized IP router driven scalar, batched, and
+// on 1/2/4 scheduler workers.
+
+// JSONPath, when non-empty, is where ParallelBench also writes its
+// results as JSON (set by cmd/click-bench -json).
+var JSONPath string
+
+// ParallelPoint is one measured operating mode.
+type ParallelPoint struct {
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	Burst       int     `json:"burst"`
+	Packets     int64   `json:"packets"`
+	NSPerPacket float64 `json:"ns_per_packet"`
+	PPS         float64 `json:"pps"`
+}
+
+// memDevice is an in-memory elements.Device: a preloaded RX queue and a
+// TX counter. It also implements elements.BatchDevice so the batched
+// device paths are exercised.
+type memDevice struct {
+	name string
+	rx   []*packet.Packet
+	sent int64
+}
+
+func (d *memDevice) DeviceName() string { return d.name }
+
+func (d *memDevice) RxDequeue() *packet.Packet {
+	if len(d.rx) == 0 {
+		return nil
+	}
+	p := d.rx[0]
+	d.rx = d.rx[1:]
+	return p
+}
+
+func (d *memDevice) RxDequeueBatch(buf []*packet.Packet) int {
+	n := copy(buf, d.rx)
+	d.rx = d.rx[n:]
+	return n
+}
+
+func (d *memDevice) TxEnqueue(p *packet.Packet) bool {
+	d.sent++
+	p.Kill()
+	return true
+}
+
+func (d *memDevice) TxEnqueueBatch(ps []*packet.Packet) int {
+	d.sent += int64(len(ps))
+	for _, p := range ps {
+		p.Kill()
+	}
+	return len(ps)
+}
+
+func (d *memDevice) TxRoom() bool { return true }
+func (d *memDevice) TxClean() int { return 0 }
+
+// buildParallelRouter assembles the fully optimized (§8.2 "All") IP
+// router for n interfaces on memDevices, with the given burst and no
+// cost model.
+func buildParallelRouter(n, burst int) (*core.Router, []*memDevice, []iprouter.Interface, error) {
+	ifs := iprouter.Interfaces(n)
+	g, err := lang.ParseRouter(iprouter.Config(ifs), "parallelbench")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reg := elements.NewRegistry()
+	pairs, err := opt.ParsePatterns(iprouter.ComboPatterns, "combopatterns")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opt.Xform(g, pairs)
+	if err := opt.FastClassifier(g, reg); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := opt.Devirtualize(g, reg, nil); err != nil {
+		return nil, nil, nil, err
+	}
+	env := map[string]interface{}{}
+	devs := make([]*memDevice, n)
+	for i, itf := range ifs {
+		devs[i] = &memDevice{name: itf.Device}
+		env["device:"+itf.Device] = devs[i]
+	}
+	rt, err := core.Build(g, reg, core.BuildOptions{Env: env, Burst: burst})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range rt.Elements() {
+		if aq, ok := e.(*elements.ARPQuerier); ok {
+			for _, itf := range ifs {
+				aq.InsertEntry(itf.HostAddr, itf.HostEth)
+			}
+		}
+	}
+	return rt, devs, ifs, nil
+}
+
+// runParallelPoint forwards npkts packets through a fresh router and
+// measures wall-clock time per packet.
+func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, error) {
+	rt, devs, ifs, err := buildParallelRouter(EvalInterfaces, burst)
+	if err != nil {
+		return ParallelPoint{}, err
+	}
+	half := len(ifs) / 2
+	per := npkts / half
+	for i := 0; i < half; i++ {
+		tmpl := packet.BuildUDP4(ifs[i].HostEth, ifs[i].Ether,
+			ifs[i].HostAddr, ifs[i+half].HostAddr, 1234, 5678, make([]byte, 14))
+		for j := 0; j < per; j++ {
+			devs[i].rx = append(devs[i].rx, tmpl.Clone())
+		}
+	}
+	maxRounds := per + 1000
+	start := time.Now()
+	if workers <= 1 {
+		rt.RunUntilIdle(maxRounds)
+	} else {
+		if _, err := rt.RunParallelUntilIdle(workers, maxRounds); err != nil {
+			return ParallelPoint{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	var sent int64
+	for _, d := range devs {
+		sent += d.sent
+	}
+	want := int64(per * half)
+	if sent != want {
+		return ParallelPoint{}, fmt.Errorf("parallel: %s workers=%d burst=%d forwarded %d of %d packets",
+			mode, workers, burst, sent, want)
+	}
+	return ParallelPoint{
+		Mode:        mode,
+		Workers:     workers,
+		Burst:       burst,
+		Packets:     sent,
+		NSPerPacket: float64(elapsed.Nanoseconds()) / float64(sent),
+		PPS:         float64(sent) / elapsed.Seconds(),
+	}, nil
+}
+
+// ParallelBench measures the scalar, batched, and parallel runtimes on
+// the optimized IP router and prints (and optionally JSON-dumps) the
+// comparison.
+func ParallelBench(w io.Writer) error {
+	const npkts = 40000
+	modes := []struct {
+		mode    string
+		workers int
+		burst   int
+	}{
+		{"scalar", 1, 1},
+		{"batch", 1, 32},
+		{"parallel", 1, 32},
+		{"parallel", 2, 32},
+		{"parallel", 4, 32},
+	}
+	fmt.Fprintf(w, "Parallel/batched forwarding, optimized IP router (wall clock, this machine)\n")
+	fmt.Fprintf(w, "%-10s %8s %6s %10s %12s %12s\n", "mode", "workers", "burst", "packets", "ns/packet", "pps")
+	var points []ParallelPoint
+	for _, m := range modes {
+		pt, err := runParallelPoint(m.mode, m.workers, m.burst, npkts)
+		if err != nil {
+			return err
+		}
+		points = append(points, pt)
+		fmt.Fprintf(w, "%-10s %8d %6d %10d %12.1f %12.0f\n",
+			pt.Mode, pt.Workers, pt.Burst, pt.Packets, pt.NSPerPacket, pt.PPS)
+	}
+	if JSONPath != "" {
+		blob, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", JSONPath)
+	}
+	return nil
+}

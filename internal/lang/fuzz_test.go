@@ -1,0 +1,88 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzParse checks the parse → unparse → parse round trip on arbitrary
+// input: any text the parser accepts must unparse to text that parses
+// back to an isomorphic graph (same elements by name/class/config, same
+// connections, same requirements). This is the §5.2 contract the
+// optimizer tools rely on when they rewrite configurations. The corpus
+// is seeded with the shipped configurations.
+func FuzzParse(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "configs", "*.click"))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("a :: A; b :: B(1, 2); a -> b;")
+	f.Add("elementclass P { input -> Null -> output; }\nx :: P; y :: P;\nx -> y -> x;")
+	f.Add("require(fastclassifier);\nc :: Classifier(12/0806, -);\nc [1] -> Discard;\nc -> Discard;")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseRouter(src, "fuzz")
+		if err != nil {
+			return // rejecting malformed input is fine
+		}
+		text := Unparse(g)
+		g2, err := ParseRouter(text, "fuzz-reparse")
+		if err != nil {
+			t.Fatalf("unparse output does not reparse: %v\ninput: %q\nunparsed:\n%s", err, src, text)
+		}
+		assertIsomorphic(t, g, g2, src, text)
+	})
+}
+
+// assertIsomorphic fails the test unless g2 has exactly the elements,
+// connections, and requirements of g (matching elements by name).
+func assertIsomorphic(t *testing.T, g, g2 *graph.Router, src, text string) {
+	t.Helper()
+	fail := func(format string, args ...interface{}) {
+		t.Helper()
+		t.Fatalf(format+"\ninput: %q\nunparsed:\n%s", append(args, src, text)...)
+	}
+	if g.NumElements() != g2.NumElements() {
+		fail("element count %d -> %d", g.NumElements(), g2.NumElements())
+	}
+	if len(g.Conns) != len(g2.Conns) {
+		fail("conn count %d -> %d", len(g.Conns), len(g2.Conns))
+	}
+	if len(g.Requirements) != len(g2.Requirements) {
+		fail("requirements %v -> %v", g.Requirements, g2.Requirements)
+	}
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		j := g2.FindElement(e.Name)
+		if j < 0 {
+			fail("element %q lost", e.Name)
+		}
+		e2 := g2.Element(j)
+		if e2.Class != e.Class || e2.Config != e.Config {
+			fail("element %q changed: %s(%s) -> %s(%s)",
+				e.Name, e.Class, e.Config, e2.Class, e2.Config)
+		}
+	}
+	for _, c := range g.Conns {
+		f2 := g2.FindElement(g.Element(c.From).Name)
+		t2 := g2.FindElement(g.Element(c.To).Name)
+		found := false
+		for _, c2 := range g2.Conns {
+			if c2.From == f2 && c2.FromPort == c.FromPort && c2.To == t2 && c2.ToPort == c.ToPort {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail("connection %s[%d]->[%d]%s lost",
+				g.Element(c.From).Name, c.FromPort, c.ToPort, g.Element(c.To).Name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/simcpu"
+)
+
+// TestTestbedBatchedForwardsLossFree runs the base IP router on the
+// simulated testbed with the batched device paths enabled (Burst > 1)
+// and checks it forwards a low-rate load as losslessly as the scalar
+// runtime does. The cost model charges batched transfers per packet, so
+// throughput results stay comparable between the two modes.
+func TestTestbedBatchedForwardsLossFree(t *testing.T) {
+	variants, ifs, err := PrepareVariants(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := variants[0]
+	for _, burst := range []int{1, 8, 32} {
+		res, err := RunPoint(base.Graph, TestbedOptions{
+			Platform: simcpu.P0, NIC: Tulip, Ifs: ifs, Registry: base.Registry,
+			Burst: burst,
+		}, 50000, 5e6, 20e6)
+		if err != nil {
+			t.Fatalf("burst %d: %v", burst, err)
+		}
+		loss := 1 - res.ForwardPPS/res.InputPPS
+		if loss > 0.01 {
+			t.Errorf("burst %d: %.1f%% loss at 50 kpps (fwd %.0f of %.0f)",
+				burst, loss*100, res.ForwardPPS, res.InputPPS)
+		}
+	}
+}
+
+// TestNICBatchTransfers exercises the ring-level batch paths directly:
+// RxDequeueBatch must drain in arrival order and free descriptors,
+// TxEnqueueBatch must accept up to the available ring room.
+func TestNICBatchTransfers(t *testing.T) {
+	s := NewSim()
+	bus := NewBus(s, 100, 100)
+	nic := NewNIC(s, "eth0", Tulip, bus)
+	for i := 0; i < 10; i++ {
+		p := mkPkt()
+		p.Data()[0] = byte(i)
+		nic.Arrive(p)
+	}
+	s.RunUntil(1e6)
+	buf := make([]*packet.Packet, 16)
+	n := nic.RxDequeueBatch(buf)
+	if n != 10 {
+		t.Fatalf("RxDequeueBatch drained %d packets, want 10", n)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i].Data()[0] != byte(i) {
+			t.Fatalf("packet %d out of order", i)
+		}
+	}
+	if nic.RxDequeueBatch(buf) != 0 {
+		t.Error("drained ring returned packets")
+	}
+	if accepted := nic.TxEnqueueBatch(buf[:n]); accepted != n {
+		t.Fatalf("TxEnqueueBatch accepted %d of %d", accepted, n)
+	}
+	// Overfill: the ring bounds acceptance.
+	big := make([]*packet.Packet, Tulip.TxRing+8)
+	for i := range big {
+		big[i] = mkPkt()
+	}
+	accepted := nic.TxEnqueueBatch(big)
+	if accepted >= len(big) {
+		t.Errorf("TxEnqueueBatch accepted %d, want fewer than %d (ring bound)", accepted, len(big))
+	}
+	for _, p := range big[accepted:] {
+		p.Kill()
+	}
+}

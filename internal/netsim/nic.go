@@ -214,6 +214,21 @@ func (n *NIC) RxDequeue() *packet.Packet {
 	return p
 }
 
+// RxDequeueBatch implements elements.BatchDevice: the CPU drains up to
+// len(buf) received packets in one ring walk, refilling descriptors as
+// it goes.
+func (n *NIC) RxDequeueBatch(buf []*packet.Packet) int {
+	k := 0
+	for k < len(buf) && n.rxState[n.rxCPUTail] == slotFull {
+		buf[k] = n.rxPkt[n.rxCPUTail]
+		n.rxPkt[n.rxCPUTail] = nil
+		n.rxState[n.rxCPUTail] = slotFree
+		n.rxCPUTail = (n.rxCPUTail + 1) % n.params.RxRing
+		k++
+	}
+	return k
+}
+
 // TxRoom implements elements.Device.
 func (n *NIC) TxRoom() bool {
 	return len(n.txQueue)+n.txPending+n.txDone < n.params.TxRing
@@ -228,6 +243,23 @@ func (n *NIC) TxEnqueue(p *packet.Packet) bool {
 	n.txQueue = append(n.txQueue, p)
 	n.maybeStartTx()
 	return true
+}
+
+// TxEnqueueBatch implements elements.BatchDevice: the CPU appends
+// packets until the ring fills, returning how many were accepted.
+func (n *NIC) TxEnqueueBatch(ps []*packet.Packet) int {
+	k := 0
+	for _, p := range ps {
+		if !n.TxRoom() {
+			break
+		}
+		n.txQueue = append(n.txQueue, p)
+		k++
+	}
+	if k > 0 {
+		n.maybeStartTx()
+	}
+	return k
 }
 
 // TxClean implements elements.Device: reclaim descriptors the NIC

@@ -45,6 +45,10 @@ type TestbedOptions struct {
 	Registry *core.Registry
 	// PIOAccessNS adds per-packet CPU cost for programmed-I/O NICs.
 	PIOAccessNS float64
+	// Burst is the router Burst build option: device and Unqueue
+	// elements move up to Burst packets per task run through the
+	// batched transfer path (0 or 1 keeps the calibrated scalar path).
+	Burst int
 }
 
 // NewTestbed builds the testbed for a configuration graph. NIC i is
@@ -80,7 +84,7 @@ func NewTestbed(g *graph.Router, o TestbedOptions) (*Testbed, error) {
 		tb.NICs = append(tb.NICs, nic)
 		env["device:"+itf.Device] = nic
 	}
-	rt, err := core.Build(g, reg, core.BuildOptions{CPU: tb.CPU, Env: env})
+	rt, err := core.Build(g, reg, core.BuildOptions{CPU: tb.CPU, Env: env, Burst: o.Burst})
 	if err != nil {
 		return nil, err
 	}

@@ -189,6 +189,13 @@ type CPU struct {
 	MemMiss  int64
 	Direct   int64
 	disabled bool
+	// BatchTransfers and BatchPackets count batched packet transfers:
+	// each batch crosses an element boundary in a single dispatch
+	// (charged by IndirectCall/DirectCall as usual), so the per-packet
+	// dispatch cost shrinks by the batch size. Zero in the calibrated
+	// Figure 8/9 runs, which use per-packet transfers.
+	BatchTransfers int64
+	BatchPackets   int64
 }
 
 // New returns a CPU for the given platform.
@@ -243,6 +250,18 @@ func (c *CPU) IndirectCall(site SiteID, target TargetID) {
 		cost += c.Plat.MispredictPenalty
 	}
 	c.cycles[c.current] += cost
+}
+
+// BatchTransfer records that the preceding dispatch charge carried a
+// batch of n packets instead of one. The dispatch itself is charged by
+// the caller (IndirectCall or DirectCall, once per batch); this only
+// keeps the amortization observable.
+func (c *CPU) BatchTransfer(n int) {
+	if c.disabled {
+		return
+	}
+	c.BatchTransfers++
+	c.BatchPackets += int64(n)
 }
 
 // DirectCall charges one devirtualized (conventional) call.
@@ -301,6 +320,7 @@ func (c *CPU) ReclassifyAsOther(snap CatSnapshot) {
 func (c *CPU) Reset() {
 	c.cycles = [numCategories]int64{}
 	c.Calls, c.Mispred, c.MemMiss, c.Direct = 0, 0, 0, 0
+	c.BatchTransfers, c.BatchPackets = 0, 0
 }
 
 // ResetPredictor clears BTB state.

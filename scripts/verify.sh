@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full verification: build, vet, tests, and the race-detector tier.
+# The -race run matters because the parallel scheduler and the batched
+# transfer paths share Queue rings, ARP tables, and the packet pool
+# across workers; the differential tests in internal/opt drive those
+# paths under 2 workers and will surface unguarded state here.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./...
