@@ -35,5 +35,7 @@ func main() {
 	if len(errs) > 0 {
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "click-check: configuration OK")
+	// Success goes to stdout: errors are diagnostics, the OK verdict is
+	// the tool's output (scripts grep for it).
+	fmt.Println("click-check: configuration OK")
 }

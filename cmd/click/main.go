@@ -7,20 +7,37 @@
 //
 // Usage:
 //
-//	click [-f config] [-rounds n] [-batch n] [-workers n] [-h element.handler]... [-report]
+//	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n]
+//	      [-h element.handler]... [-counters] [-report]
 //
 // -batch moves packets between elements in bursts of up to n (amortized
 // dispatch); -workers runs the task scheduler on n workers with work
-// stealing.
+// stealing. -counters prints the familiar per-element handler dump;
+// -report instead emits the full telemetry tree — per-element packet,
+// byte, drop, and cycle counters, their totals, any optimizer pass
+// reports carried in the configuration archive, and (with -trace) the
+// recorded per-packet element paths — as one JSON document on stdout.
+//
+// Device elements (PollDevice, FromDevice, ToDevice) referencing devices
+// that no caller provided are bound to idle in-memory devices, so
+// hardware-facing configurations can be load-checked and reported on
+// standalone.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/packet"
 	"repro/internal/tool"
 )
 
@@ -32,7 +49,9 @@ func (h *handlerList) Set(s string) error { *h = append(*h, s); return nil }
 func main() {
 	file := flag.String("f", "-", "configuration file (- = stdin)")
 	rounds := flag.Int("rounds", 100000, "maximum task-loop rounds")
-	report := flag.Bool("report", true, "print element counters on exit")
+	counters := flag.Bool("counters", true, "print element counters on exit")
+	report := flag.Bool("report", false, "emit the telemetry report (elements, totals, pass reports) as JSON")
+	traceCap := flag.Int("trace", 0, "record per-packet element paths (ring buffer of n records)")
 	batch := flag.Int("batch", 1, "move packets between elements in bursts of up to this size")
 	workers := flag.Int("workers", 1, "task scheduler workers (work stealing when > 1)")
 	var reads handlerList
@@ -44,9 +63,14 @@ func main() {
 	if err != nil {
 		tool.Fail("click", err)
 	}
-	rt, err := core.Build(g, reg, core.BuildOptions{Burst: *batch})
+	env := provisionDevices(g)
+	rt, err := core.Build(g, reg, core.BuildOptions{Burst: *batch, Env: env})
 	if err != nil {
 		tool.Fail("click", err)
+	}
+	var tracer *core.Tracer
+	if *traceCap > 0 {
+		tracer = rt.EnableTracing(*traceCap)
 	}
 	var ran int
 	if *workers > 1 {
@@ -66,14 +90,54 @@ func main() {
 		}
 		fmt.Printf("%s: %s\n", path, v)
 	}
-	if *report && len(reads) == 0 {
-		printReport(rt)
+	if *report {
+		if err := printJSONReport(rt, ran, tracer); err != nil {
+			tool.Fail("click", err)
+		}
+		return
+	}
+	if *counters && len(reads) == 0 {
+		printCounters(rt)
 	}
 }
 
-// printReport dumps every element's counter-like handlers, the way
+// jsonReport is the document click -report emits: the live telemetry
+// tree plus whatever diagnostics the optimizer passes archived.
+type jsonReport struct {
+	TaskRounds  int                       `json:"task_rounds"`
+	Elements    []core.ElementStatsReport `json:"elements"`
+	Totals      core.StatsTotals          `json:"totals"`
+	PassReports []*opt.PassReport         `json:"pass_reports,omitempty"`
+	Trace       []core.TraceRecord        `json:"trace,omitempty"`
+}
+
+func printJSONReport(rt *core.Router, ran int, tracer *core.Tracer) error {
+	elems := rt.StatsReport()
+	rep := jsonReport{
+		TaskRounds: ran,
+		Elements:   elems,
+		Totals:     core.Totals(elems),
+	}
+	passes, err := opt.Reports(rt.Graph)
+	if err != nil {
+		return err
+	}
+	rep.PassReports = passes
+	if tracer != nil {
+		rep.Trace = tracer.Records()
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = os.Stdout.Write(blob)
+	return err
+}
+
+// printCounters dumps every element's counter-like handlers, the way
 // read-handler dumps of a live Click look.
-func printReport(rt *core.Router) {
+func printCounters(rt *core.Router) {
 	for _, i := range rt.Graph.LiveIndices() {
 		name := rt.Graph.Element(i).Name
 		names, err := rt.HandlerNames(name)
@@ -97,3 +161,70 @@ func printReport(rt *core.Router) {
 		}
 	}
 }
+
+// deviceClasses are the element classes that bind a named device from
+// the router environment at initialization.
+var deviceClasses = map[string]bool{
+	"PollDevice": true,
+	"FromDevice": true,
+	"ToDevice":   true,
+}
+
+// isDeviceClass reports whether class binds a device, seeing through
+// the "_dvN" suffix click-devirtualize appends to specialized classes.
+func isDeviceClass(class string) bool {
+	if deviceClasses[class] {
+		return true
+	}
+	if i := strings.LastIndex(class, "_dv"); i > 0 {
+		if _, err := strconv.Atoi(class[i+3:]); err == nil {
+			return deviceClasses[class[:i]]
+		}
+	}
+	return false
+}
+
+// provisionDevices builds a router environment containing an idle
+// in-memory device for every device name the configuration references,
+// so device-facing configurations initialize and run (idle) standalone.
+func provisionDevices(g *graph.Router) map[string]interface{} {
+	env := map[string]interface{}{}
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if !isDeviceClass(e.Class) {
+			continue
+		}
+		args := lang.SplitConfig(e.Config)
+		if len(args) == 0 {
+			continue
+		}
+		name := strings.TrimSpace(args[0])
+		if name == "" {
+			continue
+		}
+		key := "device:" + name
+		if _, ok := env[key]; !ok {
+			env[key] = &idleDevice{name: name}
+		}
+	}
+	return env
+}
+
+// idleDevice is an in-memory elements.Device with an empty receive ring
+// and a transmit ring that discards (and counts) everything.
+type idleDevice struct {
+	name string
+	sent int64
+}
+
+func (d *idleDevice) DeviceName() string        { return d.name }
+func (d *idleDevice) RxDequeue() *packet.Packet { return nil }
+func (d *idleDevice) TxEnqueue(p *packet.Packet) bool {
+	d.sent++
+	p.Kill()
+	return true
+}
+func (d *idleDevice) TxRoom() bool { return true }
+func (d *idleDevice) TxClean() int { return 0 }
+
+var _ elements.Device = (*idleDevice)(nil)

@@ -470,29 +470,38 @@ func (p *ipParser) parseICMPType() (boolExpr, error) {
 }
 
 // compileBool lowers a boolean expression into tree nodes, appending to
-// pr.Exprs bottom-up; succ/fail are the branch destinations.
-func compileBool(pr *Program, e boolExpr, succ, fail Target) Target {
+// pr.Exprs bottom-up; succ/fail are the branch destinations. An
+// expression node kind the compiler does not know is reported as an
+// error, not a panic: the expression came from user configuration, and
+// a malformed config must not crash the tools.
+func compileBool(pr *Program, e boolExpr, succ, fail Target) (Target, error) {
 	switch e := e.(type) {
 	case constExprNode:
 		if e.v {
-			return succ
+			return succ, nil
 		}
-		return fail
+		return fail, nil
 	case testExprNode:
 		ex := e.e
 		ex.Yes, ex.No = succ, fail
 		pr.Exprs = append(pr.Exprs, ex)
-		return Target(len(pr.Exprs) - 1)
+		return Target(len(pr.Exprs) - 1), nil
 	case notExprNode:
 		return compileBool(pr, e.x, fail, succ)
 	case andExprNode:
-		rEntry := compileBool(pr, e.r, succ, fail)
+		rEntry, err := compileBool(pr, e.r, succ, fail)
+		if err != nil {
+			return 0, err
+		}
 		return compileBool(pr, e.l, rEntry, fail)
 	case orExprNode:
-		rEntry := compileBool(pr, e.r, succ, fail)
+		rEntry, err := compileBool(pr, e.r, succ, fail)
+		if err != nil {
+			return 0, err
+		}
 		return compileBool(pr, e.l, succ, rEntry)
 	}
-	panic("classifier: unknown boolExpr")
+	return 0, fmt.Errorf("classifier: unknown boolean expression node %T", e)
 }
 
 // BuildIPClassifierProgram compiles IPClassifier arguments: one
@@ -509,7 +518,9 @@ func BuildIPClassifierProgram(exprs []string) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("expression %d: %v", i, err)
 		}
-		fail = compileBool(pr, ast, LeafPort(i), fail)
+		if fail, err = compileBool(pr, ast, LeafPort(i), fail); err != nil {
+			return nil, fmt.Errorf("expression %d: %v", i, err)
+		}
 	}
 	pr.Entry = fail
 	pr.renumber()
@@ -595,7 +606,9 @@ func BuildIPFilterProgram(args []string) (*Program, error) {
 		if rules[i].Port >= 0 {
 			action = LeafPort(rules[i].Port)
 		}
-		fail = compileBool(pr, ast, action, fail)
+		if fail, err = compileBool(pr, ast, action, fail); err != nil {
+			return nil, fmt.Errorf("rule %d: %v", i, err)
+		}
 	}
 	pr.Entry = fail
 	pr.renumber()

@@ -1,0 +1,56 @@
+package classifier
+
+import (
+	"strings"
+	"testing"
+)
+
+// unknownExprNode is a boolExpr kind the compiler has never seen —
+// standing in for a future parser extension that forgot to teach
+// compileBool its node type.
+type unknownExprNode struct{}
+
+func (unknownExprNode) isBoolExpr() {}
+
+// compileBool must reject an unknown expression node with an error, not
+// a panic: the expression ultimately comes from user configuration, so
+// a gap between parser and compiler must not crash the tools.
+func TestCompileBoolUnknownNode(t *testing.T) {
+	pr := &Program{NOutputs: 1}
+	if _, err := compileBool(pr, unknownExprNode{}, LeafPort(0), Drop); err == nil {
+		t.Fatal("compileBool(unknown node) returned nil error")
+	}
+
+	// The error must surface through both program builders when an
+	// unknown node hides inside a larger expression.
+	pr2 := &Program{NOutputs: 1}
+	bad := andExprNode{l: constExprNode{true}, r: unknownExprNode{}}
+	if _, err := compileBool(pr2, bad, LeafPort(0), Drop); err == nil {
+		t.Fatal("compileBool(and(const, unknown)) returned nil error")
+	}
+	pr3 := &Program{NOutputs: 1}
+	bad2 := orExprNode{l: unknownExprNode{}, r: constExprNode{false}}
+	if _, err := compileBool(pr3, bad2, LeafPort(0), Drop); err == nil {
+		t.Fatal("compileBool(or(unknown, const)) returned nil error")
+	}
+	pr4 := &Program{NOutputs: 1}
+	if _, err := compileBool(pr4, notExprNode{unknownExprNode{}}, LeafPort(0), Drop); err == nil {
+		t.Fatal("compileBool(not(unknown)) returned nil error")
+	}
+}
+
+// Well-formed expressions still compile after the error-path rework.
+func TestBuildIPClassifierProgramStillCompiles(t *testing.T) {
+	pr, err := BuildIPClassifierProgram([]string{"tcp dst port 80", "udp", "-"})
+	if err != nil {
+		t.Fatalf("BuildIPClassifierProgram: %v", err)
+	}
+	if pr.NOutputs != 3 {
+		t.Fatalf("NOutputs = %d, want 3", pr.NOutputs)
+	}
+	if _, err := BuildIPClassifierProgram([]string{"tcp dst prot 80"}); err == nil {
+		t.Fatal("BuildIPClassifierProgram accepted a malformed expression")
+	} else if !strings.Contains(err.Error(), "expression 0") {
+		t.Fatalf("error %q does not name the failing expression", err)
+	}
+}

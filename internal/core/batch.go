@@ -52,6 +52,18 @@ func (p *OutPort) PushBatch(pkts []*packet.Packet) {
 		}
 		p.cpu.BatchTransfer(len(pkts))
 	}
+	if p.owner != nil {
+		var bytes int64
+		for _, pk := range pkts {
+			bytes += int64(pk.Len())
+			if p.tracer != nil {
+				p.tracer.record(pk.ID, p.peer.name)
+			}
+		}
+		n := int64(len(pkts))
+		p.owner.stats.addOut(n, bytes)
+		p.peer.stats.addIn(n, bytes)
+	}
 	p.batch.PushBatch(p.targetPort, pkts)
 }
 
@@ -85,6 +97,17 @@ func (p *InPort) PullBatch(buf []*packet.Packet) int {
 	n := p.batch.PullBatch(p.sourcePort, buf)
 	if p.cpu != nil && n > 0 {
 		p.cpu.BatchTransfer(n)
+	}
+	if n > 0 && p.owner != nil {
+		var bytes int64
+		for _, pk := range buf[:n] {
+			bytes += int64(pk.Len())
+			if p.tracer != nil {
+				p.tracer.record(pk.ID, p.owner.name)
+			}
+		}
+		p.peer.stats.addOut(int64(n), bytes)
+		p.owner.stats.addIn(int64(n), bytes)
 	}
 	return n
 }

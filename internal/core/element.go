@@ -59,6 +59,9 @@ type Base struct {
 	// workCycles is charged by Work() once per packet-handling call;
 	// it comes from the element's spec cost table.
 	workCycles int64
+	// stats holds the element's live telemetry counters; ports update
+	// the endpoint elements' stats on every transfer.
+	stats ElemStats
 }
 
 func (b *Base) base() *Base { return b }
@@ -101,6 +104,7 @@ func (b *Base) DefaultBurst() int {
 // Work charges the element's per-invocation cost to the cost model.
 // Element Push/Pull implementations call it once per handled packet.
 func (b *Base) Work() {
+	b.stats.addCycles(b.workCycles)
 	if b.cpu != nil {
 		b.cpu.Charge(b.workCycles)
 	}
@@ -109,8 +113,39 @@ func (b *Base) Work() {
 // Charge adds extra model cycles beyond the base work cost
 // (data-dependent work such as classifier tree steps).
 func (b *Base) Charge(cycles int64) {
+	b.stats.addCycles(cycles)
 	if b.cpu != nil {
 		b.cpu.Charge(cycles)
+	}
+}
+
+// Stats returns the element's live statistics counters.
+func (b *Base) Stats() *ElemStats { return &b.stats }
+
+// Drop records p as terminated by this element — dropped or consumed
+// without forwarding — and kills it. Elements call Drop instead of a
+// bare Kill at every site where a packet leaves the graph, so the
+// telemetry conservation law (packets in == packets out + drops) holds
+// per element.
+func (b *Base) Drop(p *packet.Packet) {
+	b.stats.addDrops(1)
+	p.Kill()
+}
+
+// CountDrops records n packets terminated by this element at sites that
+// kill through other helpers (batch tails, device rejections).
+func (b *Base) CountDrops(n int) {
+	if n > 0 {
+		b.stats.addDrops(int64(n))
+	}
+}
+
+// CountDelivered records packets handed off outside the element graph —
+// a ToDevice transmit, a ToHost delivery — as element output, keeping
+// sink elements conservation-balanced.
+func (b *Base) CountDelivered(pkts int, bytes int64) {
+	if pkts > 0 {
+		b.stats.addOut(int64(pkts), bytes)
 	}
 }
 
@@ -163,6 +198,12 @@ type OutPort struct {
 	site       simcpu.SiteID
 	targetID   simcpu.TargetID
 	connected  bool
+	// owner and peer are the stats endpoints of this edge (the pushing
+	// element and the receiving element); tracer, when non-nil, records
+	// each packet's arrival at peer.
+	owner  *Base
+	peer   *Base
+	tracer *Tracer
 }
 
 // Connected reports whether the port was wired.
@@ -178,6 +219,14 @@ func (p *OutPort) Push(pkt *packet.Packet) {
 			p.cpu.DirectCall()
 		} else {
 			p.cpu.IndirectCall(p.site, p.targetID)
+		}
+	}
+	if p.owner != nil {
+		n := int64(pkt.Len())
+		p.owner.stats.addOut(1, n)
+		p.peer.stats.addIn(1, n)
+		if p.tracer != nil {
+			p.tracer.record(pkt.ID, p.peer.name)
 		}
 	}
 	if p.direct != nil {
@@ -198,6 +247,12 @@ type InPort struct {
 	site       simcpu.SiteID
 	targetID   simcpu.TargetID
 	connected  bool
+	// owner and peer are the stats endpoints of this edge (the pulling
+	// element and the upstream element); tracer, when non-nil, records
+	// each pulled packet's arrival at owner.
+	owner  *Base
+	peer   *Base
+	tracer *Tracer
 }
 
 // Connected reports whether the port was wired.
@@ -215,8 +270,19 @@ func (p *InPort) Pull() *packet.Packet {
 			p.cpu.IndirectCall(p.site, p.targetID)
 		}
 	}
+	var pkt *packet.Packet
 	if p.direct != nil {
-		return p.direct(p.sourcePort)
+		pkt = p.direct(p.sourcePort)
+	} else {
+		pkt = p.source.Pull(p.sourcePort)
 	}
-	return p.source.Pull(p.sourcePort)
+	if pkt != nil && p.owner != nil {
+		n := int64(pkt.Len())
+		p.peer.stats.addOut(1, n)
+		p.owner.stats.addIn(1, n)
+		if p.tracer != nil {
+			p.tracer.record(pkt.ID, p.owner.name)
+		}
+	}
+	return pkt
 }

@@ -63,6 +63,15 @@ func (rt *Router) HandlerNames(element string) ([]string, error) {
 			names = append(names, h.Name)
 		}
 	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range statsHandlerNames {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
 	sort.Strings(names)
 	return names, nil
 }
@@ -99,5 +108,37 @@ func (rt *Router) findHandler(path string) (Element, Handler, error) {
 			}
 		}
 	}
+	// Implicit telemetry handlers, after the provider loop so an
+	// element's own counter of the same name (e.g. Queue's drops) wins.
+	if read, ok := statsHandler(e.base().Stats(), hName); ok {
+		return e, Handler{Name: hName, Read: read}, nil
+	}
 	return nil, Handler{}, fmt.Errorf("core: element %q has no handler %q", elemName, hName)
+}
+
+// statsHandlerNames are the implicit telemetry read handlers every
+// element exports.
+var statsHandlerNames = []string{
+	"packets_in", "bytes_in", "packets_out", "bytes_out", "drops", "cycles",
+}
+
+func statsHandler(s *ElemStats, name string) (func() string, bool) {
+	var get func() int64
+	switch name {
+	case "packets_in":
+		get = s.PacketsIn
+	case "bytes_in":
+		get = s.BytesIn
+	case "packets_out":
+		get = s.PacketsOut
+	case "bytes_out":
+		get = s.BytesOut
+	case "drops":
+		get = s.Drops
+	case "cycles":
+		get = s.Cycles
+	default:
+		return nil, false
+	}
+	return func() string { return fmt.Sprintf("%d", get()) }, true
 }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/packet"
+)
+
+// tHandlerElem exports one read-only and one write-only handler, plus a
+// counter handler named "drops" that must shadow the implicit telemetry
+// handler of the same name.
+type tHandlerElem struct {
+	Base
+	wrote string
+	fake  int64
+}
+
+func (e *tHandlerElem) Push(port int, p *packet.Packet) { p.Kill() }
+
+func (e *tHandlerElem) Handlers() []Handler {
+	return []Handler{
+		{Name: "status", Read: func() string { return "ready" }},
+		{Name: "poke", Write: func(v string) error { e.wrote = v; return nil }},
+		{Name: "drops", Read: func() string { return "fake" }},
+	}
+}
+
+func handlerTestRegistry() *Registry {
+	reg := testRegistry()
+	reg.Register(&Spec{Name: "THandler", Processing: "h/", Ports: func(string) (graph.PortRange, graph.PortRange) {
+		return graph.Between(0, 1), graph.Exactly(0)
+	}, Make: func() Element { return &tHandlerElem{} }})
+	return reg
+}
+
+func TestHandlerErrorPaths(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> h :: THandler;", "t", handlerTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"bad path (no dot)", func() error { _, err := rt.ReadHandler("nodot"); return err }, "bad handler path"},
+		{"bad path (trailing dot)", func() error { _, err := rt.ReadHandler("a."); return err }, "bad handler path"},
+		{"unknown element", func() error { _, err := rt.ReadHandler("ghost.class"); return err }, `no element "ghost"`},
+		{"unknown handler", func() error { _, err := rt.ReadHandler("a.bogus"); return err }, `no handler "bogus"`},
+		{"read write-only", func() error { _, err := rt.ReadHandler("h.poke"); return err }, "write-only"},
+		{"write read-only", func() error { return rt.WriteHandler("h.status", "x") }, "read-only"},
+		{"write implicit stats", func() error { return rt.WriteHandler("a.packets_in", "0") }, "read-only"},
+		{"write unknown element", func() error { return rt.WriteHandler("ghost.poke", "x") }, `no element "ghost"`},
+		{"names of unknown element", func() error { _, err := rt.HandlerNames("ghost"); return err }, `no element "ghost"`},
+	}
+	for _, c := range cases {
+		err := c.run()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	// The happy paths around them still work.
+	if v, err := rt.ReadHandler("h.status"); err != nil || v != "ready" {
+		t.Errorf("h.status = %q, %v", v, err)
+	}
+	if err := rt.WriteHandler("h.poke", "hello"); err != nil {
+		t.Errorf("h.poke: %v", err)
+	}
+	if got := rt.Find("h").(*tHandlerElem).wrote; got != "hello" {
+		t.Errorf("write handler stored %q", got)
+	}
+}
+
+// Every element exports the implicit telemetry handlers, but an
+// element's own handler of the same name wins.
+func TestStatsHandlers(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> b :: TPass -> s :: TSink;", "t", handlerTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rt.Find("a").(*tPass)
+	a.Push(0, packet.New([]byte{1, 2, 3}))
+	a.Push(0, packet.New([]byte{4, 5, 6}))
+
+	reads := map[string]string{
+		"a.packets_in":  "0", // pushed into directly, not through a port
+		"a.packets_out": "2",
+		"b.packets_in":  "2",
+		"b.packets_out": "2",
+		"b.bytes_in":    "6",
+		"b.bytes_out":   "6",
+		"b.cycles":      "20", // TPass WorkCycles=10, mirrored without a CPU
+		"s.packets_in":  "2",
+		"s.packets_out": "0",
+		"s.drops":       "0",
+	}
+	for path, want := range reads {
+		if v, err := rt.ReadHandler(path); err != nil || v != want {
+			t.Errorf("%s = %q, %v (want %q)", path, v, err, want)
+		}
+	}
+
+	names, err := rt.HandlerNames("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"packets_in", "bytes_in", "packets_out", "bytes_out", "drops", "cycles"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("HandlerNames(s) missing %q (got %v)", want, names)
+		}
+	}
+
+	// The provider's own "drops" handler shadows the implicit one.
+	if v, err := rt.ReadHandler("h.drops"); err == nil {
+		t.Errorf("h.drops should not resolve on this router: got %q", v)
+	}
+	rt2, err := BuildFromText("a :: TPass -> h :: THandler;", "t", handlerTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := rt2.ReadHandler("h.drops"); err != nil || v != "fake" {
+		t.Errorf("h.drops = %q, %v (provider handler must win)", v, err)
+	}
+}
+
+func TestBaseDropCounts(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> s :: TSink;", "t", testRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Find("s").(*tSink)
+	s.Drop(packet.New([]byte{1}))
+	s.CountDrops(2)
+	if got := s.Stats().Drops(); got != 3 {
+		t.Errorf("drops = %d, want 3", got)
+	}
+	if v, _ := rt.ReadHandler("s.drops"); v != "3" {
+		t.Errorf("s.drops handler = %q, want 3", v)
+	}
+}
+
+func TestTracing(t *testing.T) {
+	rt, err := BuildFromText("a :: TPass -> b :: TPass -> s :: TSink;", "t", testRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rt.EnableTracing(16)
+	if rt.Tracer() != tr {
+		t.Fatal("Tracer() does not return the enabled tracer")
+	}
+	a := rt.Find("a").(*tPass)
+	p1 := packet.New([]byte{1})
+	p2 := packet.New([]byte{2})
+	a.Push(0, p1)
+	a.Push(0, p2)
+
+	paths := tr.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("traced %d packets, want 2: %v", len(paths), paths)
+	}
+	for id, path := range paths {
+		if len(path) != 2 || path[0] != "b" || path[1] != "s" {
+			t.Errorf("packet %d path = %v, want [b s]", id, path)
+		}
+	}
+
+	// The ring buffer keeps only the newest records.
+	rt2, err := BuildFromText("a :: TPass -> b :: TPass -> s :: TSink;", "t", testRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := rt2.EnableTracing(3)
+	a2 := rt2.Find("a").(*tPass)
+	for i := 0; i < 4; i++ {
+		a2.Push(0, packet.New([]byte{byte(i)}))
+	}
+	recs := tr2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(recs))
+	}
+	// 8 transfers happened; the ring holds the last 3.
+	if recs[0].Element != "s" || recs[1].Element != "b" || recs[2].Element != "s" {
+		t.Errorf("ring tail = %v", recs)
+	}
+}

@@ -24,6 +24,7 @@ type Router struct {
 	proc     *graph.Processing
 	env      map[string]interface{}
 	burst    int
+	tracer   *Tracer
 }
 
 // Env returns the named environment object supplied at build time, or
@@ -126,6 +127,8 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 			out.target = dst
 			out.targetPort = c.ToPort
 			out.cpu = opts.CPU
+			out.owner = src.base()
+			out.peer = dst.base()
 			out.site = sites.Site(siteSrc, c.FromPort, true)
 			out.targetID = sites.Target(dstClass)
 			if specs[c.From].Devirtualized {
@@ -138,6 +141,8 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 			in.source = src
 			in.sourcePort = c.FromPort
 			in.cpu = opts.CPU
+			in.owner = dst.base()
+			in.peer = src.base()
 			in.site = sites.Site(siteDst, c.ToPort, false)
 			in.targetID = sites.Target(srcClass)
 			if specs[c.To].Devirtualized {

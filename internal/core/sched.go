@@ -81,6 +81,9 @@ func NewScheduler(rt *Router, workers int) (*Scheduler, error) {
 	}
 	if workers > 1 {
 		for _, e := range rt.elements {
+			// Telemetry counters switch to atomic updates before any
+			// worker goroutine exists, so the flag flip is race-free.
+			e.base().stats.shared = true
 			if sy, ok := e.(Synchronizer); ok {
 				sy.EnableSync()
 			}

@@ -20,7 +20,7 @@ type Discard struct {
 func (e *Discard) Push(port int, p *packet.Packet) {
 	e.Work()
 	atomic.AddInt64(&e.Count, 1)
-	p.Kill()
+	e.Drop(p)
 }
 
 // PushBatch drops the whole batch.
@@ -28,7 +28,7 @@ func (e *Discard) PushBatch(port int, ps []*packet.Packet) {
 	atomic.AddInt64(&e.Count, int64(len(ps)))
 	for _, p := range ps {
 		e.Work()
-		p.Kill()
+		e.Drop(p)
 	}
 }
 
@@ -37,7 +37,7 @@ func (e *Discard) PushBatch(port int, ps []*packet.Packet) {
 type Idle struct{ core.Base }
 
 // Push discards.
-func (e *Idle) Push(port int, p *packet.Packet) { p.Kill() }
+func (e *Idle) Push(port int, p *packet.Packet) { e.Drop(p) }
 
 // Pull produces nothing.
 func (e *Idle) Pull(port int) *packet.Packet { return nil }
@@ -198,8 +198,10 @@ func (e *Queue) Capacity() int { return e.capacity }
 // the guard.
 func (e *Queue) enqueue(p *packet.Packet) {
 	if e.count == e.capacity {
-		e.Drops++
-		p.Kill()
+		// The drop count is atomic (not just ring-guarded) so the drops
+		// handler can sample it during a parallel run without racing.
+		atomic.AddInt64(&e.Drops, 1)
+		e.Drop(p)
 		return
 	}
 	e.buf[(e.head+e.count)%e.capacity] = p
@@ -305,7 +307,7 @@ func (e *Tee) Push(port int, p *packet.Packet) {
 	if n > 0 {
 		e.Output(n - 1).Push(p)
 	} else {
-		p.Kill()
+		e.Drop(p)
 	}
 }
 
@@ -318,7 +320,7 @@ func (e *Tee) PushBatch(port int, ps []*packet.Packet) {
 	n := e.NOutputs()
 	if n == 0 {
 		for _, p := range ps {
-			p.Kill()
+			e.Drop(p)
 		}
 		return
 	}
@@ -359,7 +361,7 @@ func (e *StaticSwitch) Configure(args []string) error {
 func (e *StaticSwitch) Push(port int, p *packet.Packet) {
 	e.Work()
 	if e.Port < 0 || e.Port >= e.NOutputs() {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	e.Output(e.Port).Push(p)
@@ -557,8 +559,10 @@ func (e *RED) Push(port int, p *packet.Packet) {
 		drop = e.rand() < frac*e.maxP
 	}
 	if drop {
-		e.Drops++
-		p.Kill()
+		// Atomic: RED may sit on several workers' push chains at once,
+		// and the drops handler samples the count live.
+		atomic.AddInt64(&e.Drops, 1)
+		e.Drop(p)
 		return
 	}
 	e.Output(0).Push(p)
@@ -616,7 +620,7 @@ func (e *Switch) Configure(args []string) error {
 func (e *Switch) Push(port int, p *packet.Packet) {
 	e.Work()
 	if e.port < 0 || e.port >= e.NOutputs() {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	e.Output(e.port).Push(p)
@@ -647,7 +651,7 @@ func (e *PaintSwitch) Push(port int, p *packet.Packet) {
 	e.Work()
 	out := int(p.Anno.Paint)
 	if out >= e.NOutputs() {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	e.Output(out).Push(p)
@@ -666,6 +670,7 @@ type ToHost struct {
 func (e *ToHost) Push(port int, p *packet.Packet) {
 	e.Work()
 	e.Count++
+	e.CountDelivered(1, int64(p.Len()))
 	if len(e.Recent) >= 8 {
 		old := e.Recent[0]
 		e.Recent = e.Recent[1:]

@@ -33,7 +33,7 @@ func (e *classifierBase) classify(p *packet.Packet) {
 	e.Charge(int64(steps) * costClassifierStep)
 	if !ok || port >= e.NOutputs() {
 		atomic.AddInt64(&e.Dropped, 1)
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	atomic.AddInt64(&e.Matched, 1)
@@ -57,13 +57,14 @@ func (e *classifierBase) PushBatch(port int, ps []*packet.Packet) {
 		}
 		atomic.AddInt64(&e.Matched, 1)
 		return out
-	}, e.Output)
+	}, e.Output, e.Drop)
 }
 
 // pushRunsBatch routes a batch through a per-packet port decision,
 // emitting maximal runs of consecutive same-port packets as one
-// batched transfer each. A decision of -1 kills the packet.
-func pushRunsBatch(ps []*packet.Packet, nout int, decide func(*packet.Packet) int, output func(int) *core.OutPort) {
+// batched transfer each. A decision of -1 hands the packet to drop
+// (Base.Drop, so telemetry sees batch-path drops too).
+func pushRunsBatch(ps []*packet.Packet, nout int, decide func(*packet.Packet) int, output func(int) *core.OutPort, drop func(*packet.Packet)) {
 	start, cur := 0, -2
 	flush := func(end int) {
 		if cur >= 0 && end > start {
@@ -74,7 +75,7 @@ func pushRunsBatch(ps []*packet.Packet, nout int, decide func(*packet.Packet) in
 		out := decide(p)
 		if out < 0 {
 			flush(i)
-			p.Kill()
+			drop(p)
 			cur, start = -2, i+1
 			continue
 		}
@@ -165,7 +166,7 @@ func (e *FastClassifier) Push(port int, p *packet.Packet) {
 	e.Charge(int64(steps) * costFastClassStep)
 	if !ok || out >= e.NOutputs() {
 		atomic.AddInt64(&e.Dropped, 1)
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	atomic.AddInt64(&e.Matched, 1)
@@ -186,5 +187,5 @@ func (e *FastClassifier) PushBatch(port int, ps []*packet.Packet) {
 		}
 		atomic.AddInt64(&e.Matched, 1)
 		return out
-	}, e.Output)
+	}, e.Output, e.Drop)
 }

@@ -56,7 +56,7 @@ func (e *IPInputCombo) fail(p *packet.Packet) {
 		e.Output(1).Push(p)
 		return
 	}
-	p.Kill()
+	e.Drop(p)
 }
 
 // process runs the fused input path on one packet and reports whether
@@ -67,7 +67,7 @@ func (e *IPInputCombo) process(p *packet.Packet) bool {
 	e.MemFetch(1) // first touch of the packet's IP header
 	p.Anno.Paint = e.color
 	if p.Len() < packet.EtherHeaderLen {
-		p.Kill()
+		e.Drop(p)
 		return false
 	}
 	p.Pull(packet.EtherHeaderLen)
@@ -167,7 +167,7 @@ func (e *IPOutputCombo) errorOut(port int, p *packet.Packet) {
 		e.Output(port).Push(p)
 		return
 	}
-	p.Kill()
+	e.Drop(p)
 }
 
 // Outcomes of IPOutputCombo.process.
@@ -186,7 +186,7 @@ func (e *IPOutputCombo) process(p *packet.Packet) int {
 	atomic.AddInt64(&e.Processed, 1)
 	// DropBroadcasts.
 	if p.Anno.MACBroadcast {
-		p.Kill()
+		e.Drop(p)
 		return outDone
 	}
 	// CheckPaint: clone to the redirect output, keep forwarding.
@@ -195,7 +195,7 @@ func (e *IPOutputCombo) process(p *packet.Packet) int {
 	}
 	h, ok := p.IPHeader()
 	if !ok {
-		p.Kill()
+		e.Drop(p)
 		return outDone
 	}
 	// IPGWOptions.
@@ -324,7 +324,7 @@ func (e *EtherEncapARP) Configure(args []string) error {
 func (e *EtherEncapARP) Push(port int, p *packet.Packet) {
 	e.Work()
 	if port == 1 {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	encapEther(p, packet.EtherTypeIP, e.src, e.dst)

@@ -283,10 +283,12 @@ func (e *ToDevice) RunTask() bool {
 			cpu.MemFetch(1) // reclaim the sent TX descriptor
 			cpu.SetCategory(prev)
 		}
+		plen := int64(p.Len())
 		if e.dev.TxEnqueue(p) {
 			e.Sent++
+			e.CountDelivered(1, plen)
 		} else {
-			p.Kill()
+			e.Drop(p)
 		}
 		return true
 	}
@@ -312,10 +314,16 @@ func (e *ToDevice) RunTask() bool {
 		cpu.MemFetch(n)
 		cpu.SetCategory(prev)
 	}
+	var bytes int64
+	for i := 0; i < n; i++ {
+		bytes += int64(e.scratch[i].Len())
+	}
 	sent := txEnqueueBatch(e.dev, e.scratch[:n])
 	e.Sent += int64(sent)
 	for i := sent; i < n; i++ {
-		e.scratch[i].Kill()
+		bytes -= int64(e.scratch[i].Len())
+		e.Drop(e.scratch[i])
 	}
+	e.CountDelivered(sent, bytes)
 	return true
 }

@@ -125,6 +125,8 @@ func (e *ToDump) Push(port int, p *packet.Packet) {
 		e.Output(0).Push(p)
 		return
 	}
+	// Terminal ToDump: the packet was delivered to the dump file.
+	e.CountDelivered(1, int64(p.Len()))
 	p.Kill()
 }
 

@@ -110,7 +110,7 @@ func (e *Strip) Configure(args []string) error {
 func (e *Strip) Push(port int, p *packet.Packet) {
 	e.Work()
 	if p.Len() < e.n {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	p.Pull(e.n)
@@ -209,7 +209,7 @@ func (e *HostEtherFilter) Push(port int, p *packet.Packet) {
 	e.Work()
 	eh, ok := p.EtherHeader()
 	if !ok {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	dst := eh.Dst()
@@ -222,7 +222,7 @@ func (e *HostEtherFilter) Push(port int, p *packet.Packet) {
 	case e.NOutputs() > 1:
 		e.Output(1).Push(p)
 	default:
-		p.Kill()
+		e.Drop(p)
 	}
 }
 
@@ -308,7 +308,7 @@ func (e *ARPQuerier) Push(port int, p *packet.Packet) {
 	e.unlock()
 	if old != nil {
 		atomic.AddInt64(&e.Drops, 1)
-		old.Kill()
+		e.Drop(old)
 	}
 	atomic.AddInt64(&e.Queries, 1)
 	e.Output(0).Push(e.makeQuery(next))
@@ -350,7 +350,7 @@ func (e *ARPQuerier) PushBatch(port int, ps []*packet.Packet) {
 			e.unlock()
 			if old != nil {
 				atomic.AddInt64(&e.Drops, 1)
-				old.Kill()
+				e.Drop(old)
 			}
 			atomic.AddInt64(&e.Queries, 1)
 			e.Output(0).Push(e.makeQuery(next))
@@ -382,7 +382,7 @@ func (e *ARPQuerier) makeQuery(target packet.IP4) *packet.Packet {
 func (e *ARPQuerier) handleResponse(p *packet.Packet) {
 	ah, ok := p.ARPHeader(true)
 	if !ok || ah.Op() != packet.ARPOpReply {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	ip := ah.SenderIP()
@@ -395,7 +395,9 @@ func (e *ARPQuerier) handleResponse(p *packet.Packet) {
 	}
 	e.unlock()
 	atomic.AddInt64(&e.Responses, 1)
-	p.Kill()
+	// The response is consumed here; telemetry counts it against the
+	// conservation law like any other terminated packet.
+	e.Drop(p)
 	if held != nil {
 		encapEther(held, packet.EtherTypeIP, e.eth, eth)
 		e.Output(0).Push(held)
@@ -438,7 +440,7 @@ func (e *ARPResponder) Push(port int, p *packet.Packet) {
 	e.Work()
 	ah, ok := p.ARPHeader(true)
 	if !ok || ah.Op() != packet.ARPOpRequest || ah.TargetIP() != e.ip {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	reply := packet.Make(packet.DefaultHeadroom, packet.EtherHeaderLen+packet.ARPHeaderLen, 0)

@@ -3,6 +3,7 @@ package elements
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -33,10 +34,11 @@ func (e *Queue) Handlers() []core.Handler {
 	return []core.Handler{
 		intHandler("length", func() int64 { return int64(e.Len()) }),
 		intHandler("capacity", func() int64 { return int64(e.Capacity()) }),
-		intHandler("drops", func() int64 { return e.Drops }),
+		intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) }),
 		intHandler("highwater_length", func() int64 { return int64(e.HighWater) }),
 		{Name: "reset_counts", Write: func(string) error {
-			e.Drops, e.Enqueued, e.HighWater = 0, 0, e.Len()
+			atomic.StoreInt64(&e.Drops, 0)
+			e.Enqueued, e.HighWater = 0, e.Len()
 			return nil
 		}},
 	}
@@ -115,7 +117,7 @@ func (e *ARPQuerier) Handlers() []core.Handler {
 
 // Handlers exports RED drop statistics.
 func (e *RED) Handlers() []core.Handler {
-	return []core.Handler{intHandler("drops", func() int64 { return e.Drops })}
+	return []core.Handler{intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) })}
 }
 
 // Handlers exports device statistics.

@@ -51,7 +51,7 @@ func (e *CheckIPHeader) fail(p *packet.Packet) {
 		e.Output(1).Push(p)
 		return
 	}
-	p.Kill()
+	e.Drop(p)
 }
 
 // Push validates the header.
@@ -218,7 +218,7 @@ func (e *LookupIPRoute) Push(port int, p *packet.Packet) {
 	r, ok := e.Lookup(dst)
 	if !ok || r.port >= e.NOutputs() {
 		atomic.AddInt64(&e.NoRoute, 1)
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	if !r.gw.IsZero() {
@@ -241,7 +241,7 @@ func (e *DropBroadcasts) Push(port int, p *packet.Packet) {
 	e.Work()
 	if p.Anno.MACBroadcast {
 		atomic.AddInt64(&e.Drops, 1)
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	e.Output(0).Push(p)
@@ -272,7 +272,7 @@ func (e *IPGWOptions) Push(port int, p *packet.Packet) {
 	e.Work()
 	h, ok := p.IPHeader()
 	if !ok {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	hl := h.HeaderLen()
@@ -288,7 +288,7 @@ func (e *IPGWOptions) Push(port int, p *packet.Packet) {
 	if e.NOutputs() > 1 {
 		e.Output(1).Push(p)
 	} else {
-		p.Kill()
+		e.Drop(p)
 	}
 }
 
@@ -378,7 +378,7 @@ func (e *DecIPTTL) Push(port int, p *packet.Packet) {
 	e.Work()
 	h, ok := p.IPHeader()
 	if !ok {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	if h.TTL() <= 1 {
@@ -386,7 +386,7 @@ func (e *DecIPTTL) Push(port int, p *packet.Packet) {
 		if e.NOutputs() > 1 {
 			e.Output(1).Push(p)
 		} else {
-			p.Kill()
+			e.Drop(p)
 		}
 		return
 	}
@@ -428,7 +428,7 @@ func (e *IPFragmenter) Push(port int, p *packet.Packet) {
 	}
 	h, ok := p.IPHeader()
 	if !ok {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	if h.DontFragment() {
@@ -436,7 +436,7 @@ func (e *IPFragmenter) Push(port int, p *packet.Packet) {
 		if e.NOutputs() > 1 {
 			e.Output(1).Push(p)
 		} else {
-			p.Kill()
+			e.Drop(p)
 		}
 		return
 	}
@@ -522,14 +522,14 @@ func (e *ICMPError) Push(port int, p *packet.Packet) {
 	e.Work()
 	h, ok := p.IPHeader()
 	if !ok {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	// Never generate errors about ICMP errors, fragments, broadcasts,
 	// or bad sources (RFC 1812).
 	if h.Proto() == packet.IPProtoICMP || h.FragOff()&0x1fff != 0 ||
 		p.Anno.MACBroadcast || h.Src().IsZero() || h.Src().IsBroadcast() {
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	src := h.Src()
@@ -614,7 +614,7 @@ func (e *ICMPPingResponder) passThrough(p *packet.Packet) {
 		e.Output(1).Push(p)
 		return
 	}
-	p.Kill()
+	e.Drop(p)
 }
 
 // Handlers exports the reply count.

@@ -82,7 +82,7 @@ func (e *RadixIPLookup) Push(port int, p *packet.Packet) {
 	r, ok := e.Lookup(dst)
 	if !ok || r.port >= e.NOutputs() {
 		atomic.AddInt64(&e.NoRoute, 1)
-		p.Kill()
+		e.Drop(p)
 		return
 	}
 	if !r.gw.IsZero() {

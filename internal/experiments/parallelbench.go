@@ -120,11 +120,12 @@ func buildParallelRouter(n, burst int) (*core.Router, []*memDevice, []iprouter.I
 }
 
 // runParallelPoint forwards npkts packets through a fresh router and
-// measures wall-clock time per packet.
-func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, error) {
+// measures wall-clock time per packet, returning the measurement plus
+// the router's final per-element telemetry snapshot.
+func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, []core.ElementStatsReport, error) {
 	rt, devs, ifs, err := buildParallelRouter(EvalInterfaces, burst)
 	if err != nil {
-		return ParallelPoint{}, err
+		return ParallelPoint{}, nil, err
 	}
 	half := len(ifs) / 2
 	per := npkts / half
@@ -141,7 +142,7 @@ func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, er
 		rt.RunUntilIdle(maxRounds)
 	} else {
 		if _, err := rt.RunParallelUntilIdle(workers, maxRounds); err != nil {
-			return ParallelPoint{}, err
+			return ParallelPoint{}, nil, err
 		}
 	}
 	elapsed := time.Since(start)
@@ -151,7 +152,7 @@ func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, er
 	}
 	want := int64(per * half)
 	if sent != want {
-		return ParallelPoint{}, fmt.Errorf("parallel: %s workers=%d burst=%d forwarded %d of %d packets",
+		return ParallelPoint{}, nil, fmt.Errorf("parallel: %s workers=%d burst=%d forwarded %d of %d packets",
 			mode, workers, burst, sent, want)
 	}
 	return ParallelPoint{
@@ -161,7 +162,17 @@ func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, er
 		Packets:     sent,
 		NSPerPacket: float64(elapsed.Nanoseconds()) / float64(sent),
 		PPS:         float64(sent) / elapsed.Seconds(),
-	}, nil
+	}, rt.StatsReport(), nil
+}
+
+// ParallelResults is the document click-bench -json writes for the
+// parallel experiment: the measured operating points, the per-element
+// telemetry snapshot from the last point's router, and the optimizer
+// pass reports the benchmarked configuration carries.
+type ParallelResults struct {
+	Points      []ParallelPoint           `json:"points"`
+	Elements    []core.ElementStatsReport `json:"elements,omitempty"`
+	PassReports []*opt.PassReport         `json:"pass_reports,omitempty"`
 }
 
 // ParallelBench measures the scalar, batched, and parallel runtimes on
@@ -182,18 +193,25 @@ func ParallelBench(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "Parallel/batched forwarding, optimized IP router (wall clock, this machine)\n")
 	fmt.Fprintf(w, "%-10s %8s %6s %10s %12s %12s\n", "mode", "workers", "burst", "packets", "ns/packet", "pps")
-	var points []ParallelPoint
+	var results ParallelResults
 	for _, m := range modes {
-		pt, err := runParallelPoint(m.mode, m.workers, m.burst, npkts)
+		pt, elems, err := runParallelPoint(m.mode, m.workers, m.burst, npkts)
 		if err != nil {
 			return err
 		}
-		points = append(points, pt)
+		results.Points = append(results.Points, pt)
+		results.Elements = elems
 		fmt.Fprintf(w, "%-10s %8d %6d %10d %12.1f %12.0f\n",
 			pt.Mode, pt.Workers, pt.Burst, pt.Packets, pt.NSPerPacket, pt.PPS)
 	}
 	if JSONPath != "" {
-		blob, err := json.MarshalIndent(points, "", "  ")
+		// The optimizer chain attaches its diagnostics to the benchmarked
+		// configuration; surface them next to the measurements.
+		if rt, _, _, err := buildParallelRouter(EvalInterfaces, 1); err == nil {
+			results.PassReports, _ = opt.Reports(rt.Graph)
+			rt.Close()
+		}
+		blob, err := json.MarshalIndent(&results, "", "  ")
 		if err != nil {
 			return err
 		}

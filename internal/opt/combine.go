@@ -132,6 +132,11 @@ func Combine(routers []RouterInput, links []Link) (*graph.Router, error) {
 	}
 	out.Archive["combine/manifest"] = []byte(manifest.String())
 	out.Require("combine")
+	attachReport(out, &PassReport{
+		Pass:            "combine",
+		RoutersCombined: len(routers),
+		LinksReplaced:   len(links),
+	})
 	return out, nil
 }
 

@@ -34,7 +34,10 @@ var classifierClasses = map[string]bool{
 //     the generated source plus a machine-readable program list to the
 //     archive.
 func FastClassifier(g *graph.Router, reg *core.Registry) error {
-	combineAdjacentClassifiers(g, reg)
+	report := &PassReport{
+		Pass:                "fastclassifier",
+		ClassifiersCombined: combineAdjacentClassifiers(g, reg),
+	}
 
 	// Collect classifier elements in deterministic order.
 	var targets []int
@@ -44,6 +47,7 @@ func FastClassifier(g *graph.Router, reg *core.Registry) error {
 		}
 	}
 	if len(targets) == 0 {
+		attachReport(g, report)
 		return nil
 	}
 
@@ -55,6 +59,7 @@ func FastClassifier(g *graph.Router, reg *core.Registry) error {
 	var gens []*genClass
 	var programsDoc strings.Builder
 	var sources = map[string][]byte{}
+	classMembers := map[string][]string{}
 
 	for _, i := range targets {
 		e := g.Element(i)
@@ -82,6 +87,7 @@ func FastClassifier(g *graph.Router, reg *core.Registry) error {
 			fmt.Fprintf(&programsDoc, "class %s\n%send\n", gen.name, prog.String())
 		}
 		e.Class = gen.name
+		classMembers[gen.name] = append(classMembers[gen.name], e.Name)
 		// The generated class ignores configuration; keep the original
 		// rules as documentation, exactly as the C++ tool does.
 	}
@@ -99,6 +105,10 @@ func FastClassifier(g *graph.Router, reg *core.Registry) error {
 	}
 	g.Archive["fastclassifier/programs"] = []byte(programsDoc.String())
 	g.Require("fastclassifier")
+	report.ClassesGenerated = len(gens)
+	report.ElementsSpecialized = len(targets)
+	report.Classes = classMembers
+	attachReport(g, report)
 	return nil
 }
 
@@ -160,8 +170,9 @@ const fastClassWorkCycles = 14
 // downstream tree is grafted onto the upstream leaf, widening
 // optimization scope (§4 "combines adjacent Classifiers").
 // Only raw Classifiers combine — IPClassifier operates on different
-// packet framing.
-func combineAdjacentClassifiers(g *graph.Router, reg *core.Registry) {
+// packet framing. Returns the number of pairs merged.
+func combineAdjacentClassifiers(g *graph.Router, reg *core.Registry) int {
+	merged := 0
 	for {
 		combined := false
 		for _, up := range g.LiveIndices() {
@@ -184,6 +195,7 @@ func combineAdjacentClassifiers(g *graph.Router, reg *core.Registry) {
 				}
 				if mergeClassifierPair(g, up, p, down) {
 					combined = true
+					merged++
 					break
 				}
 			}
@@ -192,7 +204,7 @@ func combineAdjacentClassifiers(g *graph.Router, reg *core.Registry) {
 			}
 		}
 		if !combined {
-			return
+			return merged
 		}
 	}
 }

@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// PassReport is the structured diagnostic summary an optimization tool
+// leaves behind: what it did to the configuration, in machine-readable
+// form. Each pass attaches its report to the configuration archive under
+// "reports/<pass>", so reports survive WriteConfig/ReadConfig round
+// trips and ride along with the optimized configuration exactly like
+// generated source does. Only the fields a pass populates appear in the
+// JSON; the rest are omitted.
+type PassReport struct {
+	Pass string `json:"pass"`
+	// click-undead.
+	ElementsRemoved int      `json:"elements_removed,omitempty"`
+	Removed         []string `json:"removed,omitempty"`
+	// click-devirtualize and click-fastclassifier.
+	ClassesGenerated    int                 `json:"classes_generated,omitempty"`
+	ElementsSpecialized int                 `json:"elements_specialized,omitempty"`
+	Classes             map[string][]string `json:"classes,omitempty"`
+	// click-fastclassifier.
+	ClassifiersCombined int `json:"classifiers_combined,omitempty"`
+	// click-xform.
+	Replacements  int            `json:"replacements,omitempty"`
+	PatternCounts map[string]int `json:"pattern_counts,omitempty"`
+	// click-combine.
+	RoutersCombined int `json:"routers_combined,omitempty"`
+	LinksReplaced   int `json:"links_replaced,omitempty"`
+}
+
+// reportPrefix is the archive namespace pass reports live under.
+const reportPrefix = "reports/"
+
+// attachReport stores a pass report in the configuration archive,
+// replacing any report a previous run of the same pass left.
+func attachReport(g *graph.Router, r *PassReport) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return // no marshal-hostile fields exist in PassReport
+	}
+	g.Archive[reportPrefix+r.Pass] = append(data, '\n')
+}
+
+// Reports reads back every pass report a configuration carries, sorted
+// by pass name.
+func Reports(g *graph.Router) ([]*PassReport, error) {
+	var names []string
+	for n := range g.Archive {
+		if strings.HasPrefix(n, reportPrefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var reps []*PassReport
+	for _, n := range names {
+		r := &PassReport{}
+		if err := json.Unmarshal(g.Archive[n], r); err != nil {
+			return nil, fmt.Errorf("opt: bad pass report %q: %v", n, err)
+		}
+		reps = append(reps, r)
+	}
+	return reps, nil
+}

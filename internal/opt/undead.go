@@ -21,6 +21,11 @@ import (
 // selects one of several StaticSwitch branches.
 func Undead(g *graph.Router, reg *core.Registry) int {
 	removed := 0
+	var removedNames []string
+	note := func(i int) {
+		removedNames = append(removedNames, g.Element(i).Name)
+		removed++
+	}
 
 	// Pass 1: splice StaticSwitches and sever Idle connections.
 	for _, i := range g.LiveIndices() {
@@ -30,8 +35,8 @@ func Undead(g *graph.Router, reg *core.Registry) int {
 			port := staticSwitchPort(e.Config)
 			ins := g.ConnsTo(i)
 			outs := g.OutputConns(i, port)
+			note(i)
 			g.RemoveElement(i)
-			removed++
 			for _, ic := range ins {
 				for _, oc := range outs {
 					g.Connect(ic.From, ic.FromPort, oc.To, oc.ToPort)
@@ -41,12 +46,12 @@ func Undead(g *graph.Router, reg *core.Registry) int {
 			// Idle neither forwards nor produces: its connections are
 			// dead. Remove the element; caps are re-added at the end
 			// where still needed.
+			note(i)
 			g.RemoveElement(i)
-			removed++
 		case "Null":
 			// Null forwards unchanged; splice it out.
+			note(i)
 			g.RemoveAndSplice(i)
-			removed++
 		}
 	}
 
@@ -68,14 +73,14 @@ func Undead(g *graph.Router, reg *core.Registry) int {
 				continue // AlignmentInfo, ScheduleInfo
 			}
 			if !isSource && len(g.ConnsTo(i)) == 0 {
+				note(i)
 				g.RemoveElement(i)
-				removed++
 				changed = true
 				continue
 			}
 			if !isSink && len(g.ConnsFrom(i)) == 0 {
+				note(i)
 				g.RemoveElement(i)
-				removed++
 				changed = true
 			}
 		}
@@ -85,6 +90,11 @@ func Undead(g *graph.Router, reg *core.Registry) int {
 	}
 
 	capDangling(g)
+	attachReport(g, &PassReport{
+		Pass:            "undead",
+		ElementsRemoved: removed,
+		Removed:         removedNames,
+	})
 	return removed
 }
 

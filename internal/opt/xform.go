@@ -486,6 +486,7 @@ func applyMatch(g *graph.Router, mm *match) []string {
 // fixpoint bound, guarantees termination.
 func Xform(g *graph.Router, pairs []*PatternPair) int {
 	applied := 0
+	patternCounts := map[string]int{}
 	tabu := map[string]bool{}
 	const maxApplications = 10000
 	for applied < maxApplications {
@@ -501,7 +502,13 @@ func Xform(g *graph.Router, pairs []*PatternPair) int {
 		for _, name := range applyMatch(g, mm) {
 			tabu[mm.pair.Name+"\x00"+name] = true
 		}
+		patternCounts[mm.pair.Name]++
 		applied++
 	}
+	attachReport(g, &PassReport{
+		Pass:          "xform",
+		Replacements:  applied,
+		PatternCounts: patternCounts,
+	})
 	return applied
 }
