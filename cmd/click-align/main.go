@@ -2,11 +2,17 @@
 // expected packet-data alignment fails an element's requirement (§7.1),
 // removes redundant Aligns, and records the proven alignments in an
 // AlignmentInfo element.
+//
+// The aligned configuration goes to -o (stdout by default); the
+// inserted/removed summary is a diagnostic and goes to stderr, so the
+// tool stays pipeline-clean. The exit status is 0 on success, 1 on any
+// error, 2 on a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/opt"
@@ -14,21 +20,37 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "-", "configuration file (- = stdin)")
-	out := flag.String("o", "-", "output file (- = stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("click-align", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "-", "configuration file (- = stdin)")
+	out := fs.String("o", "-", "output file (- = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	reg := tool.Registry()
 	g, err := tool.ReadConfig(*file, reg)
 	if err != nil {
-		tool.Fail("click-align", err)
+		fmt.Fprintf(stderr, "click-align: %v\n", err)
+		return 1
 	}
 	res, err := opt.AlignPass(g, reg)
 	if err != nil {
-		tool.Fail("click-align", err)
+		fmt.Fprintf(stderr, "click-align: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "click-align: inserted %d, removed %d Align element(s)\n", res.Inserted, res.Removed)
-	if err := tool.WriteConfig(g, *out); err != nil {
-		tool.Fail("click-align", err)
+	fmt.Fprintf(stderr, "click-align: inserted %d, removed %d Align element(s)\n", res.Inserted, res.Removed)
+	if *out == "" || *out == "-" {
+		err = tool.WriteConfigTo(g, stdout)
+	} else {
+		err = tool.WriteConfig(g, *out)
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "click-align: %v\n", err)
+		return 1
+	}
+	return 0
 }

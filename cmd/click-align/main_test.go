@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/iprouter"
+)
+
+// TestAlignToolIsIdempotent runs click-align twice through the full
+// write/re-read round trip: the first run inserts Aligns, the second run
+// over its own output inserts and removes nothing, and the configuration
+// output stays on stdout with diagnostics on stderr.
+func TestAlignToolIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "ip.click")
+	if err := os.WriteFile(in, []byte(iprouter.Config(iprouter.Interfaces(2))), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out1, err1 bytes.Buffer
+	if code := run([]string{"-f", in}, &out1, &err1); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, err1.String())
+	}
+	if !strings.Contains(err1.String(), "inserted 2") {
+		t.Errorf("first run diagnostic = %q, want 2 insertions", err1.String())
+	}
+	if !strings.Contains(out1.String(), "Align") {
+		t.Error("aligned configuration missing Align elements")
+	}
+	// The diagnostic must not leak into the configuration stream.
+	if strings.Contains(out1.String(), "click-align:") {
+		t.Error("diagnostics leaked onto stdout")
+	}
+
+	aligned := filepath.Join(dir, "aligned.click")
+	if err := os.WriteFile(aligned, out1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-f", aligned}, &out2, &err2); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "inserted 0, removed 0") {
+		t.Errorf("second run not a no-op: %q", err2.String())
+	}
+}
+
+// TestAlignToolErrors: a bad input is an exit-1 error on stderr with
+// nothing on stdout; a bad flag is a usage error (exit 2).
+func TestAlignToolErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-f", filepath.Join(t.TempDir(), "missing.click")}, &out, &errw); code != 1 {
+		t.Errorf("missing file exit = %d, want 1", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("error run wrote %q to stdout", out.String())
+	}
+	if !strings.Contains(errw.String(), "click-align:") {
+		t.Errorf("error not reported on stderr: %q", errw.String())
+	}
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

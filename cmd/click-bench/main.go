@@ -1,10 +1,11 @@
 // Command click-bench regenerates the paper's tables and figures
 // (§4, §8) on the simulated testbed. Run with -experiment all for the
 // full evaluation, or name one of: fastclassifier, vcall, fig8, fig9,
-// fig10, fig11, fig12, fig13, ablation, parallel.
+// fig10, fig11, fig12, fig13, ablation, parallel, adaptive.
 //
-// The parallel experiment also writes machine-readable results when
-// given -json (e.g. -experiment parallel -json BENCH_parallel.json).
+// The parallel and adaptive experiments also write machine-readable
+// results when given -json (e.g. -experiment adaptive -json
+// BENCH_adaptive.json).
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	name := flag.String("experiment", "all", "experiment to run")
-	jsonPath := flag.String("json", "", "also write JSON results to this file (parallel experiment)")
+	jsonPath := flag.String("json", "", "also write JSON results to this file (parallel and adaptive experiments)")
 	flag.Parse()
 	experiments.JSONPath = *jsonPath
 

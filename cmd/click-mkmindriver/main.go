@@ -1,10 +1,15 @@
 // Command click-mkmindriver computes the minimal set of element classes
 // a configuration needs and emits the corresponding driver manifest.
+//
+// The manifest (or, with -l, the bare class list) goes to stdout;
+// diagnostics go to stderr. The exit status is 0 on success, 1 on any
+// error, 2 on a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/opt"
@@ -12,23 +17,38 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "-", "configuration file (- = stdin)")
-	list := flag.Bool("l", false, "print only the class list")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g, err := tool.ReadConfig(*file, tool.Registry())
-	if err != nil {
-		tool.Fail("click-mkmindriver", err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("click-mkmindriver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "-", "configuration file (- = stdin)")
+	list := fs.Bool("l", false, "print only the class list")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	classes, src, err := opt.MinDriver(g, tool.Registry())
+	// The registry the configuration was read into also holds any
+	// generated classes its archive installed; analyzing against a fresh
+	// registry would reject every optimized configuration as using
+	// unknown classes.
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
 	if err != nil {
-		tool.Fail("click-mkmindriver", err)
+		fmt.Fprintf(stderr, "click-mkmindriver: %v\n", err)
+		return 1
+	}
+	classes, src, err := opt.MinDriver(g, reg)
+	if err != nil {
+		fmt.Fprintf(stderr, "click-mkmindriver: %v\n", err)
+		return 1
 	}
 	if *list {
 		for _, c := range classes {
-			fmt.Println(c)
+			fmt.Fprintln(stdout, c)
 		}
-		return
+		return 0
 	}
-	os.Stdout.WriteString(src)
+	io.WriteString(stdout, src)
+	return 0
 }

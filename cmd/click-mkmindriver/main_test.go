@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func writeConfig(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.click")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMkMinDriverListsClasses(t *testing.T) {
+	path := writeConfig(t, "s :: InfiniteSource -> c :: Counter -> d :: Discard;")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-f", path, "-l"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if got, want := out.String(), "Counter\nDiscard\nInfiniteSource\n"; got != want {
+		t.Errorf("class list = %q, want %q", got, want)
+	}
+	var manifest bytes.Buffer
+	if code := run([]string{"-f", path}, &manifest, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"package mindriver", "//   Counter"} {
+		if !strings.Contains(manifest.String(), want) {
+			t.Errorf("manifest missing %q:\n%s", want, manifest.String())
+		}
+	}
+}
+
+// TestMkMinDriverSeesArchiveClasses: an optimized configuration carries
+// generated element classes in its archive; the analysis must run
+// against the registry those classes were installed into, not a fresh
+// one that would reject them as unknown.
+func TestMkMinDriverSeesArchiveClasses(t *testing.T) {
+	g, err := lang.ParseRouter(`
+s :: InfiniteSource -> cl :: Classifier(12/0800, -) -> d :: Discard;
+cl [1] -> d2 :: Discard;`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.FastClassifier(g, tool.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "optimized.click")
+	if err := tool.WriteConfig(g, path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-f", path, "-l"}, &out, &errw); code != 0 {
+		t.Fatalf("optimized config rejected (exit %d): %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "FastClassifier@@") {
+		t.Errorf("generated class missing from list:\n%s", out.String())
+	}
+}
+
+func TestMkMinDriverErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-f", filepath.Join(t.TempDir(), "missing.click")}, &out, &errw); code != 1 {
+		t.Errorf("missing file exit = %d, want 1", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("error run wrote %q to stdout", out.String())
+	}
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

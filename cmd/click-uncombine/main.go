@@ -1,34 +1,57 @@
 // Command click-uncombine extracts one router from a combined
 // configuration (§7.2), restoring the device elements at its ends of
 // each inter-router link.
+//
+// The extracted configuration goes to -o (stdout by default);
+// diagnostics go to stderr. The exit status is 0 on success, 1 on any
+// error, 2 on a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/opt"
 	"repro/internal/tool"
 )
 
 func main() {
-	file := flag.String("f", "-", "combined configuration file (- = stdin)")
-	out := flag.String("o", "-", "output file (- = stdout)")
-	router := flag.String("r", "", "router name to extract (required)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("click-uncombine", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "-", "combined configuration file (- = stdin)")
+	out := fs.String("o", "-", "output file (- = stdout)")
+	router := fs.String("r", "", "router name to extract (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *router == "" {
-		tool.Fail("click-uncombine", fmt.Errorf("-r ROUTER is required"))
+		fmt.Fprintln(stderr, "click-uncombine: -r ROUTER is required")
+		return 2
 	}
 	g, err := tool.ReadConfig(*file, tool.Registry())
 	if err != nil {
-		tool.Fail("click-uncombine", err)
+		fmt.Fprintf(stderr, "click-uncombine: %v\n", err)
+		return 1
 	}
 	extracted, err := opt.Uncombine(g, *router)
 	if err != nil {
-		tool.Fail("click-uncombine", err)
+		fmt.Fprintf(stderr, "click-uncombine: %v\n", err)
+		return 1
 	}
-	if err := tool.WriteConfig(extracted, *out); err != nil {
-		tool.Fail("click-uncombine", err)
+	if *out == "" || *out == "-" {
+		err = tool.WriteConfigTo(extracted, stdout)
+	} else {
+		err = tool.WriteConfig(extracted, *out)
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "click-uncombine: %v\n", err)
+		return 1
+	}
+	return 0
 }

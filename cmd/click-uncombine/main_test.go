@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+// combinedConfig builds a two-router combined configuration on disk.
+func combinedConfig(t *testing.T) string {
+	t.Helper()
+	ga, err := lang.ParseRouter("s :: InfiniteSource -> td :: ToDevice(eth0);", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := lang.ParseRouter("pd :: PollDevice(eth1) -> d :: Discard;", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := opt.Combine(
+		[]opt.RouterInput{{Name: "a", Config: ga}, {Name: "b", Config: gb}},
+		[]opt.Link{{FromRouter: "a", FromDev: "eth0", ToRouter: "b", ToDev: "eth1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "combined.click")
+	if err := tool.WriteConfig(combined, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUncombineExtractsRouter(t *testing.T) {
+	path := combinedConfig(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-f", path, "-r", "a"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	cfg := out.String()
+	if !strings.Contains(cfg, "ToDevice(eth0)") {
+		t.Errorf("extracted router a missing its restored ToDevice:\n%s", cfg)
+	}
+	if strings.Contains(cfg, "PollDevice") || strings.Contains(cfg, "RouterLink") {
+		t.Errorf("router b or link plumbing leaked into extraction:\n%s", cfg)
+	}
+	// The extraction must itself parse.
+	if _, err := lang.ParseRouter(cfg, "extracted"); err != nil {
+		t.Errorf("extracted configuration does not parse: %v", err)
+	}
+}
+
+func TestUncombineErrors(t *testing.T) {
+	path := combinedConfig(t)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-f", path}, &out, &errw); code != 2 {
+		t.Errorf("missing -r exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-r ROUTER is required") {
+		t.Errorf("usage error not reported: %q", errw.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-f", path, "-r", "nosuch"}, &out, &errw); code != 1 {
+		t.Errorf("unknown router exit = %d, want 1", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("error run wrote %q to stdout", out.String())
+	}
+	if !strings.Contains(errw.String(), "click-uncombine:") {
+		t.Errorf("error not reported on stderr: %q", errw.String())
+	}
+}

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n]
+//	      [-hotswap config] [-hotswap-after n] [-adapt] [-adapt-interval n]
 //	      [-h element.handler]... [-counters] [-report]
 //
 // -batch moves packets between elements in bursts of up to n (amortized
@@ -17,6 +18,16 @@
 // byte, drop, and cycle counters, their totals, any optimizer pass
 // reports carried in the configuration archive, and (with -trace) the
 // recorded per-packet element paths — as one JSON document on stdout.
+//
+// -hotswap names a replacement configuration to install atomically
+// mid-run at a task-round boundary: queue contents, ARP tables,
+// counters, and live handler settings transplant to same-named elements
+// (Click's take_state). The swap triggers on SIGHUP, or after
+// -hotswap-after active rounds when that is nonzero. -adapt runs the
+// telemetry-driven re-optimization controller: every -adapt-interval
+// active rounds it samples the live element counters, decides which
+// optimizer passes the traffic justifies, and hot-swaps the re-optimized
+// configuration in.
 //
 // Device elements (PollDevice, FromDevice, ToDevice) referencing devices
 // that no caller provided are bound to idle in-memory devices, so
@@ -29,8 +40,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/elements"
@@ -54,6 +67,10 @@ func main() {
 	traceCap := flag.Int("trace", 0, "record per-packet element paths (ring buffer of n records)")
 	batch := flag.Int("batch", 1, "move packets between elements in bursts of up to this size")
 	workers := flag.Int("workers", 1, "task scheduler workers (work stealing when > 1)")
+	hotswapFile := flag.String("hotswap", "", "replacement configuration to hot-swap in mid-run (on SIGHUP, or after -hotswap-after rounds)")
+	hotswapAfter := flag.Int("hotswap-after", 0, "hot-swap the -hotswap configuration after this many active rounds (0 = only on SIGHUP)")
+	adapt := flag.Bool("adapt", false, "run the adaptive re-optimization controller")
+	adaptEvery := flag.Int("adapt-interval", 2000, "active rounds between adaptive telemetry samples")
 	var reads handlerList
 	flag.Var(&reads, "h", "read handler \"element.name\" after the run (repeatable)")
 	flag.Parse()
@@ -72,14 +89,77 @@ func main() {
 	if *traceCap > 0 {
 		tracer = rt.EnableTracing(*traceCap)
 	}
-	var ran int
-	if *workers > 1 {
-		if ran, err = rt.RunParallelUntilIdle(*workers, *rounds); err != nil {
-			tool.Fail("click", err)
-		}
-	} else {
-		ran = rt.RunUntilIdle(*rounds)
+	sched, err := core.NewScheduler(rt, *workers)
+	if err != nil {
+		tool.Fail("click", err)
 	}
+	if *hotswapFile != "" {
+		// SIGHUP swaps in the replacement at the next round boundary, the
+		// way a live Click reads a new configuration from /proc.
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGHUP)
+		go func() {
+			for range ch {
+				next, err := buildReplacement(*hotswapFile, env, *batch)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "click: hotswap: %v\n", err)
+					continue
+				}
+				sched.RequestHotswap(next)
+			}
+		}()
+	}
+	var ctrl *opt.Adaptive
+	if *adapt {
+		ctrl = opt.NewAdaptive(opt.DefaultAdaptiveOptions())
+	}
+	applied := map[string]bool{}
+	var ran int
+	for ran < *rounds && sched.RunRound() {
+		ran++
+		if *hotswapFile != "" && *hotswapAfter > 0 && ran == *hotswapAfter {
+			next, err := buildReplacement(*hotswapFile, env, *batch)
+			if err != nil {
+				tool.Fail("click", err)
+			}
+			sched.RequestHotswap(next)
+		}
+		if ctrl != nil && ran%*adaptEvery == 0 {
+			live := sched.Router()
+			d := ctrl.Observe(live.Graph, live.StatsReport())
+			// Each pass is worth applying once; the controller keeps
+			// seeing hot traffic afterwards, but re-running an applied
+			// pass would only churn the router.
+			d.FastClassifier = d.FastClassifier && !applied["fastclassifier"]
+			d.Devirtualize = d.Devirtualize && !applied["devirtualize"]
+			d.Undead = d.Undead && !applied["undead"]
+			if d.Any() {
+				ng, areg, err := opt.Reoptimize(live.Graph, d)
+				if err != nil {
+					tool.Fail("click", err)
+				}
+				next, err := core.Build(ng, areg, core.BuildOptions{Burst: *batch, Env: env})
+				if err != nil {
+					tool.Fail("click", err)
+				}
+				sched.RequestHotswap(next)
+				if d.FastClassifier {
+					applied["fastclassifier"] = true
+				}
+				if d.Devirtualize {
+					applied["devirtualize"] = true
+				}
+				if d.Undead {
+					applied["undead"] = true
+				}
+				fmt.Fprintf(os.Stderr, "click: adapt: %s\n", strings.Join(d.Reasons, "; "))
+			}
+		}
+	}
+	if err := sched.SwapErr(); err != nil {
+		tool.Fail("click", err)
+	}
+	rt = sched.Router()
 	fmt.Fprintf(os.Stderr, "click: ran %d active task rounds\n", ran)
 	defer rt.Close()
 
@@ -99,6 +179,23 @@ func main() {
 	if *counters && len(reads) == 0 {
 		printCounters(rt)
 	}
+}
+
+// buildReplacement reads and assembles a hot-swap replacement router.
+// Devices the running router already provisioned keep their identity
+// (the replacement binds the same rings); device names only the new
+// configuration references get fresh idle devices.
+func buildReplacement(file string, liveEnv map[string]interface{}, batch int) (*core.Router, error) {
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(file, reg)
+	if err != nil {
+		return nil, err
+	}
+	env := provisionDevices(g)
+	for k, v := range liveEnv {
+		env[k] = v
+	}
+	return core.Build(g, reg, core.BuildOptions{Burst: batch, Env: env})
 }
 
 // jsonReport is the document click -report emits: the live telemetry

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/packet"
+)
+
+// tCarrier is a stateful pass-through element implementing StateCarrier.
+type tCarrier struct {
+	Base
+	val      int
+	saved    bool
+	restored bool
+	failWith error
+}
+
+type tCarrierState struct{ Val int }
+
+func (e *tCarrier) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.val++
+	e.Output(0).Push(p)
+}
+
+func (e *tCarrier) SaveState() interface{} {
+	e.saved = true
+	return &tCarrierState{Val: e.val}
+}
+
+func (e *tCarrier) RestoreState(state interface{}) error {
+	if e.failWith != nil {
+		return e.failWith
+	}
+	e.restored = true
+	e.val = state.(*tCarrierState).Val
+	return nil
+}
+
+// tCarrier2 has the same shape but a different Go type, so state must
+// not move between a tCarrier and a tCarrier2 of the same name.
+type tCarrier2 struct{ tCarrier }
+
+func hotswapRegistry() *Registry {
+	reg := testRegistry()
+	one := func(string) (graph.PortRange, graph.PortRange) {
+		return graph.Between(0, 1), graph.Exactly(1)
+	}
+	reg.Register(&Spec{Name: "TCarrier", Processing: "h/h", Ports: one,
+		Make: func() Element { return &tCarrier{} }, WorkCycles: 5})
+	reg.Register(&Spec{Name: "TCarrier2", Processing: "h/h", Ports: one,
+		Make: func() Element { return &tCarrier2{} }, WorkCycles: 5})
+	// TCarrierDV: devirtualize-style renamed class over the same Go
+	// type — state must still transplant.
+	reg.Register(&Spec{Name: "TCarrier_dv0", Processing: "h/h", Ports: one,
+		Make: func() Element { return &tCarrier{} }, WorkCycles: 5, Devirtualized: true})
+	return reg
+}
+
+func buildText(t *testing.T, text string, reg *Registry) *Router {
+	t.Helper()
+	rt, err := BuildFromText(text, "hotswap_test", reg, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestHotswapTransplantsStatsAndState(t *testing.T) {
+	reg := hotswapRegistry()
+	old := buildText(t, "c :: TCarrier -> s :: TSink;", reg)
+	c := old.Find("c").(*tCarrier)
+	for i := 0; i < 7; i++ {
+		c.Push(0, packet.New([]byte{1, 2, 3}))
+	}
+	if c.val != 7 {
+		t.Fatalf("val = %d, want 7", c.val)
+	}
+
+	next := buildText(t, "c :: TCarrier -> s :: TSink;", reg)
+	if err := old.Hotswap(next); err != nil {
+		t.Fatal(err)
+	}
+	nc := next.Find("c").(*tCarrier)
+	if !c.saved || !nc.restored {
+		t.Errorf("state did not move: saved=%v restored=%v", c.saved, nc.restored)
+	}
+	if nc.val != 7 {
+		t.Errorf("transplanted val = %d, want 7", nc.val)
+	}
+	if got := nc.Stats().PacketsOut(); got != 7 {
+		t.Errorf("transplanted PacketsOut = %d, want 7", got)
+	}
+	if got := nc.Stats().Cycles(); got != 7*5 {
+		t.Errorf("transplanted Cycles = %d, want 35", got)
+	}
+	// The sink's stats carry over too.
+	if got := next.Find("s").base().Stats().PacketsIn(); got != 7 {
+		t.Errorf("sink transplanted PacketsIn = %d, want 7", got)
+	}
+}
+
+func TestHotswapAcrossDevirtualizedClass(t *testing.T) {
+	reg := hotswapRegistry()
+	old := buildText(t, "c :: TCarrier -> s :: TSink;", reg)
+	old.Find("c").(*tCarrier).val = 3
+	// Same element name, renamed class, same Go type: the situation
+	// Devirtualize produces. State must transplant.
+	next := buildText(t, "c :: TCarrier_dv0 -> s :: TSink;", reg)
+	if err := old.Hotswap(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Find("c").(*tCarrier).val; got != 3 {
+		t.Errorf("val across class rename = %d, want 3", got)
+	}
+}
+
+func TestHotswapSkipsForeignTypes(t *testing.T) {
+	reg := hotswapRegistry()
+	old := buildText(t, "c :: TCarrier -> s :: TSink;", reg)
+	oc := old.Find("c").(*tCarrier)
+	oc.val = 9
+	oc.Push(0, packet.New([]byte{1}))
+
+	next := buildText(t, "c :: TCarrier2 -> s :: TSink;", reg)
+	if err := old.Hotswap(next); err != nil {
+		t.Fatal(err)
+	}
+	nc := next.Find("c").(*tCarrier2)
+	if oc.saved || nc.restored {
+		t.Errorf("state moved across Go types: saved=%v restored=%v", oc.saved, nc.restored)
+	}
+	// Telemetry still carries over: it is class-agnostic.
+	if got := nc.Stats().PacketsOut(); got != 1 {
+		t.Errorf("stats did not transplant across classes: PacketsOut = %d", got)
+	}
+}
+
+func TestHotswapRestoreErrorNamesElement(t *testing.T) {
+	reg := hotswapRegistry()
+	old := buildText(t, "c :: TCarrier -> s :: TSink;", reg)
+	next := buildText(t, "c :: TCarrier -> s :: TSink;", reg)
+	next.Find("c").(*tCarrier).failWith = fmt.Errorf("boom")
+	err := old.Hotswap(next)
+	if err == nil {
+		t.Fatal("restore error was swallowed")
+	}
+	if want := `hotswap "c"`; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the element (want %q)", err, want)
+	}
+}
+
+func TestSchedulerRequestHotswap(t *testing.T) {
+	reg := hotswapRegistry()
+	old := buildText(t, "src :: TTask -> s :: TSink;", reg)
+	s, err := NewScheduler(old, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the first router (TTask emits 3 packets).
+	s.RunUntilIdle(100)
+	if got := len(old.Find("s").(*tSink).got); got != 3 {
+		t.Fatalf("old sink got %d packets, want 3", got)
+	}
+
+	next := buildText(t, "src :: TTask -> s :: TSink;", reg)
+	s.RequestHotswap(next)
+	// The swap itself counts as round progress, then the new router's
+	// task emits its packets.
+	if !s.RunRound() {
+		t.Error("swap round reported no progress")
+	}
+	if s.Router() != next {
+		t.Fatal("scheduler did not adopt the new router")
+	}
+	if s.SwapErr() != nil {
+		t.Fatal(s.SwapErr())
+	}
+	s.RunUntilIdle(100)
+	if got := len(next.Find("s").(*tSink).got); got != 3 {
+		t.Errorf("new sink got %d packets, want 3", got)
+	}
+	// Transplanted output stats continue from the old router's 3.
+	if got := next.Find("src").base().Stats().PacketsOut(); got != 6 {
+		t.Errorf("src PacketsOut = %d, want 6 (3 transplanted + 3 new)", got)
+	}
+}
+
+func TestSchedulerHotswapParallelArmsElements(t *testing.T) {
+	reg := hotswapRegistry()
+	old := buildText(t, "src :: TTask -> s :: TSink;", reg)
+	s, err := NewScheduler(old, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilIdle(100)
+	next := buildText(t, "src :: TTask -> s :: TSink;", reg)
+	if err := s.Hotswap(next); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range next.Elements() {
+		if !e.base().stats.shared {
+			t.Fatalf("element %q stats not armed for parallel run", e.base().Name())
+		}
+	}
+	s.RunUntilIdle(100)
+	if got := len(next.Find("s").(*tSink).got); got != 3 {
+		t.Errorf("new sink got %d packets, want 3", got)
+	}
+}

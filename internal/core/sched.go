@@ -20,6 +20,12 @@ type Scheduler struct {
 	workers int
 	assign  [][]taskEntry // static partition, one slice per worker
 	queues  []workerQueue
+
+	// pending holds a router awaiting installation; RunRound applies it
+	// at the next round boundary (all workers joined), where no task is
+	// mid-flight. swapErr records a failed installation.
+	pending atomic.Pointer[Router]
+	swapErr error
 }
 
 // taskEntry is one schedulable unit: a task and the number of times it
@@ -75,25 +81,92 @@ func NewScheduler(rt *Router, workers int) (*Scheduler, error) {
 		assign:  make([][]taskEntry, workers),
 		queues:  make([]workerQueue, workers),
 	}
-	for i, t := range rt.tasks {
-		w := i % workers
-		s.assign[w] = append(s.assign[w], taskEntry{task: t, runs: rt.weights[i]})
-	}
+	s.partition()
 	if workers > 1 {
-		for _, e := range rt.elements {
-			// Telemetry counters switch to atomic updates before any
-			// worker goroutine exists, so the flag flip is race-free.
-			e.base().stats.shared = true
-			if sy, ok := e.(Synchronizer); ok {
-				sy.EnableSync()
-			}
-		}
+		// Telemetry counters switch to atomic updates and elements take
+		// their locks before any worker goroutine exists, so the flag
+		// flips are race-free.
+		s.arm(rt)
 	}
 	return s, nil
 }
 
 // Workers returns the worker count.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// Router returns the router the scheduler currently drives (the
+// replacement, after a hot-swap).
+func (s *Scheduler) Router() *Router { return s.rt }
+
+// SwapErr returns the error from the most recent failed RequestHotswap
+// installation, or nil.
+func (s *Scheduler) SwapErr() error { return s.swapErr }
+
+// arm switches a router's elements to parallel operation: telemetry
+// counters go atomic and lock-guarded elements enable their locks. It
+// must run before any worker goroutine touches the router.
+func (s *Scheduler) arm(rt *Router) {
+	for _, e := range rt.elements {
+		e.base().stats.shared = true
+		if sy, ok := e.(Synchronizer); ok {
+			sy.EnableSync()
+		}
+	}
+}
+
+// partition rebuilds the static task partition from the current router.
+func (s *Scheduler) partition() {
+	s.assign = make([][]taskEntry, s.workers)
+	for i, t := range s.rt.tasks {
+		w := i % s.workers
+		s.assign[w] = append(s.assign[w], taskEntry{task: t, runs: s.rt.weights[i]})
+	}
+}
+
+// Hotswap replaces the scheduled router with next at a round boundary:
+// element state transplants across by name (Router.Hotswap), the task
+// partition is rebuilt from next's tasks, and — in parallel mode —
+// next's elements are armed for concurrent access before any worker
+// sees them. The caller must not be inside RunRound; from another
+// goroutine, use RequestHotswap instead.
+func (s *Scheduler) Hotswap(next *Router) error {
+	if s.workers > 1 && next.CPU != nil {
+		return fmt.Errorf("core: hotswap: parallel scheduler cannot adopt a router with the simulated CPU cost model attached")
+	}
+	if s.workers > 1 {
+		// Arm before transplant so transplanted counters land in an
+		// already-shared stats block.
+		s.arm(next)
+	}
+	if err := s.rt.Hotswap(next); err != nil {
+		return err
+	}
+	s.rt = next
+	s.partition()
+	return nil
+}
+
+// RequestHotswap asks the scheduler to install next at its next round
+// boundary. It is safe to call from another goroutine (a signal
+// handler, a control loop) while RunUntilIdle is running; the
+// installation itself happens between rounds, when no worker is
+// running. A second request before the first installs replaces it.
+// Installation failures are reported through SwapErr.
+func (s *Scheduler) RequestHotswap(next *Router) { s.pending.Store(next) }
+
+// applyPending installs a requested router, reporting whether one was
+// pending.
+func (s *Scheduler) applyPending() bool {
+	next := s.pending.Swap(nil)
+	if next == nil {
+		return false
+	}
+	if err := s.Hotswap(next); err != nil {
+		s.swapErr = err
+		return false
+	}
+	return true
+}
 
 // steal takes a task from the back of another worker's queue.
 func (s *Scheduler) steal(self int) (taskEntry, bool) {
@@ -109,8 +182,12 @@ func (s *Scheduler) steal(self int) (taskEntry, bool) {
 // and reports whether any did useful work — the parallel equivalent of
 // Router.RunTaskRound, with the same idle-detection semantics.
 func (s *Scheduler) RunRound() bool {
+	// Round boundary: no worker exists here, so a requested hot-swap
+	// installs race-free. An applied swap counts as progress — the new
+	// router deserves at least one round before idle detection bites.
+	swapped := s.applyPending()
 	if s.workers == 1 {
-		return s.rt.RunTaskRound()
+		return s.rt.RunTaskRound() || swapped
 	}
 	for w := range s.queues {
 		q := &s.queues[w]
@@ -144,7 +221,7 @@ func (s *Scheduler) RunRound() bool {
 		}(w)
 	}
 	wg.Wait()
-	return any.Load()
+	return any.Load() || swapped
 }
 
 // RunUntilIdle runs rounds until none does useful work, up to

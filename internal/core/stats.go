@@ -63,6 +63,20 @@ func (s *ElemStats) addCycles(c int64) {
 	s.cycles += c
 }
 
+// Transplant copies o's counters into s, replacing whatever s held.
+// Hot-swap uses it to carry an element's telemetry across a
+// configuration replacement so counters stay continuous. Both routers
+// are stopped when it runs, but the stores are atomic anyway so a
+// handler sampling from another goroutine cannot observe torn values.
+func (s *ElemStats) Transplant(o *ElemStats) {
+	atomic.StoreInt64(&s.pktsIn, atomic.LoadInt64(&o.pktsIn))
+	atomic.StoreInt64(&s.bytesIn, atomic.LoadInt64(&o.bytesIn))
+	atomic.StoreInt64(&s.pktsOut, atomic.LoadInt64(&o.pktsOut))
+	atomic.StoreInt64(&s.bytesOut, atomic.LoadInt64(&o.bytesOut))
+	atomic.StoreInt64(&s.drops, atomic.LoadInt64(&o.drops))
+	atomic.StoreInt64(&s.cycles, atomic.LoadInt64(&o.cycles))
+}
+
 // PacketsIn returns the number of packets the element received on its
 // input ports.
 func (s *ElemStats) PacketsIn() int64 { return atomic.LoadInt64(&s.pktsIn) }

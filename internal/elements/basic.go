@@ -191,8 +191,38 @@ func (e *Queue) Len() int {
 	return e.count
 }
 
-// Capacity returns the configured capacity.
-func (e *Queue) Capacity() int { return e.capacity }
+// Capacity returns the current capacity.
+func (e *Queue) Capacity() int {
+	e.lock()
+	defer e.unlock()
+	return e.capacity
+}
+
+// SetCapacity resizes the queue at run time (the "capacity" write
+// handler), preserving queued packets in FIFO order. Shrinking below
+// the current occupancy tail-drops the newest packets — the ones a
+// smaller queue would have refused — and counts them as drops.
+func (e *Queue) SetCapacity(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("Queue: bad capacity %d", n)
+	}
+	e.lock()
+	defer e.unlock()
+	keep := e.count
+	if keep > n {
+		keep = n
+	}
+	buf := make([]*packet.Packet, n)
+	for i := 0; i < keep; i++ {
+		buf[i] = e.buf[(e.head+i)%e.capacity]
+	}
+	for i := keep; i < e.count; i++ {
+		atomic.AddInt64(&e.Drops, 1)
+		e.Drop(e.buf[(e.head+i)%e.capacity])
+	}
+	e.buf, e.head, e.count, e.capacity = buf, 0, keep, n
+	return nil
+}
 
 // enqueue adds one packet to the ring or tail-drops; the caller holds
 // the guard.

@@ -33,7 +33,15 @@ func (e *Counter) Handlers() []core.Handler {
 func (e *Queue) Handlers() []core.Handler {
 	return []core.Handler{
 		intHandler("length", func() int64 { return int64(e.Len()) }),
-		intHandler("capacity", func() int64 { return int64(e.Capacity()) }),
+		{Name: "capacity",
+			Read: func() string { return strconv.Itoa(e.Capacity()) },
+			Write: func(v string) error {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("Queue: bad capacity %q", v)
+				}
+				return e.SetCapacity(n)
+			}},
 		intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) }),
 		intHandler("highwater_length", func() int64 { return int64(e.HighWater) }),
 		{Name: "reset_counts", Write: func(string) error {
@@ -115,9 +123,42 @@ func (e *ARPQuerier) Handlers() []core.Handler {
 	}
 }
 
-// Handlers exports RED drop statistics.
+// Handlers exports RED drop statistics and runtime-writable dropping
+// parameters, mirroring Queue's writable capacity.
 func (e *RED) Handlers() []core.Handler {
-	return []core.Handler{intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) })}
+	return []core.Handler{
+		intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) }),
+		{Name: "min_thresh",
+			Read: func() string { return strconv.Itoa(e.minThresh) },
+			Write: func(v string) error {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 || n >= e.maxThresh {
+					return fmt.Errorf("RED: bad min threshold %q", v)
+				}
+				e.minThresh = n
+				return nil
+			}},
+		{Name: "max_thresh",
+			Read: func() string { return strconv.Itoa(e.maxThresh) },
+			Write: func(v string) error {
+				n, err := strconv.Atoi(v)
+				if err != nil || n <= e.minThresh {
+					return fmt.Errorf("RED: bad max threshold %q", v)
+				}
+				e.maxThresh = n
+				return nil
+			}},
+		{Name: "max_p",
+			Read: func() string { return strconv.Itoa(int(e.maxP*1000 + 0.5)) },
+			Write: func(v string) error {
+				n, err := strconv.Atoi(v)
+				if err != nil || n <= 0 || n > 1000 {
+					return fmt.Errorf("RED: bad max-p %q", v)
+				}
+				e.maxP = float64(n) / 1000
+				return nil
+			}},
+	}
 }
 
 // Handlers exports device statistics.

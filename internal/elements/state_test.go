@@ -1,0 +1,298 @@
+package elements
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Compile-time checks: the carriers the hot-swap machinery relies on.
+var (
+	_ core.StateCarrier = (*Queue)(nil)
+	_ core.StateCarrier = (*RED)(nil)
+	_ core.StateCarrier = (*ARPQuerier)(nil)
+	_ core.StateCarrier = (*Counter)(nil)
+	_ core.StateCarrier = (*Switch)(nil)
+	_ core.StateCarrier = (*Paint)(nil)
+)
+
+func TestQueueSetCapacityGrow(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> q :: Queue(2) -> x :: Idle;")
+	q := rt.Find("q").(*Queue)
+	p1, p2 := udpPacket(packet.IP4{1}, packet.IP4{2}), udpPacket(packet.IP4{1}, packet.IP4{3})
+	q.Push(0, p1)
+	q.Push(0, p2)
+	if err := q.SetCapacity(5); err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 5 || q.Len() != 2 {
+		t.Fatalf("capacity=%d len=%d after grow", q.Capacity(), q.Len())
+	}
+	// FIFO order survives the resize.
+	if q.Pull(0) != p1 || q.Pull(0) != p2 {
+		t.Error("FIFO order lost across grow")
+	}
+	// The grown queue accepts more than the old capacity.
+	for i := 0; i < 5; i++ {
+		q.Push(0, udpPacket(packet.IP4{1}, packet.IP4{byte(i)}))
+	}
+	if q.Len() != 5 || q.Drops != 0 {
+		t.Errorf("len=%d drops=%d, want 5/0", q.Len(), q.Drops)
+	}
+}
+
+func TestQueueSetCapacityShrinkDropsNewest(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> q :: Queue(4) -> x :: Idle;")
+	q := rt.Find("q").(*Queue)
+	ps := make([]*packet.Packet, 4)
+	for i := range ps {
+		ps[i] = udpPacket(packet.IP4{1}, packet.IP4{byte(i)})
+		q.Push(0, ps[i])
+	}
+	if err := q.SetCapacity(2); err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 2 || q.Len() != 2 {
+		t.Fatalf("capacity=%d len=%d after shrink", q.Capacity(), q.Len())
+	}
+	// The oldest packets survive; the newest two were dropped and
+	// counted (both in the element counter and in telemetry).
+	if q.Pull(0) != ps[0] || q.Pull(0) != ps[1] {
+		t.Error("shrink did not keep the oldest packets")
+	}
+	if got := atomic.LoadInt64(&q.Drops); got != 2 {
+		t.Errorf("Drops = %d, want 2", got)
+	}
+	if got := q.Stats().Drops(); got != 2 {
+		t.Errorf("telemetry drops = %d, want 2", got)
+	}
+}
+
+func TestQueueSetCapacityRejectsBadValues(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> q :: Queue -> x :: Idle;")
+	q := rt.Find("q").(*Queue)
+	for _, n := range []int{0, -3} {
+		if err := q.SetCapacity(n); err == nil {
+			t.Errorf("SetCapacity(%d) accepted", n)
+		}
+	}
+}
+
+func TestQueueCapacityWriteHandler(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> q :: Queue(10) -> x :: Idle;")
+	if err := rt.WriteHandler("q.capacity", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := rt.ReadHandler("q.capacity"); err != nil || v != "3" {
+		t.Errorf("capacity read %q (%v), want 3", v, err)
+	}
+	if err := rt.WriteHandler("q.capacity", "bogus"); err == nil {
+		t.Error("bogus capacity accepted")
+	}
+	if err := rt.WriteHandler("q.capacity", "0"); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestREDThresholdHandlers(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> r :: RED(5, 50, 20) -> q :: Queue -> x :: Idle;")
+	for name, want := range map[string]string{"min_thresh": "5", "max_thresh": "50", "max_p": "20"} {
+		if v, err := rt.ReadHandler("r." + name); err != nil || v != want {
+			t.Errorf("%s read %q (%v), want %q", name, v, err, want)
+		}
+	}
+	if err := rt.WriteHandler("r.min_thresh", "10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteHandler("r.max_thresh", "100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteHandler("r.max_p", "500"); err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Find("r").(*RED)
+	if r.minThresh != 10 || r.maxThresh != 100 || r.maxP != 0.5 {
+		t.Errorf("RED params = %d/%d/%v after writes", r.minThresh, r.maxThresh, r.maxP)
+	}
+	// Validation: min must stay below max, max above min, max-p in (0,1000].
+	for handler, bad := range map[string]string{
+		"min_thresh": "100", "max_thresh": "10", "max_p": "2000",
+	} {
+		if err := rt.WriteHandler("r."+handler, bad); err == nil {
+			t.Errorf("%s accepted %s", handler, bad)
+		}
+	}
+}
+
+func TestQueueStateTransplant(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> q :: Queue(8) -> x :: Idle;")
+	q := rt.Find("q").(*Queue)
+	ps := make([]*packet.Packet, 3)
+	for i := range ps {
+		ps[i] = udpPacket(packet.IP4{1}, packet.IP4{byte(i)})
+		q.Push(0, ps[i])
+	}
+	q.Push(0, udpPacket(packet.IP4{9}, packet.IP4{9}))
+	if q.Pull(0) != ps[0] {
+		t.Fatal("setup pull")
+	}
+	ps = ps[1:]
+	atomic.AddInt64(&q.Drops, 5)
+
+	rt2 := buildRT(t, "i :: Idle -> q :: Queue(8) -> x :: Idle;")
+	q2 := rt2.Find("q").(*Queue)
+	st := q.SaveState()
+	if q.Len() != 0 {
+		t.Errorf("SaveState left %d packets behind", q.Len())
+	}
+	if err := q2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 3 {
+		t.Fatalf("restored len = %d, want 3", q2.Len())
+	}
+	if q2.Pull(0) != ps[0] || q2.Pull(0) != ps[1] {
+		t.Error("restored FIFO order wrong")
+	}
+	if got := atomic.LoadInt64(&q2.Drops); got != 5 {
+		t.Errorf("restored Drops = %d, want 5", got)
+	}
+	if q2.Enqueued != 4 {
+		t.Errorf("restored Enqueued = %d, want 4", q2.Enqueued)
+	}
+	if err := q2.RestoreState("junk"); err == nil {
+		t.Error("foreign state accepted")
+	}
+}
+
+func TestQueueStateTransplantIntoSmallerQueue(t *testing.T) {
+	rt := buildRT(t, "i :: Idle -> q :: Queue(8) -> x :: Idle;")
+	q := rt.Find("q").(*Queue)
+	for i := 0; i < 5; i++ {
+		q.Push(0, udpPacket(packet.IP4{1}, packet.IP4{byte(i)}))
+	}
+	rt2 := buildRT(t, "i :: Idle -> q :: Queue(2) -> x :: Idle;")
+	q2 := rt2.Find("q").(*Queue)
+	if err := q2.RestoreState(q.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 2 {
+		t.Errorf("restored len = %d, want 2 (new capacity)", q2.Len())
+	}
+	// 3 packets did not fit: counted as drops on the new element.
+	if got := atomic.LoadInt64(&q2.Drops); got != 3 {
+		t.Errorf("overflow drops = %d, want 3", got)
+	}
+}
+
+func TestARPStateTransplant(t *testing.T) {
+	cfg := "i :: Idle -> arpq :: ARPQuerier(10.0.0.1, 0:a0:c9:0:0:1) -> x :: Idle; j :: Idle -> [1] arpq;"
+	rt := buildRT(t, cfg)
+	a := rt.Find("arpq").(*ARPQuerier)
+	ip := packet.MakeIP4(10, 0, 0, 2)
+	eth := packet.EtherAddr{0, 160, 201, 0, 0, 2}
+	a.InsertEntry(ip, eth)
+	held := udpPacket(packet.MakeIP4(10, 0, 0, 1), packet.MakeIP4(10, 0, 9, 9))
+	a.wait[packet.MakeIP4(10, 0, 9, 9)] = held
+	atomic.StoreInt64(&a.Queries, 4)
+	atomic.StoreInt64(&a.Responses, 2)
+
+	rt2 := buildRT(t, cfg)
+	a2 := rt2.Find("arpq").(*ARPQuerier)
+	if err := a2.RestoreState(a.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.tbl[ip]; got != eth {
+		t.Errorf("table entry = %v, want %v", got, eth)
+	}
+	if a2.wait[packet.MakeIP4(10, 0, 9, 9)] != held {
+		t.Error("held packet did not transplant")
+	}
+	if atomic.LoadInt64(&a2.Queries) != 4 || atomic.LoadInt64(&a2.Responses) != 2 {
+		t.Error("ARP counters did not transplant")
+	}
+	// The old element gave the state up entirely.
+	if len(a.tbl) != 0 || len(a.wait) != 0 {
+		t.Error("SaveState left table or held packets behind")
+	}
+}
+
+func TestScalarStateCarriers(t *testing.T) {
+	// Counter, Switch, Paint: value-only carriers.
+	rt := buildRT(t, "i :: Idle -> c :: Counter -> sw :: Switch(0) -> pt :: Paint(1) -> x :: Idle; sw [1] -> y :: Idle;")
+	rt2 := buildRT(t, "i :: Idle -> c :: Counter -> sw :: Switch(0) -> pt :: Paint(1) -> x :: Idle; sw [1] -> y :: Idle;")
+
+	c := rt.Find("c").(*Counter)
+	atomic.StoreInt64(&c.Packets, 11)
+	atomic.StoreInt64(&c.Bytes, 999)
+	c2 := rt2.Find("c").(*Counter)
+	if err := c2.RestoreState(c.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Packets != 11 || c2.Bytes != 999 {
+		t.Errorf("Counter state = %d/%d", c2.Packets, c2.Bytes)
+	}
+
+	sw := rt.Find("sw").(*Switch)
+	if err := rt.WriteHandler("sw.switch", "1"); err != nil {
+		t.Fatal(err)
+	}
+	sw2 := rt2.Find("sw").(*Switch)
+	if err := sw2.RestoreState(sw.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	if sw2.port != 1 {
+		t.Errorf("Switch port = %d, want live setting 1", sw2.port)
+	}
+
+	pt := rt.Find("pt").(*Paint)
+	pt.color = 7
+	pt2 := rt2.Find("pt").(*Paint)
+	if err := pt2.RestoreState(pt.SaveState()); err != nil {
+		t.Fatal(err)
+	}
+	if pt2.color != 7 {
+		t.Errorf("Paint color = %d, want 7", pt2.color)
+	}
+
+	// Foreign-state rejection for the value carriers.
+	for name, sc := range map[string]core.StateCarrier{"Counter": c2, "Switch": sw2, "Paint": pt2} {
+		if err := sc.RestoreState(struct{}{}); err == nil {
+			t.Errorf("%s accepted foreign state", name)
+		}
+	}
+}
+
+// TestRouterHotswapEndToEnd drives the full path over real elements: a
+// source feeding a queue through a counter, swapped mid-run, with the
+// queue's packets surviving into the new router.
+func TestRouterHotswapEndToEnd(t *testing.T) {
+	cfg := "src :: InfiniteSource(6) -> c :: Counter -> q :: Queue(100) -> x :: Idle;"
+	build := func() *core.Router {
+		rt, err := core.BuildFromText(cfg, "swap", NewRegistry(), core.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	old := build()
+	old.RunUntilIdle(3) // emits 3 of the 6 packets into q
+	if got := old.Find("q").(*Queue).Len(); got != 3 {
+		t.Fatalf("pre-swap queue len = %d, want 3", got)
+	}
+	next := build()
+	if err := old.Hotswap(next); err != nil {
+		t.Fatal(err)
+	}
+	next.RunUntilIdle(1000)
+	// The new source starts fresh (6 more packets); the 3 transplanted
+	// packets are still there: 9 total.
+	if got := next.Find("q").(*Queue).Len(); got != 9 {
+		t.Errorf("post-swap queue len = %d, want 9", got)
+	}
+	if got := atomic.LoadInt64(&next.Find("c").(*Counter).Packets); got != 9 {
+		t.Errorf("post-swap counter = %d, want 9 (3 transplanted + 6 new)", got)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdaptiveBenchImproves runs the full adapt-and-hotswap loop and
+// checks the acceptance criterion: model cycles per packet on the heavy
+// workload drop after the controller's mid-run re-optimization.
+func TestAdaptiveBenchImproves(t *testing.T) {
+	JSONPath = filepath.Join(t.TempDir(), "BENCH_adaptive.json")
+	defer func() { JSONPath = "" }()
+	var buf bytes.Buffer
+	if err := AdaptiveBench(&buf); err != nil {
+		t.Fatalf("AdaptiveBench: %v\n%s", err, buf.String())
+	}
+	blob, err := os.ReadFile(JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res AdaptiveResults
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	byPhase := map[string]AdaptivePoint{}
+	for _, p := range res.Points {
+		byPhase[p.Phase] = p
+	}
+	before, ok1 := byPhase["heavy-before"]
+	after, ok2 := byPhase["heavy-after"]
+	if !ok1 || !ok2 {
+		t.Fatalf("phases missing from results: %+v", res.Points)
+	}
+	if after.CyclesPerPacket >= before.CyclesPerPacket {
+		t.Errorf("adaptation did not reduce cost: %.1f cycles/packet before, %.1f after",
+			before.CyclesPerPacket, after.CyclesPerPacket)
+	}
+	if res.ImprovementPct <= 0 {
+		t.Errorf("improvement = %.2f%%, want positive", res.ImprovementPct)
+	}
+	hasFC, hasDV := false, false
+	for _, p := range res.PassesApplied {
+		if p == "fastclassifier" {
+			hasFC = true
+		}
+		if p == "devirtualize" {
+			hasDV = true
+		}
+	}
+	if !hasFC || !hasDV {
+		t.Errorf("passes applied = %v, want fastclassifier and devirtualize", res.PassesApplied)
+	}
+	if len(res.Reasons) == 0 {
+		t.Error("decision reasons missing from results")
+	}
+}

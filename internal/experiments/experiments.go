@@ -566,5 +566,6 @@ var Experiments = map[string]func(io.Writer) error{
 	"fig13":          Fig13,
 	"ablation":       Ablation,
 	"parallel":       ParallelBench,
+	"adaptive":       AdaptiveBench,
 	"all":            All,
 }

@@ -25,6 +25,11 @@ type Testbed struct {
 	Ifs    []iprouter.Interface
 
 	sources []*Source
+	// env and burst are kept from construction so a hot-swapped
+	// replacement router binds to the same simulated NICs with the same
+	// batching configuration.
+	env   map[string]interface{}
+	burst int
 	// Received counts packets that reached their destination host.
 	Received []int64
 	// PIOAccessNS is extra CPU time per device access (the Pro/1000's
@@ -84,6 +89,8 @@ func NewTestbed(g *graph.Router, o TestbedOptions) (*Testbed, error) {
 		tb.NICs = append(tb.NICs, nic)
 		env["device:"+itf.Device] = nic
 	}
+	tb.env = env
+	tb.burst = o.Burst
 	rt, err := core.Build(g, reg, core.BuildOptions{CPU: tb.CPU, Env: env, Burst: o.Burst})
 	if err != nil {
 		return nil, err
@@ -92,6 +99,44 @@ func NewTestbed(g *graph.Router, o TestbedOptions) (*Testbed, error) {
 	tb.warmARP()
 	tb.startCPULoop()
 	return tb, nil
+}
+
+// Hotswap replaces the live router with a new configuration, keeping
+// the testbed running: the replacement is built against the same NIC
+// environment (so device endpoints rebind to the simulated hardware the
+// old router used), element state transplants across by name, and the
+// CPU loop picks the new router up on its next scheduled round — it
+// reads tb.Router each iteration, so the swap lands exactly at a
+// task-round boundary. In-flight packets sit in NIC rings (shared) or
+// transplanted Queues/ARP holds, so none are lost.
+//
+// The swap itself charges no model cycles: it happens between CPU-loop
+// events, outside any element's processing code.
+func (tb *Testbed) Hotswap(g *graph.Router, reg *core.Registry) error {
+	if reg == nil {
+		reg = elements.NewRegistry()
+	}
+	rt, err := core.Build(g.Clone(), reg, core.BuildOptions{CPU: tb.CPU, Env: tb.env, Burst: tb.burst})
+	if err != nil {
+		return err
+	}
+	if err := tb.Router.Hotswap(rt); err != nil {
+		return err
+	}
+	// No warmARP: the transplanted ARP tables already hold the learned
+	// entries, and re-warming would mask a transplant failure.
+	tb.Router = rt
+	return nil
+}
+
+// HotswapAt schedules a hot-swap at simulated time `at`, returning a
+// pointer that carries the swap error (nil until the event fires and on
+// success). Scheduling through the simulator guarantees the swap runs
+// between CPU-loop events — never inside a task round.
+func (tb *Testbed) HotswapAt(at float64, g *graph.Router, reg *core.Registry) *error {
+	errp := new(error)
+	tb.Sim.Schedule(at, func() { *errp = tb.Hotswap(g, reg) })
+	return errp
 }
 
 // warmARP preloads every ARPQuerier with all host addresses so the

@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/lang"
+)
+
+// Adaptive is the telemetry-driven re-optimization controller: the
+// runtime loop the offline tool chain lacks. It periodically samples a
+// live router's per-element statistics (the PR 2 telemetry handlers),
+// decides which optimizer passes the observed traffic actually
+// justifies — fastclassifier only when classifiers are hot, undead only
+// when a switch branch has stayed cold for several samples,
+// devirtualize once there is enough traffic to specialize for — and
+// re-runs the pass pipeline over the unparsed live configuration. The
+// result is hot-swapped in by the caller (cmd/click, netsim, or the
+// adaptive benchmark).
+//
+// The controller reads counters and rewrites configurations offline; it
+// never charges model cycles, so the calibrated Figure 8/9 numbers are
+// unaffected by having it attached.
+type Adaptive struct {
+	Opts AdaptiveOptions
+
+	samples int
+	prevIn  map[string]int64
+	cold    map[string]int
+}
+
+// AdaptiveOptions tune the controller's decision thresholds.
+type AdaptiveOptions struct {
+	// MinPackets is the packet count an element must have seen before
+	// the controller considers it hot (and before devirtualization is
+	// judged worthwhile at all).
+	MinPackets int64
+	// ColdSamples is the number of consecutive Observe calls an element
+	// must go without receiving a packet to be considered dead traffic
+	// ("zero packets for N rounds").
+	ColdSamples int
+}
+
+// DefaultAdaptiveOptions returns the thresholds the click driver uses.
+func DefaultAdaptiveOptions() AdaptiveOptions {
+	return AdaptiveOptions{MinPackets: 1000, ColdSamples: 3}
+}
+
+// NewAdaptive builds a controller; zero-valued options fall back to the
+// defaults.
+func NewAdaptive(opts AdaptiveOptions) *Adaptive {
+	def := DefaultAdaptiveOptions()
+	if opts.MinPackets <= 0 {
+		opts.MinPackets = def.MinPackets
+	}
+	if opts.ColdSamples <= 0 {
+		opts.ColdSamples = def.ColdSamples
+	}
+	return &Adaptive{
+		Opts:   opts,
+		prevIn: map[string]int64{},
+		cold:   map[string]int{},
+	}
+}
+
+// Decision is the controller's verdict on one telemetry sample: which
+// passes the observed traffic justifies, with human-readable reasons.
+type Decision struct {
+	FastClassifier bool
+	Devirtualize   bool
+	Undead         bool
+	Reasons        []string
+}
+
+// Any reports whether the decision selects at least one pass.
+func (d Decision) Any() bool { return d.FastClassifier || d.Devirtualize || d.Undead }
+
+// Observe feeds the controller one telemetry sample: the live router's
+// configuration graph and its stats report (core.Router.StatsReport).
+// It updates the per-element cold streaks and returns the passes the
+// traffic seen so far justifies.
+func (a *Adaptive) Observe(g *graph.Router, stats []core.ElementStatsReport) Decision {
+	a.samples++
+	byName := map[string]core.ElementStatsReport{}
+	var maxIn int64
+	for _, r := range stats {
+		byName[r.Name] = r
+		if r.PacketsIn > maxIn {
+			maxIn = r.PacketsIn
+		}
+		// Cold streak: one more sample without a new packet arriving.
+		if r.PacketsIn == a.prevIn[r.Name] {
+			a.cold[r.Name]++
+		} else {
+			a.cold[r.Name] = 0
+		}
+		a.prevIn[r.Name] = r.PacketsIn
+	}
+
+	var d Decision
+
+	// fastclassifier: only when a tree-walking classifier is hot. A cold
+	// classifier is not worth a generated class (the paper's tools apply
+	// it unconditionally; the controller has traffic counts to be
+	// choosier with).
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if !classifierClasses[e.Class] {
+			continue
+		}
+		if r, ok := byName[e.Name]; ok && r.PacketsIn >= a.Opts.MinPackets {
+			d.FastClassifier = true
+			d.Reasons = append(d.Reasons,
+				fmt.Sprintf("fastclassifier: %s (%s) is hot with %d packets", e.Name, e.Class, r.PacketsIn))
+			break
+		}
+	}
+
+	// devirtualize: worthwhile once the router carries real traffic —
+	// specializing transfer paths for an idle router buys nothing.
+	if maxIn >= a.Opts.MinPackets {
+		d.Devirtualize = true
+		d.Reasons = append(d.Reasons,
+			fmt.Sprintf("devirtualize: %d packets through the hottest element", maxIn))
+	}
+
+	// undead: a StaticSwitch branch that has stayed cold for
+	// ColdSamples consecutive samples is dead traffic; splicing the
+	// switch out and removing the branch shortens the hot path.
+	if a.samples >= a.Opts.ColdSamples {
+	undead:
+		for _, i := range g.LiveIndices() {
+			e := g.Element(i)
+			if e.Class != "StaticSwitch" {
+				continue
+			}
+			if byName[e.Name].PacketsIn == 0 {
+				continue // the switch itself carries nothing yet
+			}
+			for p := 0; p < g.NOutputs(i); p++ {
+				for _, c := range g.OutputConns(i, p) {
+					tgt := g.Element(c.To)
+					if a.cold[tgt.Name] >= a.Opts.ColdSamples {
+						d.Undead = true
+						d.Reasons = append(d.Reasons,
+							fmt.Sprintf("undead: %s branch %d (-> %s) cold for %d samples",
+								e.Name, p, tgt.Name, a.cold[tgt.Name]))
+						break undead
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(d.Reasons)
+	return d
+}
+
+// Reoptimize applies a decision to a live router's configuration: the
+// graph is unparsed back to the configuration language (lang is the
+// round-trip that makes runtime re-optimization possible), re-parsed,
+// the archive (generated classes from earlier passes) carried over and
+// re-installed into a fresh registry, and the selected passes applied
+// in the canonical order: undead, fastclassifier, devirtualize —
+// devirtualize last, since it cements element order. The adaptive
+// report lands in the archive under "reports/adaptive" alongside the
+// per-pass reports.
+//
+// The returned graph and registry are what core.Build (or a testbed
+// Hotswap) needs to assemble the replacement router.
+func Reoptimize(g *graph.Router, d Decision) (*graph.Router, *core.Registry, error) {
+	text := lang.Unparse(g)
+	ng, err := lang.ParseRouter(text, "adaptive")
+	if err != nil {
+		return nil, nil, fmt.Errorf("opt: adaptive: re-parse of live config failed: %v", err)
+	}
+	for k, v := range g.Archive {
+		ng.Archive[k] = v
+	}
+	for _, r := range g.Requirements {
+		ng.Require(r)
+	}
+	reg := elements.NewRegistry()
+	if err := InstallArchive(ng, reg); err != nil {
+		return nil, nil, fmt.Errorf("opt: adaptive: %v", err)
+	}
+	var applied []string
+	report := &PassReport{Pass: "adaptive", Reasons: d.Reasons}
+	if d.Undead {
+		report.ElementsRemoved = Undead(ng, reg)
+		applied = append(applied, "undead")
+	}
+	if d.FastClassifier {
+		if err := FastClassifier(ng, reg); err != nil {
+			return nil, nil, fmt.Errorf("opt: adaptive: %v", err)
+		}
+		applied = append(applied, "fastclassifier")
+	}
+	if d.Devirtualize {
+		if err := Devirtualize(ng, reg, nil); err != nil {
+			return nil, nil, fmt.Errorf("opt: adaptive: %v", err)
+		}
+		applied = append(applied, "devirtualize")
+	}
+	report.PassesApplied = applied
+	attachReport(ng, report)
+	return ng, reg, nil
+}

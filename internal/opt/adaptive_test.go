@@ -1,0 +1,204 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/iprouter"
+	"repro/internal/lang"
+)
+
+// fakeStats builds a stats report with the given per-element input
+// packet counts.
+func fakeStats(in map[string]int64) []core.ElementStatsReport {
+	var reps []core.ElementStatsReport
+	for name, n := range in {
+		reps = append(reps, core.ElementStatsReport{Name: name, PacketsIn: n})
+	}
+	return reps
+}
+
+func TestAdaptiveIdleRouterDecidesNothing(t *testing.T) {
+	g, err := lang.ParseRouter(iprouter.Config(iprouter.Interfaces(2)), "iprouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdaptive(AdaptiveOptions{MinPackets: 100, ColdSamples: 2})
+	for i := 0; i < 5; i++ {
+		if d := a.Observe(g, fakeStats(nil)); d.Any() {
+			t.Fatalf("idle router produced decision %+v", d)
+		}
+	}
+}
+
+func TestAdaptiveHotClassifierTriggersFastClassifier(t *testing.T) {
+	g, err := lang.ParseRouter(iprouter.Config(iprouter.Interfaces(2)), "iprouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a Classifier element name in the configuration.
+	var cls string
+	for _, i := range g.LiveIndices() {
+		if g.Element(i).Class == "Classifier" {
+			cls = g.Element(i).Name
+			break
+		}
+	}
+	if cls == "" {
+		t.Fatal("no Classifier in the IP router config")
+	}
+	a := NewAdaptive(AdaptiveOptions{MinPackets: 100, ColdSamples: 2})
+	d := a.Observe(g, fakeStats(map[string]int64{cls: 500}))
+	if !d.FastClassifier {
+		t.Errorf("hot classifier (%s, 500 pkts) did not trigger fastclassifier: %+v", cls, d)
+	}
+	if !d.Devirtualize {
+		t.Errorf("500 packets did not justify devirtualize: %+v", d)
+	}
+	// Below threshold: neither.
+	b := NewAdaptive(AdaptiveOptions{MinPackets: 1000, ColdSamples: 2})
+	if d := b.Observe(g, fakeStats(map[string]int64{cls: 500})); d.FastClassifier || d.Devirtualize {
+		t.Errorf("cold classifier triggered passes: %+v", d)
+	}
+}
+
+func TestAdaptiveColdSwitchBranchTriggersUndead(t *testing.T) {
+	text := `
+src :: InfiniteSource(0) -> sw :: StaticSwitch(0);
+sw [0] -> c0 :: Counter -> q0 :: Queue -> i0 :: Idle;
+sw [1] -> c1 :: Counter -> q1 :: Queue -> i1 :: Idle;`
+	g, err := lang.ParseRouter(text, "adaptive_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdaptive(AdaptiveOptions{MinPackets: 100, ColdSamples: 3})
+	// Branch 1 never sees a packet while the switch forwards; after
+	// ColdSamples observations undead fires — not before.
+	for round := 1; round <= 3; round++ {
+		d := a.Observe(g, fakeStats(map[string]int64{
+			"sw": int64(200 * round), "c0": int64(200 * round), "c1": 0,
+		}))
+		if round < 3 && d.Undead {
+			t.Errorf("undead fired after only %d samples", round)
+		}
+		if round == 3 {
+			if !d.Undead {
+				t.Fatalf("undead did not fire after %d cold samples: %+v", round, d)
+			}
+			if len(d.Reasons) == 0 || !strings.Contains(strings.Join(d.Reasons, ";"), "undead") {
+				t.Errorf("undead reason missing: %v", d.Reasons)
+			}
+		}
+	}
+	// A branch that receives traffic resets its cold streak.
+	b := NewAdaptive(AdaptiveOptions{MinPackets: 100, ColdSamples: 2})
+	b.Observe(g, fakeStats(map[string]int64{"sw": 100, "c0": 50, "c1": 50}))
+	b.Observe(g, fakeStats(map[string]int64{"sw": 200, "c0": 100, "c1": 100}))
+	if d := b.Observe(g, fakeStats(map[string]int64{"sw": 300, "c0": 150, "c1": 150})); d.Undead {
+		t.Errorf("branch with traffic marked dead: %+v", d)
+	}
+}
+
+func TestReoptimizeAppliesDecisionAndReports(t *testing.T) {
+	ifs := iprouter.Interfaces(2)
+	g, err := lang.ParseRouter(iprouter.Config(ifs), "iprouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the live router, as the controller would see it.
+	rt, err := core.Build(g, elements.NewRegistry(), core.BuildOptions{Env: fakeEnv(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Decision{FastClassifier: true, Devirtualize: true,
+		Reasons: []string{"fastclassifier: test", "devirtualize: test"}}
+	ng, reg, err := Reoptimize(rt.Graph, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The re-optimized graph builds and runs.
+	if _, err := core.Build(ng, reg, core.BuildOptions{Env: fakeEnv(2)}); err != nil {
+		t.Fatalf("re-optimized config does not build: %v", err)
+	}
+	// Passes actually fired: generated classes appear.
+	hasFC, hasDV := false, false
+	for _, i := range ng.LiveIndices() {
+		c := ng.Element(i).Class
+		if strings.HasPrefix(c, "FastClassifier@@") {
+			hasFC = true
+		}
+		if strings.Contains(c, "_dv") {
+			hasDV = true
+		}
+	}
+	if !hasFC || !hasDV {
+		t.Errorf("generated classes missing: fastclassifier=%v devirtualize=%v", hasFC, hasDV)
+	}
+	// The adaptive report landed under reports/adaptive with the
+	// decision recorded.
+	if _, ok := ng.Archive["reports/adaptive"]; !ok {
+		t.Fatal("reports/adaptive missing from archive")
+	}
+	reps, err := Reports(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptive *PassReport
+	for _, r := range reps {
+		if r.Pass == "adaptive" {
+			adaptive = r
+		}
+	}
+	if adaptive == nil {
+		t.Fatal("no adaptive pass report")
+	}
+	if len(adaptive.PassesApplied) != 2 || adaptive.PassesApplied[0] != "fastclassifier" ||
+		adaptive.PassesApplied[1] != "devirtualize" {
+		t.Errorf("PassesApplied = %v", adaptive.PassesApplied)
+	}
+	if len(adaptive.Reasons) != 2 {
+		t.Errorf("Reasons = %v", adaptive.Reasons)
+	}
+}
+
+// TestReoptimizeIsIdempotentOnOptimizedConfig: running Reoptimize over
+// an already-optimized live graph must not fail or stack duplicate
+// generated classes (fastclassifier skips generated classes,
+// devirtualize skips Devirtualized specs).
+func TestReoptimizeTwiceBuilds(t *testing.T) {
+	ifs := iprouter.Interfaces(2)
+	g, err := lang.ParseRouter(iprouter.Config(ifs), "iprouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Decision{FastClassifier: true, Devirtualize: true}
+	ng, reg, err := Reoptimize(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.Build(ng, reg, core.BuildOptions{Env: fakeEnv(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng2, reg2, err := Reoptimize(rt.Graph, d)
+	if err != nil {
+		t.Fatalf("second Reoptimize failed: %v", err)
+	}
+	if _, err := core.Build(ng2, reg2, core.BuildOptions{Env: fakeEnv(2)}); err != nil {
+		t.Fatalf("twice-optimized config does not build: %v", err)
+	}
+}
+
+// fakeEnv builds a device environment for eth0..eth<n-1>.
+func fakeEnv(n int) map[string]interface{} {
+	env := map[string]interface{}{}
+	for i := 0; i < n; i++ {
+		name := fakeDeviceName(i)
+		env["device:"+name] = &fakeDevice{name: name}
+	}
+	return env
+}
+
+func fakeDeviceName(i int) string { return "eth" + string(rune('0'+i)) }

@@ -103,7 +103,12 @@ func Combine(routers []RouterInput, links []Link) (*graph.Router, error) {
 				return nil, err
 			}
 		}
-		linkName := fmt.Sprintf("%s.%s-%s.%s", l.FromRouter, l.FromDev, l.ToRouter, l.ToDev)
+		// The link name must survive an Unparse/Parse round trip (the
+		// combined configuration is written to disk and read back by
+		// click-uncombine), so it may only use identifier characters —
+		// letters, digits, '_', '@', and '/'. The "link@" prefix keeps it
+		// from matching any "<router>/" element prefix during extraction.
+		linkName := fmt.Sprintf("link@%s/%s@%s/%s", l.FromRouter, l.FromDev, l.ToRouter, l.ToDev)
 		li := out.MustAddElement(linkName, "RouterLink", "", "click-combine")
 		// ToDevice pulled from its upstream; the RouterLink takes that
 		// place (push input? ToDevice input is pull). RouterLink is a

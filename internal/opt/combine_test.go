@@ -79,7 +79,7 @@ func TestParseLink(t *testing.T) {
 func TestCombineStructure(t *testing.T) {
 	combined, _, _ := twoRouterNetwork(t)
 	// RouterLinks exist for both directions.
-	if combined.FindElement("a.eth1-b.eth0") < 0 || combined.FindElement("b.eth0-a.eth1") < 0 {
+	if combined.FindElement("link@a/eth1@b/eth0") < 0 || combined.FindElement("link@b/eth0@a/eth1") < 0 {
 		t.Fatalf("RouterLinks missing:\n%s", lang.Unparse(combined))
 	}
 	// The linked ToDevice/PollDevice pairs are gone; edge devices stay.
@@ -176,7 +176,7 @@ func TestARPEliminationPattern(t *testing.T) {
 		t.Error("edge ARPQuerier eliminated")
 	}
 	// RouterLink names preserved for uncombine.
-	if combined.FindElement("a.eth1-b.eth0") < 0 {
+	if combined.FindElement("link@a/eth1@b/eth0") < 0 {
 		t.Fatal("RouterLink name lost in replacement")
 	}
 	// Still valid, and uncombine still works.

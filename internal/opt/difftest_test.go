@@ -290,21 +290,136 @@ func TestDifferentialIPRouter(t *testing.T) {
 	}
 	// All passes together, then each execution mode over that fully
 	// optimized router.
-	all := func(g *graph.Router, reg *core.Registry) error {
-		pairs, err := ParsePatterns(iprouter.ComboPatterns, "combopatterns")
-		if err != nil {
-			return err
-		}
-		Xform(g, pairs)
-		if err := FastClassifier(g, reg); err != nil {
-			return err
-		}
-		return Devirtualize(g, reg, nil)
-	}
-	got := diffRun(t, text, 2, all, 0, 1, ifs, trace)
+	got := diffRun(t, text, 2, applyAllPasses, 0, 1, ifs, trace)
 	diffCompare(t, "all", base, got)
 	for _, m := range diffModes {
-		got := diffRun(t, text, 2, all, m.burst, m.workers, ifs, trace)
+		got := diffRun(t, text, 2, applyAllPasses, m.burst, m.workers, ifs, trace)
 		diffCompare(t, "all+"+m.name, base, got)
+	}
+}
+
+// applyAllPasses is the full optimizer chain (§8.2 "All"): xform combo
+// substitutions, compiled classifiers, devirtualized transfers.
+func applyAllPasses(g *graph.Router, reg *core.Registry) error {
+	pairs, err := ParsePatterns(iprouter.ComboPatterns, "combopatterns")
+	if err != nil {
+		return err
+	}
+	Xform(g, pairs)
+	if err := FastClassifier(g, reg); err != nil {
+		return err
+	}
+	return Devirtualize(g, reg, nil)
+}
+
+// diffRunSwap replays the trace like diffRun, but starts on the
+// unoptimized router, runs swapAfter task rounds mid-trace, hot-swaps to
+// the pass-transformed variant of the same configuration (same devices,
+// state transplanted), and drains to idle. Output must be packet-for-
+// packet identical to a run that never swapped.
+func diffRunSwap(t *testing.T, text string, ndev int,
+	pass func(*graph.Router, *core.Registry) error,
+	swapAfter, workers int, ifs []iprouter.Interface, trace []*packet.Packet) map[string][][]byte {
+	t.Helper()
+	g1, err := lang.ParseRouter(text, "difftest")
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	devs := map[string]*fakeDevice{}
+	env := map[string]interface{}{}
+	for i := 0; i < ndev; i++ {
+		name := fmt.Sprintf("eth%d", i)
+		d := &fakeDevice{name: name}
+		devs[name] = d
+		env["device:"+name] = d
+	}
+	rt1, err := core.Build(g1, elements.NewRegistry(), core.BuildOptions{Env: env})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if ifs != nil {
+		warmARP(rt1, ifs)
+	}
+	for _, p := range trace {
+		devs["eth0"].rx = append(devs["eth0"].rx, p.Clone())
+	}
+	s, err := core.NewScheduler(rt1, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < swapAfter; i++ {
+		s.RunRound()
+	}
+	// Build the optimized replacement over the same devices; transplant
+	// (not re-warming) must carry the ARP tables and queue contents.
+	g2, err := lang.ParseRouter(text, "difftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := elements.NewRegistry()
+	if pass != nil {
+		if err := pass(g2, reg2); err != nil {
+			t.Fatalf("pass: %v", err)
+		}
+	}
+	rt2, err := core.Build(g2, reg2, core.BuildOptions{Env: env})
+	if err != nil {
+		t.Fatalf("build replacement: %v\n%s", err, lang.Unparse(g2))
+	}
+	if err := s.Hotswap(rt2); err != nil {
+		t.Fatalf("hotswap: %v", err)
+	}
+	for rounds := 0; rounds < 100000 && s.RunRound(); rounds++ {
+	}
+	out := map[string][][]byte{}
+	for name, d := range devs {
+		seq := make([][]byte, 0, len(d.tx))
+		for _, p := range d.tx {
+			seq = append(seq, append([]byte(nil), p.Data()...))
+		}
+		out[name] = seq
+	}
+	return out
+}
+
+// TestDifferentialHotswapIPRouter: hot-swapping the IP router to its
+// fully optimized variant mid-trace — on the scalar and on the parallel
+// scheduler, at several swap points — must preserve the transmitted
+// packet sequences exactly.
+func TestDifferentialHotswapIPRouter(t *testing.T) {
+	ifs := iprouter.Interfaces(2)
+	text := iprouter.Config(ifs)
+	trace := ipTrace(ifs, 80)
+	base := diffRun(t, text, 2, nil, 0, 1, ifs, trace)
+	if len(base["eth1"]) == 0 {
+		t.Fatal("baseline IP router forwarded nothing")
+	}
+	for _, workers := range []int{1, 2} {
+		for _, swapAfter := range []int{1, 3, 10} {
+			got := diffRunSwap(t, text, 2, applyAllPasses, swapAfter, workers, ifs, trace)
+			diffCompare(t, fmt.Sprintf("hotswap-w%d-after%d", workers, swapAfter), base, got)
+		}
+	}
+}
+
+// TestDifferentialHotswapRandomConfigs: mid-trace hot-swap across the
+// random configuration corpus, against each optimizer pass, scalar and
+// parallel.
+func TestDifferentialHotswapRandomConfigs(t *testing.T) {
+	const npkts = 60
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			text, sinks := randomPushConfig(seed)
+			ndev := sinks + 1
+			trace := diffTrace(seed, npkts)
+			base := diffRun(t, text, ndev, nil, 0, 1, nil, trace)
+			for _, p := range diffPasses {
+				for _, workers := range []int{1, 2} {
+					got := diffRunSwap(t, text, ndev, p.apply, 2, workers, nil, trace)
+					diffCompare(t, fmt.Sprintf("hotswap-%s-w%d", p.name, workers), base, got)
+				}
+			}
+		})
 	}
 }

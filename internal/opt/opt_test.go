@@ -739,6 +739,32 @@ func TestPretty(t *testing.T) {
 	}
 }
 
+// TestPrettyHostileNames: element names flow into both HTML text and
+// href anchor fragments; hostile characters must survive neither raw in
+// the markup nor unencoded in the URL fragment.
+func TestPrettyHostileNames(t *testing.T) {
+	g := graph.New()
+	hostile := `a b&"<x>%`
+	src := g.MustAddElement(hostile, "Null", `cfg "quoted" & <scr>`, "t")
+	dst := g.MustAddElement("dst", "Discard", "", "t")
+	g.Connect(src, 0, dst, 0)
+	out := Pretty(g, `title & "quotes" <tag>`)
+	for _, raw := range []string{"<x>", "<scr>", "<tag>", `"quoted"`} {
+		if strings.Contains(out, raw) {
+			t.Errorf("hostile string %q survived unescaped", raw)
+		}
+	}
+	// The href fragment must be URL-escaped: space, '%', and '<' cannot
+	// appear raw inside href="#e-...".
+	if !strings.Contains(out, `href="#e-a%20b&amp;%22%3Cx%3E%25"`) {
+		t.Errorf("href fragment not URL-escaped:\n%s", out)
+	}
+	// The visible anchor text keeps the name readable (HTML-escaped only).
+	if !strings.Contains(out, `a b&amp;&#34;&lt;x&gt;%`) {
+		t.Errorf("anchor text over-escaped:\n%s", out)
+	}
+}
+
 func TestUndeadSplicesNull(t *testing.T) {
 	g, err := lang.ParseRouter(`
 i :: InfiniteSource -> n :: Null -> c :: Counter -> d :: Discard;

@@ -33,6 +33,9 @@ type PassReport struct {
 	// click-combine.
 	RoutersCombined int `json:"routers_combined,omitempty"`
 	LinksReplaced   int `json:"links_replaced,omitempty"`
+	// adaptive re-optimization controller.
+	PassesApplied []string `json:"passes_applied,omitempty"`
+	Reasons       []string `json:"reasons,omitempty"`
 }
 
 // reportPrefix is the archive namespace pass reports live under.

@@ -53,17 +53,27 @@ func ReadConfig(path string, reg *core.Registry) (*graph.Router, error) {
 // WriteConfig unparses the graph and writes it (packing the archive when
 // the graph carries one) to path ("-" or "" means standard output).
 func WriteConfig(g *graph.Router, path string) error {
+	if path == "" || path == "-" {
+		return WriteConfigTo(g, os.Stdout)
+	}
+	return os.WriteFile(path, packConfig(g), 0o644)
+}
+
+// WriteConfigTo unparses the graph (packing the archive when the graph
+// carries one) and writes it to w — the seam the tool mains use so their
+// output stream is injectable under test.
+func WriteConfigTo(g *graph.Router, w io.Writer) error {
+	_, err := w.Write(packConfig(g))
+	return err
+}
+
+func packConfig(g *graph.Router) []byte {
 	text := lang.Unparse(g)
 	var members []lang.ArchiveMember
 	for name, data := range g.Archive {
 		members = append(members, lang.ArchiveMember{Name: name, Data: data})
 	}
-	out := lang.PackConfig(text, members)
-	if path == "" || path == "-" {
-		_, err := os.Stdout.Write(out)
-		return err
-	}
-	return os.WriteFile(path, out, 0o644)
+	return lang.PackConfig(text, members)
 }
 
 // Registry returns the builtin element registry.

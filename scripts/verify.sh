@@ -3,7 +3,10 @@
 # The -race run matters because the parallel scheduler and the batched
 # transfer paths share Queue rings, ARP tables, and the packet pool
 # across workers; the differential tests in internal/opt drive those
-# paths under 2 workers and will surface unguarded state here.
+# paths under 2 workers and will surface unguarded state here. The
+# hot-swap differential tests run under -race explicitly: a mid-round
+# swap on the parallel scheduler is exactly where a missed round
+# boundary would show up as a data race on transplanted state.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -12,3 +15,4 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+go test -race -run 'Hotswap|DifferentialHotswap' ./internal/core ./internal/opt ./internal/netsim ./internal/elements
