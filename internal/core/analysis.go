@@ -1,0 +1,107 @@
+package core
+
+import "repro/internal/graph"
+
+// Static concurrency analysis for the parallel scheduler. Tasks are the
+// units the scheduler moves between workers; everything else runs
+// synchronously inside some task's RunTask call. By flooding each
+// task's push and pull reach over the resolved processing graph
+// (graph.PushFlood / graph.PullFlood) the scheduler can prove, before
+// any worker starts:
+//
+//   - which tasks can execute a given element's code at all — an
+//     element touched by exactly one task keeps plain (non-atomic)
+//     counters and needs no internal locking even in a parallel run,
+//     because a task never runs on two workers at once;
+//   - how many distinct tasks push into / pull from each Queue, which
+//     selects the single-producer or multi-producer ring variant.
+
+// ConcurrencyHinter is implemented by elements whose internal
+// synchronization can be specialized to the statically known number of
+// concurrent accessors. The scheduler calls it after EnableSync arming:
+// producers is the number of tasks that can push into the element,
+// consumers the number that can pull from it.
+type ConcurrencyHinter interface {
+	HintConcurrency(producers, consumers int)
+}
+
+// FlowSteerer is implemented by elements that shard traffic across
+// their outputs by flow hash (the FlowSteer element). The partitioner
+// recognizes the behavior through this interface — not by class name —
+// so specialized clones produced by click-devirtualize or
+// click-fastclassifier (FlowSteer_dv1 and friends) still get
+// flow-affinity placement.
+type FlowSteerer interface {
+	Element
+	FlowSteering()
+}
+
+// taskReach records, per task, the element index sets the task can
+// execute: its own element, the elements it pushes into (directly or
+// via side pushes out of its pull chain), and the elements it pulls
+// from.
+type taskReach struct {
+	pushInto []map[int]bool
+	pullFrom []map[int]bool
+}
+
+// analyzeTasks floods every task's reach. It is pure graph analysis —
+// no element state is consulted — so it is valid for the lifetime of
+// the built router.
+func (rt *Router) analyzeTasks() *taskReach {
+	tr := &taskReach{
+		pushInto: make([]map[int]bool, len(rt.tasks)),
+		pullFrom: make([]map[int]bool, len(rt.tasks)),
+	}
+	for t := range rt.tasks {
+		ei := rt.taskElems[t]
+		push := map[int]bool{}
+		for _, i := range graph.PushFlood(rt.Graph, rt.proc, ei, -1) {
+			push[i] = true
+		}
+		pulled, sidePushed := graph.PullFlood(rt.Graph, rt.proc, ei)
+		for _, i := range sidePushed {
+			push[i] = true
+		}
+		pull := map[int]bool{}
+		for _, i := range pulled {
+			pull[i] = true
+		}
+		tr.pushInto[t] = push
+		tr.pullFrom[t] = pull
+	}
+	return tr
+}
+
+// touchCounts returns, per element index, the number of distinct tasks
+// that can execute the element's code.
+func (tr *taskReach) touchCounts(rt *Router) []int {
+	counts := make([]int, len(rt.elements))
+	for t := range rt.taskElems {
+		seen := map[int]bool{rt.taskElems[t]: true}
+		for i := range tr.pushInto[t] {
+			seen[i] = true
+		}
+		for i := range tr.pullFrom[t] {
+			seen[i] = true
+		}
+		for i := range seen {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// accessCounts returns the number of distinct tasks that push into and
+// pull from element i.
+func (tr *taskReach) accessCounts(i int) (producers, consumers int) {
+	for t := range tr.pushInto {
+		if tr.pushInto[t][i] {
+			producers++
+		}
+		if tr.pullFrom[t][i] {
+			consumers++
+		}
+	}
+	return producers, consumers
+}

@@ -190,24 +190,33 @@ func TestSchedulerRequestHotswap(t *testing.T) {
 }
 
 func TestSchedulerHotswapParallelArmsElements(t *testing.T) {
-	reg := hotswapRegistry()
-	old := buildText(t, "src :: TTask -> s :: TSink;", reg)
+	// Two tasks push into one sink, so the replacement's sink must come
+	// out of Hotswap armed (atomic stats); the task elements themselves
+	// are single-task and must stay worker-local (plain counters).
+	cfg := "t1 :: TTask -> [0]s :: TSyncSink; t2 :: TTask -> [1]s;"
+	reg := batchTestRegistry()
+	old := buildText(t, cfg, reg)
 	s, err := NewScheduler(old, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.RunUntilIdle(100)
-	next := buildText(t, "src :: TTask -> s :: TSink;", reg)
+	next := buildText(t, cfg, reg)
 	if err := s.Hotswap(next); err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range next.Elements() {
-		if !e.base().stats.shared {
-			t.Fatalf("element %q stats not armed for parallel run", e.base().Name())
-		}
+	if !next.Find("s").base().stats.shared {
+		t.Fatal("shared sink stats not armed for parallel run after hotswap")
+	}
+	if !next.Find("s").(*tSyncSink).synced {
+		t.Fatal("shared sink guard not armed after hotswap")
+	}
+	if next.Find("t1").base().stats.shared {
+		t.Error("task-exclusive element armed despite single-task proof")
 	}
 	s.RunUntilIdle(100)
-	if got := len(next.Find("s").(*tSink).got); got != 3 {
-		t.Errorf("new sink got %d packets, want 3", got)
+	// Each TTask emits 3; transplanted counters carry the old run's 6.
+	if got := next.Find("s").base().Stats().PacketsIn(); got != 12 {
+		t.Errorf("sink PacketsIn = %d, want 12 (6 transplanted + 6 new)", got)
 	}
 }

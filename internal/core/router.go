@@ -17,11 +17,12 @@ type Router struct {
 	Registry *Registry
 	CPU      *simcpu.CPU
 
-	elements []Element
-	byName   map[string]Element
-	tasks    []Task
-	weights  []int
-	proc     *graph.Processing
+	elements  []Element
+	byName    map[string]Element
+	tasks     []Task
+	weights   []int
+	taskElems []int // element index of each task, parallel to tasks
+	proc      *graph.Processing
 	env      map[string]interface{}
 	burst    int
 	tracer   *Tracer
@@ -178,6 +179,7 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 	for i, e := range rt.elements {
 		if t, ok := e.(Task); ok {
 			rt.tasks = append(rt.tasks, t)
+			rt.taskElems = append(rt.taskElems, i)
 			w := weightOf[g.Elements[i].Name]
 			if w <= 0 {
 				w = 1

@@ -2,62 +2,110 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/graph"
 )
 
 // Scheduler runs a router's tasks on P workers, the multi-core
 // counterpart of the single kernel thread RunTaskRound stands in for.
 // Tasks (PollDevice loops, ToDevice and Unqueue pulls) are statically
-// partitioned across per-worker run queues; within each round an idle
-// worker steals queued tasks from its peers, so a worker whose devices
-// went quiet helps drain the busy ones. A task is one queue entry per
-// round — it never runs on two workers at once, so per-task state needs
-// no locks; state shared between tasks (Queue rings, ARP tables) is
-// guarded by the elements themselves, armed via Synchronizer.
+// partitioned across workers; flow-steered paths (FlowSteerer) are
+// pinned so same-flow packets never cross cores, and everything else is
+// stealable by idle workers. A task never runs on two workers at once —
+// each task entry carries a claim flag the running worker holds — so
+// per-task state needs no locks. State shared between tasks (Queue
+// rings, ARP tables) is handled by the elements themselves, armed via
+// Synchronizer/ConcurrencyHinter from the graph analysis: elements
+// proven to be touched by a single task keep plain counters and skip
+// their guards entirely.
+//
+// Two run modes share the partition:
+//
+//   - RunRound: one barrier-synchronized round, every task once. This
+//     is the deterministic mode the behavior-preservation difftests and
+//     the click -rounds loop drive directly.
+//   - RunUntilIdle with workers > 1: epoch mode. Workers free-run over
+//     their task lists with no per-round barrier; a monitor detects
+//     quiescence when every worker completes a full pass without any
+//     productive task, and workers rendezvous only for hot-swap
+//     installation and shutdown.
 type Scheduler struct {
 	rt      *Router
 	workers int
-	assign  [][]taskEntry // static partition, one slice per worker
-	queues  []workerQueue
 
-	// pending holds a router awaiting installation; RunRound applies it
-	// at the next round boundary (all workers joined), where no task is
-	// mid-flight. swapErr records a failed installation.
+	// plan is the current task partition. It is rebuilt only at
+	// quiescent points (construction, hot-swap) and read through an
+	// atomic pointer by free-running workers.
+	plan atomic.Pointer[schedPlan]
+
+	queues []workerQueue // per-round run queues for the RunRound path
+
+	// pending holds a router awaiting installation; it installs at the
+	// next round boundary (RunRound) or rendezvous (epoch mode), where
+	// no task is mid-flight. swapErr records a failed installation.
 	pending atomic.Pointer[Router]
 	swapErr error
+
+	// Epoch-mode state.
+	stopFlag   atomic.Bool
+	rendezvous atomic.Bool
+	progress   atomic.Uint64 // bumped once per productive worker pass
+	passes     []passCounter // per-worker pass counts
+	parkMu     sync.Mutex
+	parkCond   *sync.Cond
+	parked     int
 }
 
-// taskEntry is one schedulable unit: a task and the number of times it
-// runs per round (its ScheduleInfo weight).
-type taskEntry struct {
-	task Task
-	runs int
+// passCounter is a cache-line padded per-worker counter, so the
+// monitor's polling does not bounce lines between workers.
+type passCounter struct {
+	v atomic.Uint64
+	_ [56]byte
 }
 
-// workerQueue is one worker's run queue for the current round. The
+// sharedEntry is one schedulable unit: a task, the number of times it
+// runs per pass (its ScheduleInfo weight), and its placement. The
+// running flag is the claim a worker holds while executing the task;
+// it is also the happens-before edge between consecutive executions on
+// different workers.
+type sharedEntry struct {
+	task    Task
+	runs    int
+	pinned  int // owning worker for flow-affine tasks, -1 if stealable
+	running atomic.Bool
+}
+
+// schedPlan is an immutable task partition snapshot.
+type schedPlan struct {
+	perWorker [][]*sharedEntry
+}
+
+// workerQueue is one worker's run queue for a RunRound round. The
 // owner pops from the front; thieves take from the back.
 type workerQueue struct {
 	mu      sync.Mutex
-	entries []taskEntry
+	entries []*sharedEntry
 }
 
-func (q *workerQueue) popFront() (taskEntry, bool) {
+func (q *workerQueue) popFront() (*sharedEntry, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.entries) == 0 {
-		return taskEntry{}, false
+		return nil, false
 	}
 	e := q.entries[0]
 	q.entries = q.entries[1:]
 	return e, true
 }
 
-func (q *workerQueue) popBack() (taskEntry, bool) {
+func (q *workerQueue) popBack() (*sharedEntry, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.entries) == 0 {
-		return taskEntry{}, false
+		return nil, false
 	}
 	e := q.entries[len(q.entries)-1]
 	q.entries = q.entries[:len(q.entries)-1]
@@ -78,15 +126,18 @@ func NewScheduler(rt *Router, workers int) (*Scheduler, error) {
 	s := &Scheduler{
 		rt:      rt,
 		workers: workers,
-		assign:  make([][]taskEntry, workers),
 		queues:  make([]workerQueue, workers),
+		passes:  make([]passCounter, workers),
 	}
-	s.partition()
+	s.parkCond = sync.NewCond(&s.parkMu)
 	if workers > 1 {
-		// Telemetry counters switch to atomic updates and elements take
-		// their locks before any worker goroutine exists, so the flag
-		// flips are race-free.
-		s.arm(rt)
+		// Analysis and arming happen before any worker goroutine
+		// exists, so the flag flips and hint stores are race-free.
+		tr := rt.analyzeTasks()
+		s.arm(rt, tr)
+		s.partition(tr)
+	} else {
+		s.partition(nil)
 	}
 	return s, nil
 }
@@ -102,60 +153,143 @@ func (s *Scheduler) Router() *Router { return s.rt }
 // installation, or nil.
 func (s *Scheduler) SwapErr() error { return s.swapErr }
 
-// arm switches a router's elements to parallel operation: telemetry
-// counters go atomic and lock-guarded elements enable their locks. It
-// must run before any worker goroutine touches the router.
-func (s *Scheduler) arm(rt *Router) {
-	for _, e := range rt.elements {
-		e.base().stats.shared = true
-		if sy, ok := e.(Synchronizer); ok {
+// arm switches a router's elements to parallel operation, guided by
+// the task-reach analysis: an element touched by two or more tasks
+// gets atomic telemetry counters and its Synchronizer guard; an
+// element proven exclusive to one task keeps plain counters and no
+// guard, because a task never runs on two workers concurrently (claim
+// flags in epoch mode, queue mutexes in round mode provide the
+// happens-before edge when a task migrates). ConcurrencyHinter
+// elements (Queue) additionally learn their exact producer and
+// consumer task counts, selecting the single-producer/single-consumer
+// ring fast paths. It must run before any worker goroutine touches the
+// router.
+func (s *Scheduler) arm(rt *Router, tr *taskReach) {
+	counts := tr.touchCounts(rt)
+	for i, e := range rt.elements {
+		shared := counts[i] > 1
+		e.base().stats.shared = shared
+		if sy, ok := e.(Synchronizer); ok && shared {
 			sy.EnableSync()
+		}
+		if h, ok := e.(ConcurrencyHinter); ok {
+			h.HintConcurrency(tr.accessCounts(i))
 		}
 	}
 }
 
-// partition rebuilds the static task partition from the current router.
-func (s *Scheduler) partition() {
-	s.assign = make([][]taskEntry, s.workers)
-	for i, t := range s.rt.tasks {
-		w := i % s.workers
-		s.assign[w] = append(s.assign[w], taskEntry{task: t, runs: s.rt.weights[i]})
+// flowAffinity assigns flow-steered tasks a label per FlowSteerer
+// output: every task that consumes from a steered output's downstream
+// region — transitively, across further queues — shares that output's
+// label, so the whole per-flow path lands on one worker. Unsteered
+// tasks get -1.
+func flowAffinity(rt *Router, tr *taskReach) []int {
+	aff := make([]int, len(rt.tasks))
+	for i := range aff {
+		aff[i] = -1
 	}
+	if tr == nil {
+		return aff
+	}
+	label := 0
+	for ei, e := range rt.elements {
+		if _, ok := e.(FlowSteerer); !ok {
+			continue
+		}
+		nout := len(rt.proc.Out[ei])
+		for o := 0; o < nout; o++ {
+			down := map[int]bool{}
+			for _, d := range graph.PushFlood(rt.Graph, rt.proc, ei, o) {
+				down[d] = true
+			}
+			for changed := true; changed; {
+				changed = false
+				for t := range rt.tasks {
+					if aff[t] >= 0 {
+						continue
+					}
+					hit := down[rt.taskElems[t]]
+					if !hit {
+						for d := range tr.pullFrom[t] {
+							if down[d] {
+								hit = true
+								break
+							}
+						}
+					}
+					if !hit {
+						continue
+					}
+					aff[t] = label + o
+					for d := range tr.pushInto[t] {
+						down[d] = true
+					}
+					changed = true
+				}
+			}
+		}
+		label += nout
+	}
+	return aff
 }
 
-// Hotswap replaces the scheduled router with next at a round boundary:
-// element state transplants across by name (Router.Hotswap), the task
-// partition is rebuilt from next's tasks, and — in parallel mode —
-// next's elements are armed for concurrent access before any worker
-// sees them. The caller must not be inside RunRound; from another
-// goroutine, use RequestHotswap instead.
+// partition rebuilds the task partition from the current router:
+// flow-affine tasks are pinned to label-modulo-P workers and are not
+// stealable; the rest round-robin and may be stolen by idle workers.
+func (s *Scheduler) partition(tr *taskReach) {
+	per := make([][]*sharedEntry, s.workers)
+	aff := flowAffinity(s.rt, tr)
+	next := 0
+	for i := range s.rt.tasks {
+		e := &sharedEntry{task: s.rt.tasks[i], runs: s.rt.weights[i], pinned: -1}
+		var w int
+		if aff[i] >= 0 {
+			w = aff[i] % s.workers
+			e.pinned = w
+		} else {
+			w = next % s.workers
+			next++
+		}
+		per[w] = append(per[w], e)
+	}
+	s.plan.Store(&schedPlan{perWorker: per})
+}
+
+// Hotswap replaces the scheduled router with next at a quiescent
+// point: element state transplants across by name (Router.Hotswap),
+// the task partition is rebuilt from next's tasks, and — in parallel
+// mode — next's elements are armed for concurrent access before any
+// worker sees them. The caller must not be inside RunRound or epoch
+// execution; from another goroutine, use RequestHotswap instead.
 func (s *Scheduler) Hotswap(next *Router) error {
 	if s.workers > 1 && next.CPU != nil {
 		return fmt.Errorf("core: hotswap: parallel scheduler cannot adopt a router with the simulated CPU cost model attached")
 	}
+	var tr *taskReach
 	if s.workers > 1 {
 		// Arm before transplant so transplanted counters land in an
 		// already-shared stats block.
-		s.arm(next)
+		tr = next.analyzeTasks()
+		s.arm(next, tr)
 	}
 	if err := s.rt.Hotswap(next); err != nil {
 		return err
 	}
 	s.rt = next
-	s.partition()
+	s.partition(tr)
 	return nil
 }
 
-// RequestHotswap asks the scheduler to install next at its next round
-// boundary. It is safe to call from another goroutine (a signal
-// handler, a control loop) while RunUntilIdle is running; the
-// installation itself happens between rounds, when no worker is
-// running. A second request before the first installs replaces it.
+// RequestHotswap asks the scheduler to install next at its next
+// quiescent point. It is safe to call from another goroutine (a signal
+// handler, a control loop) while RunUntilIdle is running; in epoch
+// mode the monitor rendezvouses the workers, installs, and releases
+// them. A second request before the first installs replaces it.
 // Installation failures are reported through SwapErr.
 func (s *Scheduler) RequestHotswap(next *Router) { s.pending.Store(next) }
 
 // applyPending installs a requested router, reporting whether one was
-// pending.
+// installed.
 func (s *Scheduler) applyPending() bool {
 	next := s.pending.Swap(nil)
 	if next == nil {
@@ -168,19 +302,22 @@ func (s *Scheduler) applyPending() bool {
 	return true
 }
 
-// steal takes a task from the back of another worker's queue.
-func (s *Scheduler) steal(self int) (taskEntry, bool) {
+// steal takes a task from the back of another worker's round queue
+// (RunRound path).
+func (s *Scheduler) steal(self int) (*sharedEntry, bool) {
 	for off := 1; off < s.workers; off++ {
 		if e, ok := s.queues[(self+off)%s.workers].popBack(); ok {
 			return e, true
 		}
 	}
-	return taskEntry{}, false
+	return nil, false
 }
 
 // RunRound runs every task once (weight times each) across the workers
 // and reports whether any did useful work — the parallel equivalent of
-// Router.RunTaskRound, with the same idle-detection semantics.
+// Router.RunTaskRound, with the same idle-detection semantics. Workers
+// join at the end of the round, so callers may inspect or swap the
+// router between rounds.
 func (s *Scheduler) RunRound() bool {
 	// Round boundary: no worker exists here, so a requested hot-swap
 	// installs race-free. An applied swap counts as progress — the new
@@ -189,10 +326,11 @@ func (s *Scheduler) RunRound() bool {
 	if s.workers == 1 {
 		return s.rt.RunTaskRound() || swapped
 	}
+	plan := s.plan.Load()
 	for w := range s.queues {
 		q := &s.queues[w]
 		q.mu.Lock()
-		q.entries = append(q.entries[:0], s.assign[w]...)
+		q.entries = append(q.entries[:0], plan.perWorker[w]...)
 		q.mu.Unlock()
 	}
 	var any atomic.Bool
@@ -224,14 +362,186 @@ func (s *Scheduler) RunRound() bool {
 	return any.Load() || swapped
 }
 
-// RunUntilIdle runs rounds until none does useful work, up to
-// maxRounds, returning the number of rounds that did work.
-func (s *Scheduler) RunUntilIdle(maxRounds int) int {
-	rounds := 0
-	for rounds < maxRounds && s.RunRound() {
-		rounds++
+// runPass runs one full pass over the worker's own task list, then —
+// if nothing was productive — tries to help by running one stealable
+// task from a peer. Claim flags keep every task on at most one worker.
+func (s *Scheduler) runPass(self int) bool {
+	plan := s.plan.Load()
+	did := false
+	for _, e := range plan.perWorker[self] {
+		if !e.running.CompareAndSwap(false, true) {
+			continue // a thief is borrowing it this instant
+		}
+		for r := 0; r < e.runs; r++ {
+			if e.task.RunTask() {
+				did = true
+			}
+		}
+		e.running.Store(false)
 	}
-	return rounds
+	if did {
+		return true
+	}
+	for off := 1; off < s.workers; off++ {
+		for _, e := range plan.perWorker[(self+off)%s.workers] {
+			if e.pinned >= 0 || !e.running.CompareAndSwap(false, true) {
+				continue
+			}
+			for r := 0; r < e.runs; r++ {
+				if e.task.RunTask() {
+					did = true
+				}
+			}
+			e.running.Store(false)
+			if did {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// workerLoop is one epoch-mode worker: free-run passes, publishing
+// progress and pass counts for the monitor, parking only when a
+// rendezvous is requested.
+func (s *Scheduler) workerLoop(self int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		if s.stopFlag.Load() {
+			return
+		}
+		if s.rendezvous.Load() {
+			s.park()
+			continue
+		}
+		did := s.runPass(self)
+		if did {
+			s.progress.Add(1)
+		}
+		s.passes[self].v.Add(1)
+		if !did {
+			runtime.Gosched()
+		}
+	}
+}
+
+// park blocks the worker until the rendezvous ends (or shutdown).
+func (s *Scheduler) park() {
+	s.parkMu.Lock()
+	s.parked++
+	s.parkCond.Broadcast() // the monitor may be waiting for full attendance
+	for s.rendezvous.Load() && !s.stopFlag.Load() {
+		s.parkCond.Wait()
+	}
+	s.parked--
+	s.parkMu.Unlock()
+}
+
+// quiesce parks every worker, runs fn at the quiescent point, and
+// releases them.
+func (s *Scheduler) quiesce(fn func()) {
+	s.rendezvous.Store(true)
+	s.parkMu.Lock()
+	for s.parked < s.workers {
+		s.parkCond.Wait()
+	}
+	s.parkMu.Unlock()
+	fn()
+	s.rendezvous.Store(false)
+	s.parkMu.Lock()
+	s.parkCond.Broadcast()
+	s.parkMu.Unlock()
+}
+
+// waitFullPass blocks until every worker has completed at least one
+// full pass begun after the call (two pass-count increments guarantee
+// one fully contained pass). It returns early, reporting false, when a
+// hot-swap request arrives.
+func (s *Scheduler) waitFullPass() bool {
+	base := make([]uint64, s.workers)
+	for w := range base {
+		base[w] = s.passes[w].v.Load()
+	}
+	for {
+		done := true
+		for w := range base {
+			if s.passes[w].v.Load() < base[w]+2 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		if s.pending.Load() != nil {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// runEpochs drives epoch mode: spawn persistent workers, watch the
+// progress counter, and declare idle when a full pass everywhere moves
+// it nowhere. Returns the number of productive epochs observed (an
+// epoch is at least one full pass per worker, so the count is coarser
+// than RunRound rounds but has the same "0 means nothing happened"
+// meaning).
+func (s *Scheduler) runEpochs(maxEpochs int) int {
+	s.stopFlag.Store(false)
+	s.rendezvous.Store(false)
+	s.progress.Store(0)
+	for i := range s.passes {
+		s.passes[i].v.Store(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go s.workerLoop(w, &wg)
+	}
+	productive := 0
+	for productive < maxEpochs {
+		if s.pending.Load() != nil {
+			swapped := false
+			s.quiesce(func() { swapped = s.applyPending() })
+			if swapped {
+				// The new router deserves at least one epoch before
+				// idle detection bites.
+				productive++
+			}
+			continue
+		}
+		p0 := s.progress.Load()
+		if !s.waitFullPass() {
+			continue // rendezvous request arrived mid-wait
+		}
+		if s.progress.Load() != p0 {
+			productive++
+			continue
+		}
+		break // full pass everywhere, no progress: quiescent
+	}
+	s.stopFlag.Store(true)
+	s.parkMu.Lock()
+	s.parkCond.Broadcast() // release anyone parked
+	s.parkMu.Unlock()
+	wg.Wait()
+	return productive
+}
+
+// RunUntilIdle drives the router until no task does useful work. With
+// one worker it runs barrier rounds exactly like Router.RunUntilIdle;
+// with more it free-runs in epoch mode, where workers rendezvous only
+// for hot-swap and shutdown. maxRounds bounds the productive
+// rounds/epochs; the return value is how many occurred.
+func (s *Scheduler) RunUntilIdle(maxRounds int) int {
+	if s.workers == 1 {
+		rounds := 0
+		for rounds < maxRounds && s.RunRound() {
+			rounds++
+		}
+		return rounds
+	}
+	return s.runEpochs(maxRounds)
 }
 
 // RunParallelUntilIdle builds a scheduler with the given worker count

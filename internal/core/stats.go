@@ -27,6 +27,14 @@ type ElemStats struct {
 	cycles   int64
 }
 
+// EnableShared switches the counters to atomic updates. The parallel
+// scheduler arms shared mode only on elements its task-reach analysis
+// proves are touched by more than one task; a driver that pushes into
+// an element from its own goroutines (outside any scheduler) must arm
+// it here before the concurrency starts. There is no disarm: once
+// shared, always shared.
+func (s *ElemStats) EnableShared() { s.shared = true }
+
 func (s *ElemStats) addIn(pkts, bytes int64) {
 	if s.shared {
 		atomic.AddInt64(&s.pktsIn, pkts)

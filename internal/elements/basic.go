@@ -131,37 +131,45 @@ func (e *Counter) PullBatch(port int, buf []*packet.Packet) int {
 
 // Queue is the standard FIFO packet queue: push input, pull output,
 // tail drop when full. A Queue is the hand-off point between scheduler
-// tasks, so under the parallel runtime its ring is mutex-guarded; the
-// guard is armed by EnableSync and costs one predictable branch in the
-// default single-threaded runtime.
+// tasks, so its ring is lock-free (pktRing): producers and consumers
+// share nothing but atomic cursors. EnableSync arms the conservative
+// multi-producer/multi-consumer CAS paths; the parallel scheduler's
+// graph analysis then calls HintConcurrency to relax either side back
+// to the CAS-free single-producer/single-consumer fast path when the
+// task structure proves it safe.
 type Queue struct {
 	core.Base
-	capacity int
-	buf      []*packet.Packet
-	head     int
-	count    int
-	Drops    int64
+	ring   atomic.Pointer[pktRing]
+	mpPush atomic.Bool // >1 pushing task: use the CAS producer path
+	mcPull atomic.Bool // >1 pulling task: use the CAS consumer path
+	Drops  int64
+	// Enqueued counts accepted packets; read and written atomically.
 	Enqueued int64
-	// HighWater tracks the maximum occupancy reached.
-	HighWater int
+	// HighWater tracks the maximum occupancy observed; read and written
+	// atomically (the "highwater_length" handler samples it live).
+	HighWater int64
 
-	mu      sync.Mutex
-	guarded bool
+	// structMu serializes structural operations (SetCapacity,
+	// SaveState/RestoreState) against each other. They run at quiescent
+	// points — handler writes and hot-swap transplant — not against
+	// concurrent dataplane traffic.
+	structMu sync.Mutex
 }
 
-// EnableSync arms the ring guard for multi-worker execution.
-func (e *Queue) EnableSync() { e.guarded = true }
-
-func (e *Queue) lock() {
-	if e.guarded {
-		e.mu.Lock()
-	}
+// EnableSync arms the multi-producer/multi-consumer ring paths for
+// multi-worker execution (core.Synchronizer).
+func (e *Queue) EnableSync() {
+	e.mpPush.Store(true)
+	e.mcPull.Store(true)
 }
 
-func (e *Queue) unlock() {
-	if e.guarded {
-		e.mu.Unlock()
-	}
+// HintConcurrency specializes the ring to the statically known number
+// of pushing and pulling tasks (core.ConcurrencyHinter): one producer
+// means plain cursor stores instead of CAS on the push side, and
+// likewise for one consumer on the pull side.
+func (e *Queue) HintConcurrency(producers, consumers int) {
+	e.mpPush.Store(producers > 1)
+	e.mcPull.Store(consumers > 1)
 }
 
 // DefaultQueueCapacity matches Click's default Queue length.
@@ -169,7 +177,7 @@ const DefaultQueueCapacity = 1000
 
 // Configure accepts an optional capacity.
 func (e *Queue) Configure(args []string) error {
-	e.capacity = DefaultQueueCapacity
+	capacity := DefaultQueueCapacity
 	if len(args) > 1 {
 		return fmt.Errorf("Queue: too many arguments")
 	}
@@ -178,25 +186,19 @@ func (e *Queue) Configure(args []string) error {
 		if err != nil || n <= 0 {
 			return fmt.Errorf("Queue: bad capacity %q", args[0])
 		}
-		e.capacity = n
+		capacity = n
 	}
-	e.buf = make([]*packet.Packet, e.capacity)
+	e.ring.Store(newPktRing(capacity))
 	return nil
 }
 
-// Len returns the current occupancy.
-func (e *Queue) Len() int {
-	e.lock()
-	defer e.unlock()
-	return e.count
-}
+// Len returns the current occupancy. The read is race-safe: two atomic
+// cursor loads, no lock, so read handlers can sample a queue that
+// parallel workers are actively pushing and pulling.
+func (e *Queue) Len() int { return e.ring.Load().len() }
 
 // Capacity returns the current capacity.
-func (e *Queue) Capacity() int {
-	e.lock()
-	defer e.unlock()
-	return e.capacity
-}
+func (e *Queue) Capacity() int { return int(e.ring.Load().logical) }
 
 // SetCapacity resizes the queue at run time (the "capacity" write
 // handler), preserving queued packets in FIFO order. Shrinking below
@@ -206,94 +208,95 @@ func (e *Queue) SetCapacity(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("Queue: bad capacity %d", n)
 	}
-	e.lock()
-	defer e.unlock()
-	keep := e.count
-	if keep > n {
-		keep = n
-	}
-	buf := make([]*packet.Packet, n)
-	for i := 0; i < keep; i++ {
-		buf[i] = e.buf[(e.head+i)%e.capacity]
-	}
-	for i := keep; i < e.count; i++ {
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	old := e.ring.Load()
+	next := newPktRing(n)
+	kept := 0
+	for {
+		p := old.pop(true)
+		if p == nil {
+			break
+		}
+		if kept < n {
+			next.push(p, false)
+			kept++
+			continue
+		}
 		atomic.AddInt64(&e.Drops, 1)
-		e.Drop(e.buf[(e.head+i)%e.capacity])
+		e.Drop(p)
 	}
-	e.buf, e.head, e.count, e.capacity = buf, 0, keep, n
+	e.ring.Store(next)
 	return nil
 }
 
-// enqueue adds one packet to the ring or tail-drops; the caller holds
-// the guard.
+// enqueue adds one packet or tail-drops, maintaining the counters.
 func (e *Queue) enqueue(p *packet.Packet) {
-	if e.count == e.capacity {
-		// The drop count is atomic (not just ring-guarded) so the drops
-		// handler can sample it during a parallel run without racing.
+	r := e.ring.Load()
+	if !r.push(p, e.mpPush.Load()) {
+		// The drop count is atomic so the drops handler can sample it
+		// during a parallel run without racing.
 		atomic.AddInt64(&e.Drops, 1)
 		e.Drop(p)
 		return
 	}
-	e.buf[(e.head+e.count)%e.capacity] = p
-	e.count++
-	e.Enqueued++
-	if e.count > e.HighWater {
-		e.HighWater = e.count
+	atomic.AddInt64(&e.Enqueued, 1)
+	if occ := int64(r.len()); occ > atomic.LoadInt64(&e.HighWater) {
+		for {
+			hw := atomic.LoadInt64(&e.HighWater)
+			if occ <= hw || atomic.CompareAndSwapInt64(&e.HighWater, hw, occ) {
+				break
+			}
+		}
 	}
+}
+
+// dequeue removes the oldest packet, or nil when empty.
+func (e *Queue) dequeue() *packet.Packet {
+	return e.ring.Load().pop(e.mcPull.Load())
 }
 
 // Push enqueues or tail-drops.
 func (e *Queue) Push(port int, p *packet.Packet) {
 	e.Work()
-	e.lock()
 	e.enqueue(p)
-	e.unlock()
 }
 
-// PushBatch enqueues the batch under one guard acquisition.
+// PushBatch enqueues the batch.
 func (e *Queue) PushBatch(port int, ps []*packet.Packet) {
-	e.lock()
 	for _, p := range ps {
 		e.Work()
 		e.enqueue(p)
 	}
-	e.unlock()
 }
 
 // Pull dequeues. An empty queue charges only a cheap occupancy check,
 // so idle ToDevice polling does not masquerade as per-packet work.
 func (e *Queue) Pull(port int) *packet.Packet {
-	e.lock()
-	defer e.unlock()
-	if e.count == 0 {
+	p := e.dequeue()
+	if p == nil {
 		e.Charge(costQueueEmptyCheck)
 		return nil
 	}
 	e.Work()
-	p := e.buf[e.head]
-	e.buf[e.head] = nil
-	e.head = (e.head + 1) % e.capacity
-	e.count--
 	return p
 }
 
-// PullBatch dequeues up to len(buf) packets under one guard
-// acquisition, returning the number delivered.
+// PullBatch dequeues up to len(buf) packets, returning the number
+// delivered.
 func (e *Queue) PullBatch(port int, buf []*packet.Packet) int {
-	e.lock()
-	defer e.unlock()
-	if e.count == 0 {
-		e.Charge(costQueueEmptyCheck)
-		return 0
-	}
 	n := 0
-	for n < len(buf) && e.count > 0 {
+	for n < len(buf) {
+		p := e.dequeue()
+		if p == nil {
+			break
+		}
 		e.Work()
-		buf[n] = e.buf[e.head]
-		e.buf[e.head] = nil
-		e.head = (e.head + 1) % e.capacity
-		e.count--
+		buf[n] = p
 		n++
+	}
+	if n == 0 {
+		e.Charge(costQueueEmptyCheck)
 	}
 	return n
 }

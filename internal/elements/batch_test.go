@@ -49,6 +49,9 @@ func TestQueueBatchConcurrent(t *testing.T) {
 	rt := buildRT(t, "i :: Idle -> q :: Queue(10000) -> x :: Idle;")
 	q := rt.Find("q").(*Queue)
 	q.EnableSync()
+	// This test drives the queue from its own goroutines with no
+	// scheduler in front, so it arms the telemetry itself.
+	q.Stats().EnableShared()
 	const producers, per = 4, 500
 	var wg sync.WaitGroup
 	for w := 0; w < producers; w++ {

@@ -43,10 +43,11 @@ func (e *Queue) Handlers() []core.Handler {
 				return e.SetCapacity(n)
 			}},
 		intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) }),
-		intHandler("highwater_length", func() int64 { return int64(e.HighWater) }),
+		intHandler("highwater_length", func() int64 { return atomic.LoadInt64(&e.HighWater) }),
 		{Name: "reset_counts", Write: func(string) error {
 			atomic.StoreInt64(&e.Drops, 0)
-			e.Enqueued, e.HighWater = 0, e.Len()
+			atomic.StoreInt64(&e.Enqueued, 0)
+			atomic.StoreInt64(&e.HighWater, int64(e.Len()))
 			return nil
 		}},
 	}

@@ -22,25 +22,27 @@ type QueueState struct {
 	Packets   []*packet.Packet
 	Drops     int64
 	Enqueued  int64
-	HighWater int
+	HighWater int64
 }
 
 // SaveState drains the queue and hands its packets and counters over.
 func (e *Queue) SaveState() interface{} {
-	e.lock()
-	defer e.unlock()
-	ps := make([]*packet.Packet, e.count)
-	for i := range ps {
-		j := (e.head + i) % e.capacity
-		ps[i] = e.buf[j]
-		e.buf[j] = nil
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
+	r := e.ring.Load()
+	var ps []*packet.Packet
+	for {
+		p := r.pop(true)
+		if p == nil {
+			break
+		}
+		ps = append(ps, p)
 	}
-	e.head, e.count = 0, 0
 	return &QueueState{
 		Packets:   ps,
 		Drops:     atomic.LoadInt64(&e.Drops),
-		Enqueued:  e.Enqueued,
-		HighWater: e.HighWater,
+		Enqueued:  atomic.LoadInt64(&e.Enqueued),
+		HighWater: atomic.LoadInt64(&e.HighWater),
 	}
 }
 
@@ -52,26 +54,28 @@ func (e *Queue) RestoreState(state interface{}) error {
 	if !ok {
 		return fmt.Errorf("Queue: foreign state %T", state)
 	}
-	e.lock()
-	defer e.unlock()
+	e.structMu.Lock()
+	defer e.structMu.Unlock()
 	atomic.StoreInt64(&e.Drops, st.Drops)
-	e.Enqueued = st.Enqueued
-	e.HighWater = st.HighWater
-	for i := range e.buf {
-		e.buf[i] = nil
+	atomic.StoreInt64(&e.Enqueued, st.Enqueued)
+	atomic.StoreInt64(&e.HighWater, st.HighWater)
+	old := e.ring.Load()
+	next := newPktRing(int(old.logical))
+	for old.pop(true) != nil {
+		// a fresh element's ring is empty; drain defensively
 	}
-	e.head, e.count = 0, 0
+	kept := int64(0)
 	for _, p := range st.Packets {
-		if e.count == e.capacity {
+		if !next.push(p, false) {
 			atomic.AddInt64(&e.Drops, 1)
 			e.Drop(p)
 			continue
 		}
-		e.buf[e.count] = p
-		e.count++
+		kept++
 	}
-	if e.count > e.HighWater {
-		e.HighWater = e.count
+	e.ring.Store(next)
+	if kept > atomic.LoadInt64(&e.HighWater) {
+		atomic.StoreInt64(&e.HighWater, kept)
 	}
 	return nil
 }

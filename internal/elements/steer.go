@@ -1,0 +1,92 @@
+package elements
+
+import (
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// FlowSteer shards traffic across its outputs by a hash of the IP
+// 5-tuple (src, dst, protocol, and the transport ports when present),
+// the software analogue of NIC receive-side scaling. All packets of one
+// flow leave on one output, so when each output feeds a distinct
+// Queue/task chain the parallel scheduler can pin every chain to one
+// worker (see core.FlowSteerer) and the downstream elements keep
+// worker-local state with no synchronization. Non-IP packets and
+// fragments hash on the network pair alone; a packet with no parseable
+// IP header goes to output 0.
+type FlowSteer struct {
+	core.Base
+	scratch [][]*packet.Packet
+}
+
+// FlowSteering marks the element for the scheduler's flow-affinity
+// partitioner. The marker is a Go-type property, so the specialized
+// clones produced by click-devirtualize and click-fastclassifier
+// (FlowSteer_dv1 and friends) keep it through their class renames.
+func (e *FlowSteer) FlowSteering() {}
+
+// hash returns the output for p: a Fowler–Noll–Vo hash of the 5-tuple
+// reduced modulo the output count.
+func (e *FlowSteer) hash(p *packet.Packet) int {
+	n := e.NOutputs()
+	if n == 1 {
+		return 0
+	}
+	h, ok := p.IPHeader()
+	if !ok {
+		return 0
+	}
+	const (
+		fnvOffset = 2166136261
+		fnvPrime  = 16777619
+	)
+	sum := uint32(fnvOffset)
+	mix := func(b byte) { sum = (sum ^ uint32(b)) * fnvPrime }
+	src, dst := h.Src(), h.Dst()
+	for i := 0; i < 4; i++ {
+		mix(src[i])
+		mix(dst[i])
+	}
+	mix(byte(h.Proto()))
+	// Transport ports participate only for unfragmented TCP/UDP: later
+	// fragments carry no transport header, and mixing ports into the
+	// first fragment only would split one flow across outputs.
+	if (h.Proto() == packet.IPProtoTCP || h.Proto() == packet.IPProtoUDP) &&
+		h.FragOff()&0x3fff == 0 {
+		if tp := h[h.HeaderLen():]; len(tp) >= 4 {
+			mix(tp[0])
+			mix(tp[1])
+			mix(tp[2])
+			mix(tp[3])
+		}
+	}
+	return int(sum % uint32(n))
+}
+
+// Push routes the packet to its flow's output.
+func (e *FlowSteer) Push(port int, p *packet.Packet) {
+	e.Work()
+	e.Output(e.hash(p)).Push(p)
+}
+
+// PushBatch partitions the batch by flow hash and forwards one batch
+// per touched output, preserving arrival order within each output.
+func (e *FlowSteer) PushBatch(port int, ps []*packet.Packet) {
+	n := e.NOutputs()
+	if e.scratch == nil {
+		e.scratch = make([][]*packet.Packet, n)
+	}
+	for _, p := range ps {
+		e.Work()
+		o := e.hash(p)
+		e.scratch[o] = append(e.scratch[o], p)
+	}
+	for o := 0; o < n; o++ {
+		if len(e.scratch[o]) > 0 {
+			e.Output(o).PushBatch(e.scratch[o])
+			e.scratch[o] = e.scratch[o][:0]
+		}
+	}
+}
+
+var _ core.FlowSteerer = (*FlowSteer)(nil)

@@ -566,6 +566,7 @@ var Experiments = map[string]func(io.Writer) error{
 	"fig13":          Fig13,
 	"ablation":       Ablation,
 	"parallel":       ParallelBench,
+	"scaling":        ScalingBench,
 	"adaptive":       AdaptiveBench,
 	"all":            All,
 }

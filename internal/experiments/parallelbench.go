@@ -129,6 +129,18 @@ func runParallelPoint(mode string, workers, burst, npkts int) (ParallelPoint, []
 	}
 	half := len(ifs) / 2
 	per := npkts / half
+	// Provision queues for the offered load: epoch-mode workers free-run
+	// with no per-round barrier, so a producer can get arbitrarily far
+	// ahead of its consumer and a line-rate-sized queue would tail-drop.
+	// The benchmark measures forwarding speed, not drop policy, so every
+	// queue gets room for a full device's worth of packets.
+	for _, e := range rt.Elements() {
+		if q, ok := e.(*elements.Queue); ok {
+			if err := q.SetCapacity(per + 64); err != nil {
+				return ParallelPoint{}, nil, err
+			}
+		}
+	}
 	for i := 0; i < half; i++ {
 		tmpl := packet.BuildUDP4(ifs[i].HostEth, ifs[i].Ether,
 			ifs[i].HostAddr, ifs[i+half].HostAddr, 1234, 5678, make([]byte, 14))

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// The scaling experiment sweeps the parallel scheduler's worker count
+// over the fully optimized IP router and reports throughput per point:
+// the multi-core payoff of the lock-free dataplane (sharded rings,
+// flow-affine placement, epoch scheduling). Like the parallel
+// experiment it measures this implementation's own wall clock, not the
+// simulated Pentium III — the cost model is single-threaded by design.
+
+// ScalingWorkerCounts is the worker sweep the scaling experiment runs.
+var ScalingWorkerCounts = []int{1, 2, 4, 8}
+
+// ScalingPoint is one worker count's measurement.
+type ScalingPoint struct {
+	Workers     int     `json:"workers"`
+	Burst       int     `json:"burst"`
+	Packets     int64   `json:"packets"`
+	NSPerPacket float64 `json:"ns_per_packet"`
+	PPS         float64 `json:"pps"`
+	Speedup     float64 `json:"speedup"` // vs the 1-worker point
+}
+
+// ScalingResults is the document click-bench -json writes for the
+// scaling experiment.
+type ScalingResults struct {
+	CPUs   int            `json:"cpus"` // cores on the measuring machine
+	Points []ScalingPoint `json:"points"`
+}
+
+// ScalingBench measures forwarding throughput at each worker count and
+// prints (and optionally JSON-dumps) the sweep. Speedups are honest
+// wall-clock ratios: on a machine with fewer cores than workers the
+// curve flattens, and the report says how many cores it had.
+func ScalingBench(w io.Writer) error {
+	const npkts = 40000
+	const burst = 32
+	results := ScalingResults{CPUs: runtime.NumCPU()}
+	fmt.Fprintf(w, "Worker scaling, optimized IP router (wall clock, %d-core machine)\n", results.CPUs)
+	fmt.Fprintf(w, "%-8s %10s %12s %12s %8s\n", "workers", "packets", "ns/packet", "pps", "speedup")
+	var base float64
+	for _, workers := range ScalingWorkerCounts {
+		pt, _, err := runParallelPoint("scaling", workers, burst, npkts)
+		if err != nil {
+			return err
+		}
+		if workers == 1 {
+			base = pt.PPS
+		}
+		sp := ScalingPoint{
+			Workers:     workers,
+			Burst:       burst,
+			Packets:     pt.Packets,
+			NSPerPacket: pt.NSPerPacket,
+			PPS:         pt.PPS,
+			Speedup:     pt.PPS / base,
+		}
+		results.Points = append(results.Points, sp)
+		fmt.Fprintf(w, "%-8d %10d %12.1f %12.0f %7.2fx\n",
+			sp.Workers, sp.Packets, sp.NSPerPacket, sp.PPS, sp.Speedup)
+	}
+	if JSONPath != "" {
+		blob, err := json.MarshalIndent(&results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", JSONPath)
+	}
+	return nil
+}

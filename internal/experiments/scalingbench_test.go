@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestScalingBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	var buf bytes.Buffer
+	if err := ScalingBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"workers", "speedup", "Worker scaling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingSpeedupAtFourWorkers(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("speedup assertion needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	const npkts = 40000
+	p1, _, err := runParallelPoint("scaling", 1, 32, npkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, _, err := runParallelPoint("scaling", 4, 32, npkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.PPS < 2*p1.PPS {
+		t.Errorf("4 workers: %.0f pps vs 1 worker %.0f pps — speedup %.2fx, want >= 2x",
+			p4.PPS, p1.PPS, p4.PPS/p1.PPS)
+	}
+}
+
+// BenchmarkScaling is the CI smoke benchmark: one small parallel point
+// per iteration, proving the epoch scheduler and lock-free rings
+// forward every packet under the bench harness.
+func BenchmarkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pt, _, err := runParallelPoint("scaling", 2, 32, 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pt.NSPerPacket, "ns/pkt")
+	}
+}

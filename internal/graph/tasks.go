@@ -1,0 +1,105 @@
+package graph
+
+import "sort"
+
+// Task-reach analysis. The runtime's unit of concurrency is the task: a
+// schedulable element (device driver, Unqueue, source) whose RunTask
+// invocation synchronously executes a bounded region of the graph — the
+// push chains it drives downstream and the pull chains it drains
+// upstream, both of which stop at push/pull boundaries (a Queue's output
+// is pull, so a push flood halts there; its input is push, so a pull
+// flood halts there too).
+//
+// The parallel scheduler uses these reach sets to prove sharing
+// properties statically: a Queue with one pushing task can use a
+// single-producer ring; an element touched by exactly one task can keep
+// plain (non-atomic) counters even when the run is parallel.
+
+// PushFlood returns the indices of elements whose code runs
+// synchronously downstream of a push leaving element elem. If port >= 0
+// only that output port is flooded; otherwise every push-kind output
+// floods. The flood crosses intermediate elements and continues out of
+// their push-kind outputs, halting at non-push ports (e.g. a Queue's
+// pull output). elem itself is not included.
+func PushFlood(r *Router, pr *Processing, elem, port int) []int {
+	visited := map[int]bool{}
+	var expand func(i int, only int)
+	expand = func(i int, only int) {
+		for p := range pr.Out[i] {
+			if only >= 0 && p != only {
+				continue
+			}
+			if pr.Out[i][p] != Push {
+				continue
+			}
+			for _, c := range r.OutputConns(i, p) {
+				if r.Elements[c.To].dead || visited[c.To] {
+					continue
+				}
+				visited[c.To] = true
+				expand(c.To, -1)
+			}
+		}
+	}
+	if elem >= 0 && elem < len(r.Elements) && !r.Elements[elem].dead {
+		expand(elem, port)
+	}
+	return sortedKeys(visited)
+}
+
+// PullFlood returns two element sets describing what runs when element
+// elem pulls on its inputs: pulled is the upstream chain of pull-kind
+// connections (schedulers, queues — the flood halts at a Queue because
+// its inputs are push); pushed is the set of elements reached by
+// synchronous pushes emitted from those upstream elements (e.g. an
+// error port on an element sitting in a pull path pushes into a Discard
+// in the puller's task context). elem itself appears in neither set.
+func PullFlood(r *Router, pr *Processing, elem int) (pulled, pushed []int) {
+	if elem < 0 || elem >= len(r.Elements) || r.Elements[elem].dead {
+		return nil, nil
+	}
+	up := map[int]bool{}
+	down := map[int]bool{}
+	var expandPush func(i int)
+	expandPush = func(i int) {
+		for p := range pr.Out[i] {
+			if pr.Out[i][p] != Push {
+				continue
+			}
+			for _, c := range r.OutputConns(i, p) {
+				if r.Elements[c.To].dead || down[c.To] {
+					continue
+				}
+				down[c.To] = true
+				expandPush(c.To)
+			}
+		}
+	}
+	var expandPull func(i int)
+	expandPull = func(i int) {
+		for p := range pr.In[i] {
+			if pr.In[i][p] != Pull {
+				continue
+			}
+			for _, c := range r.InputConns(i, p) {
+				if r.Elements[c.From].dead || up[c.From] {
+					continue
+				}
+				up[c.From] = true
+				expandPush(c.From) // side pushes run in the puller's task
+				expandPull(c.From)
+			}
+		}
+	}
+	expandPull(elem)
+	return sortedKeys(up), sortedKeys(down)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chain builds s(PushSrc) -> a(Agn) -> q(Q) -> b(Agn2) -> k(PullSink)
+// and resolves processing.
+func chain(t *testing.T) (r *Router, pr *Processing, s, a, q, b, k int) {
+	t.Helper()
+	r = New()
+	s = r.MustAddElement("s", "PushSrc", "", "")
+	a = r.MustAddElement("a", "Agn", "", "")
+	q = r.MustAddElement("q", "Q", "", "")
+	b = r.MustAddElement("b", "Agn2", "", "")
+	k = r.MustAddElement("k", "PullSink", "", "")
+	r.Connect(s, 0, a, 0)
+	r.Connect(a, 0, q, 0)
+	r.Connect(q, 0, b, 0)
+	r.Connect(b, 0, k, 0)
+	pr, err := AssignProcessing(r, fakeSpecs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestPushFloodHaltsAtQueue(t *testing.T) {
+	r, pr, s, a, q, _, _ := chain(t)
+	// The source's push region crosses the agnostic element and ends at
+	// the queue: its output is pull, so the flood must not continue into
+	// the downstream pull chain.
+	if got := PushFlood(r, pr, s, -1); !reflect.DeepEqual(got, []int{a, q}) {
+		t.Errorf("PushFlood(s) = %v, want [%d %d]", got, a, q)
+	}
+	if got := PushFlood(r, pr, a, -1); !reflect.DeepEqual(got, []int{q}) {
+		t.Errorf("PushFlood(a) = %v, want [%d]", got, q)
+	}
+	// A pull-side element drives no pushes at all.
+	if got := PushFlood(r, pr, q, -1); len(got) != 0 {
+		t.Errorf("PushFlood(q) = %v, want empty (output is pull)", got)
+	}
+}
+
+func TestPushFloodPortSelection(t *testing.T) {
+	r := New()
+	s := r.MustAddElement("s", "PushSrc", "", "")
+	sw := r.MustAddElement("sw", "Agn", "", "")
+	x0 := r.MustAddElement("x0", "PushSink", "", "")
+	x1 := r.MustAddElement("x1", "PushSink", "", "")
+	r.Connect(s, 0, sw, 0)
+	r.Connect(sw, 0, x0, 0)
+	r.Connect(sw, 1, x1, 0)
+	pr, err := AssignProcessing(r, fakeSpecs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PushFlood(r, pr, sw, 0); !reflect.DeepEqual(got, []int{x0}) {
+		t.Errorf("PushFlood(sw, 0) = %v, want [%d]", got, x0)
+	}
+	if got := PushFlood(r, pr, sw, 1); !reflect.DeepEqual(got, []int{x1}) {
+		t.Errorf("PushFlood(sw, 1) = %v, want [%d]", got, x1)
+	}
+	if got := PushFlood(r, pr, sw, -1); !reflect.DeepEqual(got, []int{x0, x1}) {
+		t.Errorf("PushFlood(sw, -1) = %v, want both sinks", got)
+	}
+}
+
+func TestPullFloodHaltsAtQueueInput(t *testing.T) {
+	r, pr, _, _, q, b, k := chain(t)
+	pulled, pushed := PullFlood(r, pr, k)
+	// The sink's pull region reaches back to the queue and stops: the
+	// queue's input is push, so the pushing source's region is foreign.
+	if !reflect.DeepEqual(pulled, []int{q, b}) {
+		t.Errorf("PullFlood(k) pulled = %v, want [%d %d]", pulled, q, b)
+	}
+	if len(pushed) != 0 {
+		t.Errorf("PullFlood(k) pushed = %v, want empty", pushed)
+	}
+}
+
+func TestPullFloodSidePushes(t *testing.T) {
+	// An element with a push output sitting in a pull path (a CheckPaint
+	// error port, say) pushes in the puller's task context: the flood
+	// must report the push target in pushed.
+	r := New()
+	s := r.MustAddElement("s", "PushSrc", "", "")
+	q := r.MustAddElement("q", "Q", "", "")
+	m := r.MustAddElement("m", "Mixed", "", "") // a/ah: out 0 agnostic, out 1+ push
+	k := r.MustAddElement("k", "PullSink", "", "")
+	d := r.MustAddElement("d", "PushSink", "", "")
+	r.Connect(s, 0, q, 0)
+	r.Connect(q, 0, m, 0)
+	r.Connect(m, 0, k, 0)
+	r.Connect(m, 1, d, 0)
+	pr, err := AssignProcessing(r, fakeSpecs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulled, pushed := PullFlood(r, pr, k)
+	if !reflect.DeepEqual(pulled, []int{q, m}) {
+		t.Errorf("pulled = %v, want [%d %d]", pulled, q, m)
+	}
+	if !reflect.DeepEqual(pushed, []int{d}) {
+		t.Errorf("pushed = %v, want [%d] (side push out of the pull chain)", pushed, d)
+	}
+}

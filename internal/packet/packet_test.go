@@ -366,15 +366,15 @@ func TestIPHeaderRejectsShort(t *testing.T) {
 }
 
 func TestBufferRecycling(t *testing.T) {
-	bufPool = bufPool[:0]
+	poolReset()
 	p := Make(10, 20, 10)
 	p.Kill()
-	if len(bufPool) != 1 {
-		t.Fatalf("pool has %d buffers after Kill, want 1", len(bufPool))
+	if n := poolCount(); n != 1 {
+		t.Fatalf("pool has %d buffers after Kill, want 1", n)
 	}
 	// The next Make reuses the buffer, zeroed.
 	q := Make(5, 30, 5)
-	if len(bufPool) != 0 {
+	if poolCount() != 0 {
 		t.Error("pool not drained by Make")
 	}
 	for _, b := range q.Data() {
@@ -383,23 +383,23 @@ func TestBufferRecycling(t *testing.T) {
 		}
 	}
 	// Shared packets only recycle on the last Kill.
-	bufPool = bufPool[:0]
+	poolReset()
 	a := Make(0, 8, 0)
 	c := a.Clone()
 	a.Kill()
-	if len(bufPool) != 0 {
+	if poolCount() != 0 {
 		t.Error("buffer recycled while a clone is alive")
 	}
 	c.Kill()
-	if len(bufPool) != 1 {
+	if poolCount() != 1 {
 		t.Error("buffer not recycled after last reference")
 	}
 	// Double Kill must not double-pool.
-	bufPool = bufPool[:0]
+	poolReset()
 	d := Make(0, 8, 0)
 	d.Kill()
 	d.Kill()
-	if len(bufPool) != 1 {
-		t.Errorf("double Kill pooled %d buffers", len(bufPool))
+	if n := poolCount(); n != 1 {
+		t.Errorf("double Kill pooled %d buffers", n)
 	}
 }

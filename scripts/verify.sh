@@ -16,3 +16,7 @@ go vet ./...
 go test ./...
 go test -race ./...
 go test -race -run 'Hotswap|DifferentialHotswap' ./internal/core ./internal/opt ./internal/netsim ./internal/elements
+# Lock-free tier: the SPSC/MPSC Queue rings, the sharded packet pool,
+# concurrent refcounting, handler reads during traffic, and the
+# steal paths, each driven by a dedicated concurrent test.
+go test -race -run 'QueueBatchConcurrent|QueueHandlersDuringTraffic|Concurrent|StealRace|Stealing' ./internal/elements ./internal/packet ./internal/core
