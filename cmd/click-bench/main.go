@@ -1,11 +1,13 @@
 // Command click-bench regenerates the paper's tables and figures
 // (§4, §8) on the simulated testbed. Run with -experiment all for the
 // full evaluation, or name one of: fastclassifier, vcall, fig8, fig9,
-// fig10, fig11, fig12, fig13, ablation, parallel, scaling, adaptive.
+// fig10, fig11, fig12, fig13, ablation, parallel, scaling, adaptive,
+// fusion.
 //
-// The parallel, scaling, and adaptive experiments also write
+// The parallel, scaling, adaptive, and fusion experiments also write
 // machine-readable results when given -json (e.g. -experiment scaling
-// -json BENCH_scaling.json).
+// -json BENCH_scaling.json, or -experiment fusion -json
+// BENCH_fusion.json for the classifier-fusion ruleset sweep).
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, the usual way to see where the wall-clock experiments

@@ -1,0 +1,33 @@
+// Command click-fuse fuses runs of consecutive classification elements
+// into single generated decision-diagram classifiers. It reads a
+// configuration on standard input and writes the rewritten
+// configuration, with the generated source attached as an archive, to
+// standard output. Because ReadConfig installs the archive's generated
+// classes first, fusion composes with click-fastclassifier and
+// click-devirtualize output in either order.
+package main
+
+import (
+	"flag"
+
+	"repro/internal/opt"
+	"repro/internal/tool"
+)
+
+func main() {
+	file := flag.String("f", "-", "configuration file (- = stdin)")
+	out := flag.String("o", "-", "output file (- = stdout)")
+	flag.Parse()
+
+	reg := tool.Registry()
+	g, err := tool.ReadConfig(*file, reg)
+	if err != nil {
+		tool.Fail("click-fuse", err)
+	}
+	if err := opt.Fuse(g, reg); err != nil {
+		tool.Fail("click-fuse", err)
+	}
+	if err := tool.WriteConfig(g, *out); err != nil {
+		tool.Fail("click-fuse", err)
+	}
+}

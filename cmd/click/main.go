@@ -7,9 +7,13 @@
 //
 // Usage:
 //
-//	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n]
+//	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n] [-fuse]
 //	      [-hotswap config] [-hotswap-after n] [-adapt] [-adapt-interval n]
 //	      [-h element.handler]... [-counters] [-report]
+//
+// -fuse applies the click-fuse whole-path classifier fusion pass to the
+// configuration before building it, the in-driver shortcut for piping
+// through click-fuse first.
 //
 // -batch moves packets between elements in bursts of up to n (amortized
 // dispatch); -workers runs the task scheduler on n workers with work
@@ -69,6 +73,7 @@ func main() {
 	workers := flag.Int("workers", 1, "task scheduler workers (work stealing when > 1)")
 	hotswapFile := flag.String("hotswap", "", "replacement configuration to hot-swap in mid-run (on SIGHUP, or after -hotswap-after rounds)")
 	hotswapAfter := flag.Int("hotswap-after", 0, "hot-swap the -hotswap configuration after this many active rounds (0 = only on SIGHUP)")
+	fuse := flag.Bool("fuse", false, "fuse classification runs into decision diagrams before building")
 	adapt := flag.Bool("adapt", false, "run the adaptive re-optimization controller")
 	adaptEvery := flag.Int("adapt-interval", 2000, "active rounds between adaptive telemetry samples")
 	var reads handlerList
@@ -79,6 +84,11 @@ func main() {
 	g, err := tool.ReadConfig(*file, reg)
 	if err != nil {
 		tool.Fail("click", err)
+	}
+	if *fuse {
+		if err := opt.Fuse(g, reg); err != nil {
+			tool.Fail("click", err)
+		}
 	}
 	env := provisionDevices(g)
 	rt, err := core.Build(g, reg, core.BuildOptions{Burst: *batch, Env: env})

@@ -22,6 +22,8 @@ import (
 //	[src|dst] net A/len         prefix match (also without src/dst)
 //	[src|dst] port P            implies (tcp or udp), no IP options,
 //	                            not a fragment; P may be a service name
+//	[src|dst] port OP P         relational ranges: >= <= > < == (a range
+//	                            compiles to ORed aligned prefix masks)
 //	icmp type T                 implies icmp
 //	ip frag                     fragments (offset != 0 or MF set)
 //	ip ttl N                    exact TTL (used by tests)
@@ -86,12 +88,56 @@ func notFragTest() boolExpr {
 
 func fragTest() boolExpr { return notExprNode{notFragTest()} }
 
-func srcPortTest(port int) boolExpr {
-	return testExprNode{Expr{Offset: 20, Mask: 0xffff0000, Value: uint32(port) << 16}}
+// srcPortMaskTest/dstPortMaskTest compare the masked 16-bit port field;
+// mask 0xffff is an exact port, a shorter prefix mask covers an aligned
+// power-of-two range (see portRangePairs).
+func srcPortMaskTest(value, mask uint32) boolExpr {
+	return testExprNode{Expr{Offset: 20, Mask: mask << 16, Value: value << 16}}
 }
 
-func dstPortTest(port int) boolExpr {
-	return testExprNode{Expr{Offset: 20, Mask: 0x0000ffff, Value: uint32(port)}}
+func dstPortMaskTest(value, mask uint32) boolExpr {
+	return testExprNode{Expr{Offset: 20, Mask: mask, Value: value}}
+}
+
+func srcPortTest(port int) boolExpr { return srcPortMaskTest(uint32(port), 0xffff) }
+
+func dstPortTest(port int) boolExpr { return dstPortMaskTest(uint32(port), 0xffff) }
+
+// portRangePairs decomposes the inclusive port range [lo, hi] into the
+// minimal list of aligned power-of-two blocks, each expressed as a
+// (value, mask) pair over the 16-bit port field. A relational port
+// primitive ("port >= 1024") becomes the OR of these masked compares,
+// which keeps range matching inside the word-compare decision-tree
+// model — no new node kinds.
+func portRangePairs(lo, hi uint32) [][2]uint32 {
+	var pairs [][2]uint32
+	for lo <= hi {
+		size := uint32(1)
+		for size < 1<<16 {
+			next := size << 1
+			if lo&(next-1) != 0 || lo+next-1 > hi {
+				break
+			}
+			size = next
+		}
+		pairs = append(pairs, [2]uint32{lo, 0xffff &^ (size - 1)})
+		lo += size
+	}
+	return pairs
+}
+
+// portRangeOr renders a port range as the OR of aligned masked tests.
+func portRangeOr(mk func(value, mask uint32) boolExpr, lo, hi int) boolExpr {
+	var e boolExpr
+	for _, pm := range portRangePairs(uint32(lo), uint32(hi)) {
+		t := mk(pm[0], pm[1])
+		if e == nil {
+			e = t
+		} else {
+			e = or2(e, t)
+		}
+	}
+	return e
 }
 
 func icmpTypeTest(typ int) boolExpr {
@@ -340,11 +386,13 @@ func (p *ipParser) parsePrimitive() (boolExpr, error) {
 		}
 		return or2(netTest(12, ip, plen), netTest(16, ip, plen)), nil
 	case "port":
-		n, err := p.parsePortNum()
+		lo, hi, err := p.parsePortSpec()
 		if err != nil {
 			return nil, err
 		}
-		return and2(tcpOrUDP(), transportGuard(or2(srcPortTest(n), dstPortTest(n)))), nil
+		return and2(tcpOrUDP(), transportGuard(or2(
+			portRangeOr(srcPortMaskTest, lo, hi),
+			portRangeOr(dstPortMaskTest, lo, hi)))), nil
 	}
 	return nil, fmt.Errorf("classifier: unknown primitive %q", t)
 }
@@ -358,11 +406,9 @@ func tcpOrUDP() boolExpr {
 func (p *ipParser) parseDirectional(dir string) (boolExpr, error) {
 	hostAt := srcHostTest
 	netOff := int32(12)
-	portAt := srcPortTest
 	if dir == "dst" {
 		hostAt = dstHostTest
 		netOff = 16
-		portAt = dstPortTest
 	}
 	switch k := p.peek(); k {
 	case "host":
@@ -381,11 +427,15 @@ func (p *ipParser) parseDirectional(dir string) (boolExpr, error) {
 		return netTest(netOff, ip, plen), nil
 	case "port":
 		p.next()
-		n, err := p.parsePortNum()
+		lo, hi, err := p.parsePortSpec()
 		if err != nil {
 			return nil, err
 		}
-		return and2(tcpOrUDP(), transportGuard(portAt(n))), nil
+		mk := srcPortMaskTest
+		if dir == "dst" {
+			mk = dstPortMaskTest
+		}
+		return and2(tcpOrUDP(), transportGuard(portRangeOr(mk, lo, hi))), nil
 	default:
 		// Bare address, possibly with a prefix length.
 		tok := p.next()
@@ -440,6 +490,40 @@ func (p *ipParser) parseNet() (packet.IP4, int, error) {
 		return packet.IP4{}, 0, err
 	}
 	return ip, plen, nil
+}
+
+// parsePortSpec parses the value part of a port primitive: a single
+// port (exact match), or a relational form ">= P", "<= P", "> P",
+// "< P", "== P" covering a range. An empty range ("port > 65535") is a
+// configuration error, not a match-nothing silently.
+func (p *ipParser) parsePortSpec() (lo, hi int, err error) {
+	op := ""
+	switch p.peek() {
+	case ">=", "<=", ">", "<", "==", "=":
+		op = p.next()
+	}
+	n, err := p.parsePortNum()
+	if err != nil {
+		return 0, 0, err
+	}
+	switch op {
+	case ">=":
+		return n, 65535, nil
+	case "<=":
+		return 0, n, nil
+	case ">":
+		if n >= 65535 {
+			return 0, 0, fmt.Errorf("classifier: empty port range \"> %d\"", n)
+		}
+		return n + 1, 65535, nil
+	case "<":
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("classifier: empty port range \"< %d\"", n)
+		}
+		return 0, n - 1, nil
+	default:
+		return n, n, nil
+	}
 }
 
 func (p *ipParser) parsePortNum() (int, error) {

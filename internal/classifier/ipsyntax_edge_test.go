@@ -1,0 +1,127 @@
+package classifier
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// edgePacket builds a 40-byte IPv4 packet (header at offset 0, IHL 5)
+// with the classification-relevant fields set.
+func edgePacket(proto byte, srcPort, dstPort uint16, frag bool, tcpFlags byte) []byte {
+	d := make([]byte, 40)
+	d[0] = 0x45
+	d[9] = proto
+	if frag {
+		d[6], d[7] = 0x20, 0x05 // MF set, nonzero fragment offset
+	}
+	copy(d[12:16], []byte{10, 0, 0, 2})
+	copy(d[16:20], []byte{10, 0, 1, 2})
+	binary.BigEndian.PutUint16(d[20:], srcPort)
+	binary.BigEndian.PutUint16(d[22:], dstPort)
+	d[33] = tcpFlags
+	return d
+}
+
+// TestIPSyntaxEdgeCases drives the tcpdump-style front end through the
+// constructs fusion leans on: negation, relational port ranges,
+// fragment tests, and TCP-flag patterns. Each expression is compiled as
+// IPClassifier(expr, -): output 0 means matched.
+func TestIPSyntaxEdgeCases(t *testing.T) {
+	tcp, udp := byte(6), byte(17)
+	cases := []struct {
+		expr  string
+		pkt   []byte
+		match bool
+	}{
+		// Negated clauses, in both spellings.
+		{"not tcp", edgePacket(udp, 1, 2, false, 0), true},
+		{"not tcp", edgePacket(tcp, 1, 2, false, 0), false},
+		{"!(udp || icmp)", edgePacket(tcp, 1, 2, false, 0), true},
+		{"!(udp || icmp)", edgePacket(1, 0, 0, false, 0), false},
+		{"udp && not dst port 53", edgePacket(udp, 9, 80, false, 0), true},
+		{"udp && not dst port 53", edgePacket(udp, 9, 53, false, 0), false},
+
+		// Relational port ranges: every operator, at its boundary.
+		{"tcp && dst port >= 1024", edgePacket(tcp, 9, 1024, false, 0), true},
+		{"tcp && dst port >= 1024", edgePacket(tcp, 9, 1023, false, 0), false},
+		{"tcp && dst port >= 1024", edgePacket(tcp, 9, 65535, false, 0), true},
+		{"udp && src port < 100", edgePacket(udp, 99, 9, false, 0), true},
+		{"udp && src port < 100", edgePacket(udp, 100, 9, false, 0), false},
+		{"udp && dst port <= 53", edgePacket(udp, 9, 53, false, 0), true},
+		{"udp && dst port <= 53", edgePacket(udp, 9, 54, false, 0), false},
+		{"tcp && src port > 1000", edgePacket(tcp, 1001, 9, false, 0), true},
+		{"tcp && src port > 1000", edgePacket(tcp, 1000, 9, false, 0), false},
+		// Undirected ranges match either port.
+		{"udp && port >= 5000", edgePacket(udp, 6000, 9, false, 0), true},
+		{"udp && port >= 5000", edgePacket(udp, 9, 6000, false, 0), true},
+		{"udp && port >= 5000", edgePacket(udp, 9, 9, false, 0), false},
+
+		// Fragments: a transport test must not fire on a fragment, and
+		// "ip frag" must select exactly the fragments.
+		{"ip frag", edgePacket(udp, 9, 53, true, 0), true},
+		{"ip frag", edgePacket(udp, 9, 53, false, 0), false},
+		{"udp && dst port 53", edgePacket(udp, 9, 53, true, 0), false},
+
+		// TCP flag patterns.
+		{"tcp syn", edgePacket(tcp, 1, 2, false, 0x02), true},
+		{"tcp syn", edgePacket(tcp, 1, 2, false, 0x10), false},
+		{"tcp syn && not tcp ack", edgePacket(tcp, 1, 2, false, 0x02), true},
+		{"tcp syn && not tcp ack", edgePacket(tcp, 1, 2, false, 0x12), false},
+
+		// Overlapping prefixes resolve by specificity of the test, not
+		// order (single expression, so plain boolean semantics).
+		{"src net 10.0.0.0/8 && not src net 10.0.0.0/24", edgePacket(udp, 1, 2, false, 0), false},
+		{"src net 10.0.0.0/8 && not src net 10.1.0.0/16", edgePacket(udp, 1, 2, false, 0), true},
+	}
+	for _, tc := range cases {
+		pr, err := BuildIPClassifierProgram([]string{tc.expr, "-"})
+		if err != nil {
+			t.Errorf("%q: unexpected compile error: %v", tc.expr, err)
+			continue
+		}
+		pr.Optimize()
+		port, ok, _ := pr.Match(tc.pkt)
+		got := ok && port == 0
+		if got != tc.match {
+			t.Errorf("%q on %x: match=%v, want %v\n%s", tc.expr, tc.pkt, got, tc.match, pr)
+		}
+	}
+}
+
+// TestIPSyntaxMalformed: malformed rules must produce an error, never a
+// panic, through both the classifier and the filter entry points.
+func TestIPSyntaxMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"port",
+		"port >=",
+		"port >= notaport",
+		"port >= 70000",
+		"port > 65535", // empty range
+		"port < 0",     // empty range
+		"tcp &&",
+		"(tcp",
+		"tcp)",
+		"not",
+		"src host",
+		"src host 999.1.1.1",
+		"dst net 10.0.0.0/33",
+		"ip proto banana",
+		"tcp flagz",
+	}
+	for _, expr := range bad {
+		if _, err := BuildIPClassifierProgram([]string{expr, "-"}); err == nil {
+			t.Errorf("IPClassifier(%q): expected error, got none", expr)
+		}
+	}
+	badRules := [][]string{
+		{"frobnicate tcp"},            // unknown action
+		{"allow"},                     // missing expression
+		{"allow tcp", "deny port >="}, // malformed second rule
+	}
+	for _, rules := range badRules {
+		if _, err := BuildIPFilterProgram(rules); err == nil {
+			t.Errorf("IPFilter(%q): expected error, got none", rules)
+		}
+	}
+}

@@ -158,6 +158,10 @@ func NewFastClassifier(c *classifier.Compiled) func() core.Element {
 // as the generated C++ classes ignore their configuration strings.
 func (e *FastClassifier) Configure(args []string) error { return nil }
 
+// Program exposes the compiled decision tree so downstream passes
+// (click-fuse) can compose already-specialized classifiers.
+func (e *FastClassifier) Program() *classifier.Program { return e.compiled.Program() }
+
 // Push classifies with the compiled matcher.
 func (e *FastClassifier) Push(port int, p *packet.Packet) {
 	e.Work()
@@ -188,4 +192,20 @@ func (e *FastClassifier) PushBatch(port int, ps []*packet.Packet) {
 		atomic.AddInt64(&e.Matched, 1)
 		return out
 	}, e.Output, e.Drop)
+}
+
+// FusedClassifier is the runtime body of the FusedClassifier_N classes
+// click-fuse generates: one decision diagram standing in for a whole
+// run of classification elements, with the run's exit edges as output
+// ports. The matcher is identical to FastClassifier's — the win comes
+// from the composed, specialized diagram and the per-stage dispatch it
+// removes — so it keeps FastClassifier's calibrated cost model.
+type FusedClassifier struct {
+	FastClassifier
+}
+
+// NewFusedClassifier wraps a composed decision diagram as an element
+// factory for a generated fused class.
+func NewFusedClassifier(c *classifier.Compiled) func() core.Element {
+	return func() core.Element { return &FusedClassifier{FastClassifier{compiled: c}} }
 }

@@ -568,5 +568,6 @@ var Experiments = map[string]func(io.Writer) error{
 	"parallel":       ParallelBench,
 	"scaling":        ScalingBench,
 	"adaptive":       AdaptiveBench,
+	"fusion":         FusionBench,
 	"all":            All,
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFusionBenchSmoke runs a shrunk ruleset sweep end to end — small
+// enough for CI, large enough that every variant builds, forwards, and
+// reports — and checks the JSON document parses and carries the fused
+// diagram statistics.
+func TestFusionBenchSmoke(t *testing.T) {
+	JSONPath = filepath.Join(t.TempDir(), "BENCH_fusion.json")
+	defer func() { JSONPath = "" }()
+	oldSizes, oldPackets := FusionSizes, FusionPackets
+	FusionSizes, FusionPackets = []int{10, 60}, 300
+	defer func() { FusionSizes, FusionPackets = oldSizes, oldPackets }()
+
+	var buf bytes.Buffer
+	if err := FusionBench(&buf); err != nil {
+		t.Fatalf("FusionBench: %v\n%s", err, buf.String())
+	}
+	blob, err := os.ReadFile(JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res FusionResults
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if want := len(FusionSizes) * len(fusionVariants); len(res.Points) != want {
+		t.Fatalf("got %d points, want %d", len(res.Points), want)
+	}
+	for _, p := range res.Points {
+		if p.Packets <= 0 || p.CyclesPerPacket <= 0 {
+			t.Errorf("%d rules %s: empty measurement: %+v", p.Rules, p.Variant, p)
+		}
+		if p.Variant == "fuse" && (p.RunsFused < 1 || p.DiagramNodes < 1) {
+			t.Errorf("%d rules: fuse point missing diagram stats: %+v", p.Rules, p)
+		}
+	}
+}

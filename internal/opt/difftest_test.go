@@ -124,6 +124,7 @@ var diffPasses = []struct {
 	apply func(g *graph.Router, reg *core.Registry) error
 }{
 	{"fastclassifier", func(g *graph.Router, reg *core.Registry) error { return FastClassifier(g, reg) }},
+	{"fuse", func(g *graph.Router, reg *core.Registry) error { return Fuse(g, reg) }},
 	{"devirtualize", func(g *graph.Router, reg *core.Registry) error { return Devirtualize(g, reg, nil) }},
 	{"xform", func(g *graph.Router, reg *core.Registry) error {
 		pairs, err := ParsePatterns(iprouter.ComboPatterns, "combopatterns")

@@ -309,33 +309,12 @@ func InstallFastClassifiers(g *graph.Router, reg *core.Registry) error {
 	if !ok {
 		return nil
 	}
-	text := string(data)
-	for len(text) > 0 {
-		text = strings.TrimLeft(text, "\n")
-		if text == "" {
-			break
-		}
-		if !strings.HasPrefix(text, "class ") {
-			return fmt.Errorf("opt: bad fastclassifier programs member")
-		}
-		nl := strings.IndexByte(text, '\n')
-		name := strings.TrimSpace(text[len("class "):nl])
-		text = text[nl+1:]
-		end := strings.Index(text, "end\n")
-		if end < 0 {
-			end = len(text)
-		}
-		progText := text[:end]
-		if end+4 <= len(text) {
-			text = text[end+4:]
-		} else {
-			text = ""
-		}
-		prog, err := classifier.ParseProgram(progText)
-		if err != nil {
-			return fmt.Errorf("opt: fastclassifier program %q: %v", name, err)
-		}
-		registerFastClassifierSpec(reg, name, classifier.Compile(prog))
+	progs, err := parseProgramsArchive(data)
+	if err != nil {
+		return fmt.Errorf("opt: fastclassifier: %v", err)
+	}
+	for _, np := range progs {
+		registerFastClassifierSpec(reg, np.name, classifier.Compile(np.program))
 	}
 	return nil
 }
@@ -346,6 +325,11 @@ func InstallFastClassifiers(g *graph.Router, reg *core.Registry) error {
 // code before parsing the configuration (§5.2).
 func InstallArchive(g *graph.Router, reg *core.Registry) error {
 	if err := InstallFastClassifiers(g, reg); err != nil {
+		return err
+	}
+	// Fused classes may wrap fastclassifier output, and a devirtualized
+	// classmap may reference fused classes: install in that order.
+	if err := InstallFused(g, reg); err != nil {
 		return err
 	}
 	return InstallDevirtualized(g, reg)

@@ -33,6 +33,11 @@ type PassReport struct {
 	// click-combine.
 	RoutersCombined int `json:"routers_combined,omitempty"`
 	LinksReplaced   int `json:"links_replaced,omitempty"`
+	// click-fuse.
+	RunsFused     int `json:"runs_fused,omitempty"`
+	ElementsFused int `json:"elements_fused,omitempty"`
+	TreeNodes     int `json:"tree_nodes,omitempty"`
+	DiagramNodes  int `json:"diagram_nodes,omitempty"`
 	// adaptive re-optimization controller.
 	PassesApplied []string `json:"passes_applied,omitempty"`
 	Reasons       []string `json:"reasons,omitempty"`

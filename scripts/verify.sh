@@ -20,3 +20,8 @@ go test -race -run 'Hotswap|DifferentialHotswap' ./internal/core ./internal/opt 
 # concurrent refcounting, handler reads during traffic, and the
 # steal paths, each driven by a dedicated concurrent test.
 go test -race -run 'QueueBatchConcurrent|QueueHandlersDuringTraffic|Concurrent|StealRace|Stealing' ./internal/elements ./internal/packet ./internal/core
+# Fusion tier: the whole-path classifier fusion pass end to end — the
+# FDD build and splice algebra, the pass's archive round trip and
+# ordering against the other optimizers, the property-based equivalence
+# harness, and the ruleset-sweep benchmark smoke.
+go test -race -run 'Fuse|Fusion|SpecializeFDD|Splice' ./internal/classifier ./internal/opt ./internal/experiments
