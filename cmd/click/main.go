@@ -8,12 +8,17 @@
 // Usage:
 //
 //	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n] [-fuse]
-//	      [-hotswap config] [-hotswap-after n] [-adapt] [-adapt-interval n]
+//	      [-flowcache] [-hotswap config] [-hotswap-after n] [-adapt]
+//	      [-adapt-interval n] [-adapt-flowcache]
 //	      [-h element.handler]... [-counters] [-report]
 //
 // -fuse applies the click-fuse whole-path classifier fusion pass to the
 // configuration before building it, the in-driver shortcut for piping
-// through click-fuse first.
+// through click-fuse first. -flowcache installs the flow fast path: an
+// exact-match cache in front of the pipeline that learns each flow's
+// net transformation from its first packet and short-circuits the rest,
+// with guard generations keeping it coherent across route, ARP, and
+// configuration changes.
 //
 // -batch moves packets between elements in bursts of up to n (amortized
 // dispatch); -workers runs the task scheduler on n workers with work
@@ -25,13 +30,14 @@
 //
 // -hotswap names a replacement configuration to install atomically
 // mid-run at a task-round boundary: queue contents, ARP tables,
-// counters, and live handler settings transplant to same-named elements
-// (Click's take_state). The swap triggers on SIGHUP, or after
-// -hotswap-after active rounds when that is nonzero. -adapt runs the
-// telemetry-driven re-optimization controller: every -adapt-interval
-// active rounds it samples the live element counters, decides which
-// optimizer passes the traffic justifies, and hot-swaps the re-optimized
-// configuration in.
+// counters, flow-cache entries, and live handler settings transplant to
+// same-named elements (Click's take_state). The swap triggers on
+// SIGHUP, or after -hotswap-after active rounds when that is nonzero.
+// -adapt runs the telemetry-driven re-optimization controller: every
+// -adapt-interval active rounds it samples the live element counters,
+// decides which optimizer passes the traffic justifies, and hot-swaps
+// the re-optimized configuration in. -adapt-flowcache additionally lets
+// the controller install the flow fast path once the router runs hot.
 //
 // Device elements (PollDevice, FromDevice, ToDevice) referencing devices
 // that no caller provided are bound to idle in-memory devices, so
@@ -74,8 +80,10 @@ func main() {
 	hotswapFile := flag.String("hotswap", "", "replacement configuration to hot-swap in mid-run (on SIGHUP, or after -hotswap-after rounds)")
 	hotswapAfter := flag.Int("hotswap-after", 0, "hot-swap the -hotswap configuration after this many active rounds (0 = only on SIGHUP)")
 	fuse := flag.Bool("fuse", false, "fuse classification runs into decision diagrams before building")
+	flowcache := flag.Bool("flowcache", false, "install the flow fast path (exact-match cache with guarded invalidation) before building")
 	adapt := flag.Bool("adapt", false, "run the adaptive re-optimization controller")
 	adaptEvery := flag.Int("adapt-interval", 2000, "active rounds between adaptive telemetry samples")
+	adaptFlowCache := flag.Bool("adapt-flowcache", false, "let the adaptive controller install the flow fast path when the router runs hot")
 	var reads handlerList
 	flag.Var(&reads, "h", "read handler \"element.name\" after the run (repeatable)")
 	flag.Parse()
@@ -87,6 +95,11 @@ func main() {
 	}
 	if *fuse {
 		if err := opt.Fuse(g, reg); err != nil {
+			tool.Fail("click", err)
+		}
+	}
+	if *flowcache {
+		if err := opt.InstallFlowCache(g, reg); err != nil {
 			tool.Fail("click", err)
 		}
 	}
@@ -121,7 +134,9 @@ func main() {
 	}
 	var ctrl *opt.Adaptive
 	if *adapt {
-		ctrl = opt.NewAdaptive(opt.DefaultAdaptiveOptions())
+		opts := opt.DefaultAdaptiveOptions()
+		opts.EnableFlowCache = *adaptFlowCache
+		ctrl = opt.NewAdaptive(opts)
 	}
 	applied := map[string]bool{}
 	var ran int
@@ -143,6 +158,8 @@ func main() {
 			d.FastClassifier = d.FastClassifier && !applied["fastclassifier"]
 			d.Devirtualize = d.Devirtualize && !applied["devirtualize"]
 			d.Undead = d.Undead && !applied["undead"]
+			d.Fuse = d.Fuse && !applied["fuse"]
+			d.FlowCache = d.FlowCache && !applied["flowcache"]
 			if d.Any() {
 				ng, areg, err := opt.Reoptimize(live.Graph, d)
 				if err != nil {
@@ -161,6 +178,12 @@ func main() {
 				}
 				if d.Undead {
 					applied["undead"] = true
+				}
+				if d.Fuse {
+					applied["fuse"] = true
+				}
+				if d.FlowCache {
+					applied["flowcache"] = true
 				}
 				fmt.Fprintf(os.Stderr, "click: adapt: %s\n", strings.Join(d.Reasons, "; "))
 			}

@@ -50,6 +50,11 @@ func (rt *Router) Hotswap(next *Router) error {
 		name     string
 		from, to Element
 	}
+	// Guard generations carry over first: transplanted cache state (a
+	// FlowCache's entries) snapshots these counters, so the new router
+	// must continue the old router's counter history for those snapshots
+	// to stay meaningful.
+	next.guards.CopyFrom(rt.guards)
 	var pairs []pair
 	for _, e := range rt.elements {
 		b := e.base()

@@ -23,9 +23,10 @@ type Router struct {
 	weights   []int
 	taskElems []int // element index of each task, parallel to tasks
 	proc      *graph.Processing
-	env      map[string]interface{}
-	burst    int
-	tracer   *Tracer
+	env       map[string]interface{}
+	burst     int
+	tracer    *Tracer
+	guards    *Generations
 }
 
 // Env returns the named environment object supplied at build time, or
@@ -75,6 +76,7 @@ func Build(g *graph.Router, reg *Registry, opts BuildOptions) (*Router, error) {
 		proc:     proc,
 		env:      opts.Env,
 		burst:    opts.Burst,
+		guards:   &Generations{},
 	}
 	sites := simcpu.NewSites()
 

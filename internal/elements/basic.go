@@ -232,6 +232,10 @@ func (e *Queue) SetCapacity(n int) error {
 
 // enqueue adds one packet or tail-drops, maintaining the counters.
 func (e *Queue) enqueue(p *packet.Packet) {
+	// A queued packet outlives the push that enqueued it; any
+	// flow-recording mark is only valid within that push, so it dies
+	// here (normally a flow cache's record tap has already cleared it).
+	p.Anno.FlowPending = nil
 	r := e.ring.Load()
 	if !r.push(p, e.mpPush.Load()) {
 		// The drop count is atomic so the drops handler can sample it
@@ -670,6 +674,7 @@ func (e *Switch) Handlers() []core.Handler {
 				return fmt.Errorf("Switch: bad port %q", v)
 			}
 			e.port = n
+			e.BumpGuard(core.GuardConfig)
 			return nil
 		},
 	}}

@@ -302,7 +302,10 @@ func (e *ARPQuerier) Push(port int, p *packet.Packet) {
 		e.Output(0).Push(p)
 		return
 	}
-	// Unknown: hold the packet (replacing any previous) and query.
+	// Unknown: hold the packet (replacing any previous) and query. The
+	// hold outlives this push, so any flow-recording mark dies here: the
+	// release happens on a later (possibly concurrent) response path.
+	p.Anno.FlowPending = nil
 	old := e.wait[next]
 	e.wait[next] = p
 	e.unlock()
@@ -344,6 +347,7 @@ func (e *ARPQuerier) PushBatch(port int, ps []*packet.Packet) {
 			// Miss: emit pending hits first so output order matches the
 			// scalar path, then take the hold-and-query path.
 			flush()
+			p.Anno.FlowPending = nil
 			e.lock()
 			old := e.wait[next]
 			e.wait[next] = p
@@ -394,6 +398,7 @@ func (e *ARPQuerier) handleResponse(p *packet.Packet) {
 		delete(e.wait, ip)
 	}
 	e.unlock()
+	e.BumpGuard(core.GuardARP)
 	atomic.AddInt64(&e.Responses, 1)
 	// The response is consumed here; telemetry counts it against the
 	// conservation law like any other terminated packet.
@@ -410,6 +415,7 @@ func (e *ARPQuerier) InsertEntry(ip packet.IP4, eth packet.EtherAddr) {
 	e.lock()
 	e.tbl[ip] = eth
 	e.unlock()
+	e.BumpGuard(core.GuardARP)
 }
 
 // ARPResponder replies to ARP requests for its configured address.

@@ -3,9 +3,11 @@ package elements
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/packet"
 )
 
 // Handler exports for the element library. Names follow Click's
@@ -40,7 +42,11 @@ func (e *Queue) Handlers() []core.Handler {
 				if err != nil {
 					return fmt.Errorf("Queue: bad capacity %q", v)
 				}
-				return e.SetCapacity(n)
+				if err := e.SetCapacity(n); err != nil {
+					return err
+				}
+				e.BumpGuard(core.GuardConfig)
+				return nil
 			}},
 		intHandler("drops", func() int64 { return atomic.LoadInt64(&e.Drops) }),
 		intHandler("highwater_length", func() int64 { return atomic.LoadInt64(&e.HighWater) }),
@@ -99,28 +105,56 @@ func (e *DecIPTTL) Handlers() []core.Handler {
 	return []core.Handler{intHandler("expired", func() int64 { return e.Expired })}
 }
 
-// Handlers exports routing statistics.
+// Handlers exports routing statistics plus runtime route mutation.
+// "add" and "remove" bump the route guard generation, so flow fast
+// paths re-validate every cached entry against the updated table.
 func (e *LookupIPRoute) Handlers() []core.Handler {
 	return []core.Handler{
 		intHandler("no_route", func() int64 { return e.NoRoute }),
 		intHandler("lookups", func() int64 { return e.Lookups }),
 		{Name: "table", Read: func() string {
 			out := ""
+			e.lock()
 			for _, r := range e.routes {
 				out += fmt.Sprintf("%08x/%d -> %s port %d\n", r.dst, r.maskLen, r.gw, r.port)
 			}
+			e.unlock()
 			return out
 		}},
+		{Name: "add", Write: e.AddRoute},
+		{Name: "remove", Write: e.RemoveRoute},
 	}
 }
 
-// Handlers exports ARP statistics.
+// Handlers exports ARP statistics plus runtime table insertion ("insert
+// IP ETH"), which bumps the ARP guard generation like a learned entry.
 func (e *ARPQuerier) Handlers() []core.Handler {
 	return []core.Handler{
 		intHandler("queries", func() int64 { return e.Queries }),
 		intHandler("responses", func() int64 { return e.Responses }),
 		intHandler("drops", func() int64 { return e.Drops }),
-		intHandler("table_size", func() int64 { return int64(len(e.tbl)) }),
+		intHandler("table_size", func() int64 {
+			e.lock()
+			n := len(e.tbl)
+			e.unlock()
+			return int64(n)
+		}),
+		{Name: "insert", Write: func(v string) error {
+			fields := strings.Fields(v)
+			if len(fields) != 2 {
+				return fmt.Errorf("ARPQuerier: insert expects IP ETH, got %q", v)
+			}
+			ip, err := packet.ParseIP4(fields[0])
+			if err != nil {
+				return err
+			}
+			eth, err := packet.ParseEther(fields[1])
+			if err != nil {
+				return err
+			}
+			e.InsertEntry(ip, eth)
+			return nil
+		}},
 	}
 }
 
@@ -137,6 +171,7 @@ func (e *RED) Handlers() []core.Handler {
 					return fmt.Errorf("RED: bad min threshold %q", v)
 				}
 				e.minThresh = n
+				e.BumpGuard(core.GuardConfig)
 				return nil
 			}},
 		{Name: "max_thresh",
@@ -147,6 +182,7 @@ func (e *RED) Handlers() []core.Handler {
 					return fmt.Errorf("RED: bad max threshold %q", v)
 				}
 				e.maxThresh = n
+				e.BumpGuard(core.GuardConfig)
 				return nil
 			}},
 		{Name: "max_p",
@@ -157,6 +193,7 @@ func (e *RED) Handlers() []core.Handler {
 					return fmt.Errorf("RED: bad max-p %q", v)
 				}
 				e.maxP = float64(n) / 1000
+				e.BumpGuard(core.GuardConfig)
 				return nil
 			}},
 	}

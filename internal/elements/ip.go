@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -140,6 +141,64 @@ type LookupIPRoute struct {
 	routes  []route
 	NoRoute int64
 	Lookups int64
+	// mu guards routes when the parallel scheduler armed it: the "add"
+	// and "remove" write handlers mutate the table while lookups may be
+	// running on other workers. Unarmed it costs one branch.
+	mu      sync.Mutex
+	guarded bool
+}
+
+// EnableSync arms the route-table guard (core.Synchronizer).
+func (e *LookupIPRoute) EnableSync() { e.guarded = true }
+
+func (e *LookupIPRoute) lock() {
+	if e.guarded {
+		e.mu.Lock()
+	}
+}
+
+func (e *LookupIPRoute) unlock() {
+	if e.guarded {
+		e.mu.Unlock()
+	}
+}
+
+// parseRouteArg parses one "ADDR/LEN [GW] PORT" route specification.
+func parseRouteArg(arg string) (route, error) {
+	fields := strings.Fields(arg)
+	if len(fields) != 2 && len(fields) != 3 {
+		return route{}, fmt.Errorf("want \"ADDR/LEN [GW] PORT\", got %q", arg)
+	}
+	addrStr := fields[0]
+	prefixLen := 32
+	if slash := strings.IndexByte(addrStr, '/'); slash >= 0 {
+		n, err := strconv.Atoi(addrStr[slash+1:])
+		if err != nil || n < 0 || n > 32 {
+			return route{}, fmt.Errorf("bad prefix %q", addrStr)
+		}
+		prefixLen = n
+		addrStr = addrStr[:slash]
+	}
+	addr, err := packet.ParseIP4(addrStr)
+	if err != nil {
+		return route{}, err
+	}
+	var gw packet.IP4
+	portStr := fields[len(fields)-1]
+	if len(fields) == 3 {
+		if gw, err = packet.ParseIP4(fields[1]); err != nil {
+			return route{}, err
+		}
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 {
+		return route{}, fmt.Errorf("bad port %q", portStr)
+	}
+	mask := uint32(0)
+	if prefixLen > 0 {
+		mask = ^uint32(0) << (32 - prefixLen)
+	}
+	return route{dst: addr.Uint32() & mask, mask: mask, maskLen: prefixLen, gw: gw, port: port}, nil
 }
 
 // Configure parses the route table.
@@ -148,43 +207,54 @@ func (e *LookupIPRoute) Configure(args []string) error {
 		return fmt.Errorf("LookupIPRoute: expects at least one route")
 	}
 	for i, arg := range args {
-		fields := strings.Fields(arg)
-		if len(fields) != 2 && len(fields) != 3 {
-			return fmt.Errorf("LookupIPRoute: route %d: want \"ADDR/LEN [GW] PORT\", got %q", i, arg)
-		}
-		addrStr := fields[0]
-		prefixLen := 32
-		if slash := strings.IndexByte(addrStr, '/'); slash >= 0 {
-			n, err := strconv.Atoi(addrStr[slash+1:])
-			if err != nil || n < 0 || n > 32 {
-				return fmt.Errorf("LookupIPRoute: route %d: bad prefix %q", i, addrStr)
-			}
-			prefixLen = n
-			addrStr = addrStr[:slash]
-		}
-		addr, err := packet.ParseIP4(addrStr)
+		r, err := parseRouteArg(arg)
 		if err != nil {
 			return fmt.Errorf("LookupIPRoute: route %d: %v", i, err)
 		}
-		var gw packet.IP4
-		portStr := fields[len(fields)-1]
-		if len(fields) == 3 {
-			if gw, err = packet.ParseIP4(fields[1]); err != nil {
-				return fmt.Errorf("LookupIPRoute: route %d: %v", i, err)
-			}
-		}
-		port, err := strconv.Atoi(portStr)
-		if err != nil || port < 0 {
-			return fmt.Errorf("LookupIPRoute: route %d: bad port %q", i, portStr)
-		}
-		mask := uint32(0)
-		if prefixLen > 0 {
-			mask = ^uint32(0) << (32 - prefixLen)
-		}
-		e.routes = append(e.routes, route{
-			dst: addr.Uint32() & mask, mask: mask, maskLen: prefixLen, gw: gw, port: port,
-		})
+		e.routes = append(e.routes, r)
 	}
+	return nil
+}
+
+// AddRoute appends a route at runtime and bumps the route guard so any
+// flow fast path re-validates against the new table.
+func (e *LookupIPRoute) AddRoute(arg string) error {
+	r, err := parseRouteArg(arg)
+	if err != nil {
+		return fmt.Errorf("LookupIPRoute: %v", err)
+	}
+	e.lock()
+	e.routes = append(e.routes, r)
+	e.unlock()
+	e.BumpGuard(core.GuardRoute)
+	return nil
+}
+
+// RemoveRoute deletes every route whose prefix matches "ADDR/LEN" and
+// bumps the route guard. Removing a route that is not present is an
+// error (matching Click's ctrl handler behavior).
+func (e *LookupIPRoute) RemoveRoute(arg string) error {
+	// Parse via the common path by appending a dummy port.
+	r, err := parseRouteArg(strings.TrimSpace(arg) + " 0")
+	if err != nil {
+		return fmt.Errorf("LookupIPRoute: %v", err)
+	}
+	e.lock()
+	kept := e.routes[:0]
+	removed := 0
+	for _, have := range e.routes {
+		if have.dst == r.dst && have.maskLen == r.maskLen {
+			removed++
+			continue
+		}
+		kept = append(kept, have)
+	}
+	e.routes = kept
+	e.unlock()
+	if removed == 0 {
+		return fmt.Errorf("LookupIPRoute: no route %s", strings.TrimSpace(arg))
+	}
+	e.BumpGuard(core.GuardRoute)
 	return nil
 }
 
@@ -207,6 +277,7 @@ func (e *LookupIPRoute) Lookup(a packet.IP4) (route, bool) {
 // Push routes on the destination annotation.
 func (e *LookupIPRoute) Push(port int, p *packet.Packet) {
 	e.Work()
+	e.lock()
 	e.Charge(int64(len(e.routes)) * costLookupPerRoute)
 	atomic.AddInt64(&e.Lookups, 1)
 	dst := p.Anno.DstIPAnno
@@ -216,6 +287,7 @@ func (e *LookupIPRoute) Push(port int, p *packet.Packet) {
 		}
 	}
 	r, ok := e.Lookup(dst)
+	e.unlock()
 	if !ok || r.port >= e.NOutputs() {
 		atomic.AddInt64(&e.NoRoute, 1)
 		e.Drop(p)

@@ -1,6 +1,8 @@
 package elements
 
 import (
+	"strconv"
+
 	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -23,6 +25,19 @@ func Register(reg *core.Registry) {
 	}
 	nOutputsFromArgs := func(config string) (graph.PortRange, graph.PortRange) {
 		return graph.Exactly(1), graph.Exactly(len(lang.SplitConfig(config)))
+	}
+	// FlowCache(M, E) has M ingress + E tap inputs and matching outputs;
+	// an unparsable config falls back to 1/1 and fails in Configure.
+	flowCachePorts := func(config string) (graph.PortRange, graph.PortRange) {
+		args := lang.SplitConfig(config)
+		if len(args) == 2 {
+			m, err1 := strconv.Atoi(args[0])
+			n, err2 := strconv.Atoi(args[1])
+			if err1 == nil && err2 == nil && m >= 1 && n >= 0 {
+				return graph.Exactly(m + n), graph.Exactly(m + n)
+			}
+		}
+		return graph.Exactly(1), graph.Exactly(1)
 	}
 	// IPFilter's output count depends on its rules' actions (allow = 0,
 	// numbered ports add outputs).
@@ -68,6 +83,8 @@ func Register(reg *core.Registry) {
 			Make: func() core.Element { return &FlowSteer{} }, WorkCycles: costFlowSteer},
 		{Name: "Switch", Processing: "h/h", Ports: ports(graph.Exactly(1), graph.AtLeast(1)),
 			Make: func() core.Element { return &Switch{} }, WorkCycles: costStaticSwitch},
+		{Name: "FlowCache", Processing: "h/h", Ports: flowCachePorts,
+			Make: func() core.Element { return &FlowCache{} }},
 		{Name: "PaintSwitch", Processing: "h/h", Ports: ports(graph.Exactly(1), graph.AtLeast(1)),
 			Make: func() core.Element { return &PaintSwitch{} }, WorkCycles: costStaticSwitch},
 		{Name: "RED", Processing: "a/a", Ports: one,

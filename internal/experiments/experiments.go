@@ -569,5 +569,6 @@ var Experiments = map[string]func(io.Writer) error{
 	"scaling":        ScalingBench,
 	"adaptive":       AdaptiveBench,
 	"fusion":         FusionBench,
+	"flowcache":      FlowCacheBench,
 	"all":            All,
 }

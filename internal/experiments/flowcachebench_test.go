@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlowCacheBenchReport runs a shrunken Zipf sweep; the bench's own
+// internal assertions (forwarding equality, hit rate, improvement
+// floor) are the real checks.
+func TestFlowCacheBenchReport(t *testing.T) {
+	oldFlows, oldPkts := FlowCacheFlows, FlowCachePackets
+	FlowCacheFlows, FlowCachePackets = 64, 4000
+	defer func() { FlowCacheFlows, FlowCachePackets = oldFlows, oldPkts }()
+	var buf bytes.Buffer
+	if err := FlowCacheBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"flowcache", "hit rate", "improvement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -26,23 +26,34 @@ type ScalingPoint struct {
 	NSPerPacket float64 `json:"ns_per_packet"`
 	PPS         float64 `json:"pps"`
 	Speedup     float64 `json:"speedup"` // vs the 1-worker point
+	// ValidSpeedup marks whether the speedup ratio means anything: a
+	// point run with more workers than the machine has cores measures
+	// scheduling overhead, not parallel speedup, and must not be quoted
+	// as a multicore result.
+	ValidSpeedup bool `json:"valid_speedup"`
 }
 
 // ScalingResults is the document click-bench -json writes for the
 // scaling experiment.
 type ScalingResults struct {
-	CPUs   int            `json:"cpus"` // cores on the measuring machine
-	Points []ScalingPoint `json:"points"`
+	CPUs int `json:"cpus"` // cores on the measuring machine
+	// SpeedupClaimsValid is true only when every swept worker count had
+	// a core to run on; downstream tooling (and the committed-benchmark
+	// honesty test) refuse speedup claims when it is false.
+	SpeedupClaimsValid bool           `json:"speedup_claims_valid"`
+	Points             []ScalingPoint `json:"points"`
 }
 
 // ScalingBench measures forwarding throughput at each worker count and
 // prints (and optionally JSON-dumps) the sweep. Speedups are honest
 // wall-clock ratios: on a machine with fewer cores than workers the
-// curve flattens, and the report says how many cores it had.
+// curve flattens, the point is flagged invalid, and the report says how
+// many cores it had rather than asserting a multicore win it never
+// measured.
 func ScalingBench(w io.Writer) error {
 	const npkts = 40000
 	const burst = 32
-	results := ScalingResults{CPUs: runtime.NumCPU()}
+	results := ScalingResults{CPUs: runtime.NumCPU(), SpeedupClaimsValid: true}
 	fmt.Fprintf(w, "Worker scaling, optimized IP router (wall clock, %d-core machine)\n", results.CPUs)
 	fmt.Fprintf(w, "%-8s %10s %12s %12s %8s\n", "workers", "packets", "ns/packet", "pps", "speedup")
 	var base float64
@@ -55,16 +66,28 @@ func ScalingBench(w io.Writer) error {
 			base = pt.PPS
 		}
 		sp := ScalingPoint{
-			Workers:     workers,
-			Burst:       burst,
-			Packets:     pt.Packets,
-			NSPerPacket: pt.NSPerPacket,
-			PPS:         pt.PPS,
-			Speedup:     pt.PPS / base,
+			Workers:      workers,
+			Burst:        burst,
+			Packets:      pt.Packets,
+			NSPerPacket:  pt.NSPerPacket,
+			PPS:          pt.PPS,
+			Speedup:      pt.PPS / base,
+			ValidSpeedup: workers <= results.CPUs,
+		}
+		if !sp.ValidSpeedup {
+			results.SpeedupClaimsValid = false
 		}
 		results.Points = append(results.Points, sp)
-		fmt.Fprintf(w, "%-8d %10d %12.1f %12.0f %7.2fx\n",
-			sp.Workers, sp.Packets, sp.NSPerPacket, sp.PPS, sp.Speedup)
+		note := ""
+		if !sp.ValidSpeedup {
+			note = "  (oversubscribed: not a speedup claim)"
+		}
+		fmt.Fprintf(w, "%-8d %10d %12.1f %12.0f %7.2fx%s\n",
+			sp.Workers, sp.Packets, sp.NSPerPacket, sp.PPS, sp.Speedup, note)
+	}
+	if !results.SpeedupClaimsValid {
+		fmt.Fprintf(w, "note: %d cores < %d workers at the widest point; the curve measures scheduler overhead, not multicore speedup\n",
+			results.CPUs, ScalingWorkerCounts[len(ScalingWorkerCounts)-1])
 	}
 	if JSONPath != "" {
 		blob, err := json.MarshalIndent(&results, "", "  ")

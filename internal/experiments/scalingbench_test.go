@@ -2,10 +2,52 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
 )
+
+// TestCommittedScalingHonesty audits the benchmark JSON committed at
+// the repository root: a point measured with more workers than the
+// machine had cores must not be flagged as a valid speedup, and a file
+// whose widest point was oversubscribed must not claim its speedups are
+// valid overall. This is the CI gate that keeps a 1-core container from
+// committing "multicore wins" that were never measured.
+func TestCommittedScalingHonesty(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_scaling.json")
+	if err != nil {
+		t.Skipf("no committed scaling benchmark: %v", err)
+	}
+	var res ScalingResults
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("BENCH_scaling.json does not parse: %v", err)
+	}
+	if res.CPUs < 1 {
+		t.Fatalf("BENCH_scaling.json records %d cpus", res.CPUs)
+	}
+	for _, p := range res.Points {
+		if p.Workers > res.CPUs && p.ValidSpeedup {
+			t.Errorf("point with %d workers on %d cpus is flagged valid_speedup", p.Workers, res.CPUs)
+		}
+		if p.Workers <= res.CPUs && !p.ValidSpeedup {
+			t.Errorf("point with %d workers on %d cpus is flagged invalid", p.Workers, res.CPUs)
+		}
+		if !p.ValidSpeedup && p.Speedup > 1.05 && res.SpeedupClaimsValid {
+			t.Errorf("oversubscribed point (%d workers) shows %.2fx under a valid-claims flag", p.Workers, p.Speedup)
+		}
+	}
+	anyInvalid := false
+	for _, p := range res.Points {
+		if !p.ValidSpeedup {
+			anyInvalid = true
+		}
+	}
+	if anyInvalid && res.SpeedupClaimsValid {
+		t.Error("speedup_claims_valid is true despite oversubscribed points")
+	}
+}
 
 func TestScalingBenchReport(t *testing.T) {
 	if testing.Short() {

@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/elements"
@@ -42,6 +43,12 @@ type AdaptiveOptions struct {
 	// must go without receiving a packet to be considered dead traffic
 	// ("zero packets for N rounds").
 	ColdSamples int
+	// EnableFlowCache lets the controller decide to install the flow
+	// fast path once the router is hot. Off by default: FlowCache is a
+	// data-dependent optimization the operator opts into (it changes
+	// which elements see which packets, unlike the structure-preserving
+	// code passes).
+	EnableFlowCache bool
 }
 
 // DefaultAdaptiveOptions returns the thresholds the click driver uses.
@@ -72,11 +79,26 @@ type Decision struct {
 	FastClassifier bool
 	Devirtualize   bool
 	Undead         bool
+	Fuse           bool
+	FlowCache      bool
 	Reasons        []string
 }
 
 // Any reports whether the decision selects at least one pass.
-func (d Decision) Any() bool { return d.FastClassifier || d.Devirtualize || d.Undead }
+func (d Decision) Any() bool {
+	return d.FastClassifier || d.Devirtualize || d.Undead || d.Fuse || d.FlowCache
+}
+
+// generatedFastClassifier and generatedFusedClassifier recognize the
+// class names the fastclassifier and fuse passes generate (possibly
+// wearing a devirtualize "_dvN" suffix).
+func generatedFastClassifier(class string) bool {
+	return strings.HasPrefix(stripDevirt(class), "FastClassifier@@")
+}
+
+func generatedFusedClassifier(class string) bool {
+	return strings.HasPrefix(stripDevirt(class), "FusedClassifier_")
+}
 
 // Observe feeds the controller one telemetry sample: the live router's
 // configuration graph and its stats report (core.Router.StatsReport).
@@ -116,6 +138,47 @@ func (a *Adaptive) Observe(g *graph.Router, stats []core.ElementStatsReport) Dec
 			d.Reasons = append(d.Reasons,
 				fmt.Sprintf("fastclassifier: %s (%s) is hot with %d packets", e.Name, e.Class, r.PacketsIn))
 			break
+		}
+	}
+
+	// fuse: a hot run of two or more adjacent classification-only
+	// elements collapses into one decision diagram. Detection is by
+	// class name (stripDevirt'd, so specialized variants count);
+	// already-fused FusedClassifier_N stages are classification-only
+	// too, so a hot diagram adjacent to a fresh classifier re-fuses.
+	fusable := func(class string) bool {
+		base := stripDevirt(class)
+		return base == "StaticSwitch" || classifierClasses[base] ||
+			generatedFastClassifier(class) || generatedFusedClassifier(class)
+	}
+fuse:
+	for _, c := range g.Conns {
+		u, v := g.Element(c.From), g.Element(c.To)
+		if !fusable(u.Class) || !fusable(v.Class) {
+			continue
+		}
+		if r, ok := byName[u.Name]; ok && r.PacketsIn >= a.Opts.MinPackets {
+			d.Fuse = true
+			d.Reasons = append(d.Reasons,
+				fmt.Sprintf("fuse: classification run %s -> %s is hot with %d packets", u.Name, v.Name, r.PacketsIn))
+			break fuse
+		}
+	}
+
+	// flowcache: once the router is hot, install the flow fast path —
+	// but only when the operator opted in, and never twice.
+	if a.Opts.EnableFlowCache && maxIn >= a.Opts.MinPackets {
+		has := false
+		for _, i := range g.LiveIndices() {
+			if stripDevirt(g.Element(i).Class) == "FlowCache" {
+				has = true
+				break
+			}
+		}
+		if !has {
+			d.FlowCache = true
+			d.Reasons = append(d.Reasons,
+				fmt.Sprintf("flowcache: %d packets through the hottest element", maxIn))
 		}
 	}
 
@@ -163,10 +226,17 @@ func (a *Adaptive) Observe(g *graph.Router, stats []core.ElementStatsReport) Dec
 // round-trip that makes runtime re-optimization possible), re-parsed,
 // the archive (generated classes from earlier passes) carried over and
 // re-installed into a fresh registry, and the selected passes applied
-// in the canonical order: undead, fastclassifier, devirtualize —
-// devirtualize last, since it cements element order. The adaptive
-// report lands in the archive under "reports/adaptive" alongside the
-// per-pass reports.
+// in the canonical order: undead, fuse, fastclassifier, flowcache,
+// devirtualize — fuse early so diagrams compose over the original
+// classifiers, devirtualize last, since it cements element order. The
+// adaptive report lands in the archive under "reports/adaptive"
+// alongside the per-pass reports.
+//
+// InstallArchive re-registers every generated class the configuration
+// already carries — fastclassifier programs, fuse decision diagrams
+// ("fuse/programs"), devirtualized clones — so an adapt cycle on an
+// already-fused router preserves its FusedClassifier_N specialization
+// even when the cycle itself selects no fuse re-run.
 //
 // The returned graph and registry are what core.Build (or a testbed
 // Hotswap) needs to assemble the replacement router.
@@ -192,11 +262,23 @@ func Reoptimize(g *graph.Router, d Decision) (*graph.Router, *core.Registry, err
 		report.ElementsRemoved = Undead(ng, reg)
 		applied = append(applied, "undead")
 	}
+	if d.Fuse {
+		if err := Fuse(ng, reg); err != nil {
+			return nil, nil, fmt.Errorf("opt: adaptive: %v", err)
+		}
+		applied = append(applied, "fuse")
+	}
 	if d.FastClassifier {
 		if err := FastClassifier(ng, reg); err != nil {
 			return nil, nil, fmt.Errorf("opt: adaptive: %v", err)
 		}
 		applied = append(applied, "fastclassifier")
+	}
+	if d.FlowCache {
+		if err := InstallFlowCache(ng, reg); err != nil {
+			return nil, nil, fmt.Errorf("opt: adaptive: %v", err)
+		}
+		applied = append(applied, "flowcache")
 	}
 	if d.Devirtualize {
 		if err := Devirtualize(ng, reg, nil); err != nil {

@@ -135,6 +135,7 @@ var diffPasses = []struct {
 		return nil
 	}},
 	{"undead", func(g *graph.Router, reg *core.Registry) error { Undead(g, reg); return nil }},
+	{"flowcache", func(g *graph.Router, reg *core.Registry) error { return InstallFlowCache(g, reg) }},
 }
 
 // diffRun parses the configuration, optionally applies a pass, builds

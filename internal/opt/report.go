@@ -38,6 +38,9 @@ type PassReport struct {
 	ElementsFused int `json:"elements_fused,omitempty"`
 	TreeNodes     int `json:"tree_nodes,omitempty"`
 	DiagramNodes  int `json:"diagram_nodes,omitempty"`
+	// flowcache install pass.
+	FlowIngresses int `json:"flow_ingresses,omitempty"`
+	FlowTaps      int `json:"flow_taps,omitempty"`
 	// adaptive re-optimization controller.
 	PassesApplied []string `json:"passes_applied,omitempty"`
 	Reasons       []string `json:"reasons,omitempty"`

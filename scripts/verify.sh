@@ -25,3 +25,10 @@ go test -race -run 'QueueBatchConcurrent|QueueHandlersDuringTraffic|Concurrent|S
 # ordering against the other optimizers, the property-based equivalence
 # harness, and the ruleset-sweep benchmark smoke.
 go test -race -run 'Fuse|Fusion|SpecializeFDD|Splice' ./internal/classifier ./internal/opt ./internal/experiments
+# Flow-cache tier: the exact-match fast path in front of the pipeline —
+# guarded invalidation against route/ARP/config writes, hot-swap entry
+# transplant under Zipf load, the differential matrix with the install
+# pass enabled, and the mutation fuzzer's seed corpus. Runs under -race
+# because the per-shard caches and guard generations are read on the
+# fast path while write handlers bump them from other goroutines.
+go test -race -run 'FlowCache|AdaptiveFuseSurvives' ./internal/opt ./internal/experiments
