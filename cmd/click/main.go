@@ -10,7 +10,9 @@
 //	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n] [-fuse]
 //	      [-flowcache] [-hotswap config] [-hotswap-after n] [-adapt]
 //	      [-adapt-interval n] [-adapt-flowcache]
-//	      [-h element.handler]... [-counters] [-report]
+//	      [-backend sim|pcap|udp] [-pcap-in [dev=]file]... [-pcap-out [dev=]file]...
+//	      [-udp-map dev=local[/peer]]... [-duration d]
+//	      [-h element.handler]... [-counters] [-report] [config]
 //
 // -fuse applies the click-fuse whole-path classifier fusion pass to the
 // configuration before building it, the in-driver shortcut for piping
@@ -42,7 +44,14 @@
 // Device elements (PollDevice, FromDevice, ToDevice) referencing devices
 // that no caller provided are bound to idle in-memory devices, so
 // hardware-facing configurations can be load-checked and reported on
-// standalone.
+// standalone. -backend selects real packet I/O instead: "pcap" replays
+// capture files into devices (-pcap-in [dev=]file; a bare file feeds the
+// first input device) and records their transmissions (-pcap-out
+// [dev=]file; a bare file is one aggregate capture with deterministic
+// counter timestamps), "udp" binds devices to localhost sockets
+// (-udp-map dev=local[/peer]) and keeps the driver alive for -duration
+// waiting for traffic. Backends move frames outside the cost model and
+// charge zero model cycles, so simulation calibration is unaffected.
 package main
 
 import (
@@ -54,20 +63,22 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/elements"
 	"repro/internal/graph"
+	pktio "repro/internal/io"
 	"repro/internal/lang"
 	"repro/internal/opt"
 	"repro/internal/packet"
 	"repro/internal/tool"
 )
 
-type handlerList []string
+type stringList []string
 
-func (h *handlerList) String() string     { return strings.Join(*h, ",") }
-func (h *handlerList) Set(s string) error { *h = append(*h, s); return nil }
+func (h *stringList) String() string     { return strings.Join(*h, ",") }
+func (h *stringList) Set(s string) error { *h = append(*h, s); return nil }
 
 func main() {
 	file := flag.String("f", "-", "configuration file (- = stdin)")
@@ -84,9 +95,20 @@ func main() {
 	adapt := flag.Bool("adapt", false, "run the adaptive re-optimization controller")
 	adaptEvery := flag.Int("adapt-interval", 2000, "active rounds between adaptive telemetry samples")
 	adaptFlowCache := flag.Bool("adapt-flowcache", false, "let the adaptive controller install the flow fast path when the router runs hot")
-	var reads handlerList
+	backend := flag.String("backend", "sim", "device backend: sim (idle in-memory), pcap (replay/capture files), udp (localhost sockets)")
+	duration := flag.Duration("duration", time.Second, "wall-clock bound for -backend udp runs (ignored by sim and pcap)")
+	var reads, pcapIns, pcapOuts, udpMaps stringList
 	flag.Var(&reads, "h", "read handler \"element.name\" after the run (repeatable)")
+	flag.Var(&pcapIns, "pcap-in", "replay a capture into a device: [dev=]file (repeatable; bare file = first input device)")
+	flag.Var(&pcapOuts, "pcap-out", "capture a device's transmissions: [dev=]file (repeatable; bare file = one aggregate capture)")
+	flag.Var(&udpMaps, "udp-map", "bind a device to UDP sockets: dev=local[/peer] (repeatable, comma-separable)")
 	flag.Parse()
+	if flag.NArg() > 1 {
+		tool.Fail("click", fmt.Errorf("unexpected arguments: %v", flag.Args()[1:]))
+	}
+	if flag.NArg() == 1 {
+		*file = flag.Arg(0)
+	}
 
 	reg := tool.Registry()
 	g, err := tool.ReadConfig(*file, reg)
@@ -103,7 +125,14 @@ func main() {
 			tool.Fail("click", err)
 		}
 	}
-	env := provisionDevices(g)
+	bk, err := newBackendSet(*backend, pcapIns, pcapOuts, udpMaps)
+	if err != nil {
+		tool.Fail("click", err)
+	}
+	env, err := bk.provision(g)
+	if err != nil {
+		tool.Fail("click", err)
+	}
 	rt, err := core.Build(g, reg, core.BuildOptions{Burst: *batch, Env: env})
 	if err != nil {
 		tool.Fail("click", err)
@@ -139,8 +168,20 @@ func main() {
 		ctrl = opt.NewAdaptive(opts)
 	}
 	applied := map[string]bool{}
+	// Socket-backed routers idle between datagrams rather than running
+	// dry, so the udp backend waits out -duration instead of exiting at
+	// the first idle round.
+	udpMode := *backend == "udp"
+	deadline := time.Now().Add(*duration)
 	var ran int
-	for ran < *rounds && sched.RunRound() {
+	for ran < *rounds {
+		if !sched.RunRound() {
+			if !udpMode || !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
 		ran++
 		if *hotswapFile != "" && *hotswapAfter > 0 && ran == *hotswapAfter {
 			next, err := buildReplacement(*hotswapFile, env, *batch)
@@ -195,6 +236,11 @@ func main() {
 	rt = sched.Router()
 	fmt.Fprintf(os.Stderr, "click: ran %d active task rounds\n", ran)
 	defer rt.Close()
+	// Close backends before reporting so capture files are flushed and
+	// socket pumps stop.
+	if err := bk.Close(); err != nil {
+		tool.Fail("click", err)
+	}
 
 	for _, path := range reads {
 		v, err := rt.ReadHandler(path)
@@ -312,6 +358,272 @@ func isDeviceClass(class string) bool {
 		}
 	}
 	return false
+}
+
+// inputClasses are the device classes that receive frames from a device
+// (as opposed to ToDevice, which only transmits).
+var inputClasses = map[string]bool{
+	"PollDevice": true,
+	"FromDevice": true,
+}
+
+// isInputClass reports whether class reads from a device, seeing through
+// devirtualized "_dvN" class names.
+func isInputClass(class string) bool {
+	if inputClasses[class] {
+		return true
+	}
+	if i := strings.LastIndex(class, "_dv"); i > 0 {
+		if _, err := strconv.Atoi(class[i+3:]); err == nil {
+			return inputClasses[class[:i]]
+		}
+	}
+	return false
+}
+
+// deviceNames returns the distinct device names a configuration
+// references, in declaration order, plus the subset referenced by an
+// input-side element (also in order).
+func deviceNames(g *graph.Router) (all, inputs []string) {
+	seen := map[string]bool{}
+	seenIn := map[string]bool{}
+	for _, i := range g.LiveIndices() {
+		e := g.Element(i)
+		if !isDeviceClass(e.Class) {
+			continue
+		}
+		args := lang.SplitConfig(e.Config)
+		if len(args) == 0 {
+			continue
+		}
+		name := strings.TrimSpace(args[0])
+		if name == "" {
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			all = append(all, name)
+		}
+		if isInputClass(e.Class) && !seenIn[name] {
+			seenIn[name] = true
+			inputs = append(inputs, name)
+		}
+	}
+	return all, inputs
+}
+
+// sinkFile pairs a capture sink with the path it writes, for the exit
+// summary.
+type sinkFile struct {
+	path string
+	sink *pktio.CaptureSink
+}
+
+// udpSpec is one -udp-map binding.
+type udpSpec struct {
+	local, peer string
+}
+
+// backendSet holds the parsed backend configuration and every backend
+// and capture sink it provisions, so the driver can flush and close
+// them after the run.
+type backendSet struct {
+	mode string
+
+	ins        map[string][]pktio.Record // -pcap-in dev=file, preloaded
+	bareIn     []pktio.Record            // -pcap-in file (first input device)
+	haveBareIn bool
+	outPaths   map[string]string // -pcap-out dev=file
+	aggPath    string            // -pcap-out file (aggregate)
+	udp        map[string]udpSpec
+
+	sinks    []*sinkFile
+	backends []pktio.Backend
+}
+
+// newBackendSet parses the -backend family of flags. Replay files are
+// read eagerly so a bad capture fails before the router builds.
+func newBackendSet(mode string, pcapIns, pcapOuts, udpMaps []string) (*backendSet, error) {
+	b := &backendSet{
+		mode:     mode,
+		ins:      map[string][]pktio.Record{},
+		outPaths: map[string]string{},
+		udp:      map[string]udpSpec{},
+	}
+	switch mode {
+	case "sim", "pcap", "udp":
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want sim, pcap, or udp)", mode)
+	}
+	if mode != "pcap" && (len(pcapIns) > 0 || len(pcapOuts) > 0) {
+		return nil, fmt.Errorf("-pcap-in/-pcap-out require -backend pcap")
+	}
+	if mode != "udp" && len(udpMaps) > 0 {
+		return nil, fmt.Errorf("-udp-map requires -backend udp")
+	}
+	for _, entry := range pcapIns {
+		dev, file, ok := strings.Cut(entry, "=")
+		if !ok {
+			if b.haveBareIn {
+				return nil, fmt.Errorf("-pcap-in: only one bare replay file allowed; name devices as dev=file")
+			}
+			recs, err := pktio.ReadPcapFile(entry)
+			if err != nil {
+				return nil, err
+			}
+			b.bareIn, b.haveBareIn = recs, true
+			continue
+		}
+		if _, dup := b.ins[dev]; dup {
+			return nil, fmt.Errorf("-pcap-in: device %q mapped twice", dev)
+		}
+		recs, err := pktio.ReadPcapFile(file)
+		if err != nil {
+			return nil, err
+		}
+		b.ins[dev] = recs
+	}
+	for _, entry := range pcapOuts {
+		dev, file, ok := strings.Cut(entry, "=")
+		if !ok {
+			if b.aggPath != "" {
+				return nil, fmt.Errorf("-pcap-out: only one aggregate capture file allowed; name devices as dev=file")
+			}
+			b.aggPath = entry
+			continue
+		}
+		if _, dup := b.outPaths[dev]; dup {
+			return nil, fmt.Errorf("-pcap-out: device %q mapped twice", dev)
+		}
+		b.outPaths[dev] = file
+	}
+	for _, entry := range udpMaps {
+		for _, one := range strings.Split(entry, ",") {
+			if one == "" {
+				continue
+			}
+			dev, addrs, ok := strings.Cut(one, "=")
+			if !ok {
+				return nil, fmt.Errorf("-udp-map: %q is not dev=local[/peer]", one)
+			}
+			if _, dup := b.udp[dev]; dup {
+				return nil, fmt.Errorf("-udp-map: device %q mapped twice", dev)
+			}
+			local, peer, _ := strings.Cut(addrs, "/")
+			if local == "" {
+				return nil, fmt.Errorf("-udp-map: %q has no local address", one)
+			}
+			b.udp[dev] = udpSpec{local: local, peer: peer}
+		}
+	}
+	return b, nil
+}
+
+// provision builds the router device environment for the selected
+// backend. Devices the flags do not map fall back to idle in-memory
+// devices (sim, udp) or to a replay-less discard backend (pcap), so any
+// configuration still initializes.
+func (b *backendSet) provision(g *graph.Router) (map[string]interface{}, error) {
+	if b.mode == "sim" {
+		return provisionDevices(g), nil
+	}
+	all, inputs := deviceNames(g)
+	env := map[string]interface{}{}
+	switch b.mode {
+	case "pcap":
+		if b.haveBareIn {
+			if len(inputs) == 0 {
+				return nil, fmt.Errorf("-pcap-in: configuration has no input device to replay into")
+			}
+			if _, dup := b.ins[inputs[0]]; dup {
+				return nil, fmt.Errorf("-pcap-in: device %q mapped both bare and by name", inputs[0])
+			}
+			b.ins[inputs[0]] = b.bareIn
+		}
+		var agg *pktio.CaptureSink
+		if b.aggPath != "" {
+			s, err := pktio.CreateCaptureFile(b.aggPath)
+			if err != nil {
+				return nil, err
+			}
+			agg = s
+			b.sinks = append(b.sinks, &sinkFile{path: b.aggPath, sink: s})
+		}
+		used := map[string]bool{}
+		for _, name := range all {
+			sink := agg
+			if path, ok := b.outPaths[name]; ok {
+				s, err := pktio.CreateCaptureFile(path)
+				if err != nil {
+					return nil, err
+				}
+				sink = s
+				b.sinks = append(b.sinks, &sinkFile{path: path, sink: s})
+			}
+			be := pktio.NewPcap(b.ins[name], sink)
+			dev, err := pktio.OpenDevice(name, be)
+			if err != nil {
+				return nil, err
+			}
+			b.backends = append(b.backends, be)
+			env["device:"+name] = dev
+			used[name] = true
+		}
+		for name := range b.ins {
+			if !used[name] {
+				return nil, fmt.Errorf("-pcap-in: device %q not in configuration", name)
+			}
+		}
+		for name := range b.outPaths {
+			if !used[name] {
+				return nil, fmt.Errorf("-pcap-out: device %q not in configuration", name)
+			}
+		}
+	case "udp":
+		used := map[string]bool{}
+		for _, name := range all {
+			spec, ok := b.udp[name]
+			if !ok {
+				env["device:"+name] = &idleDevice{name: name}
+				continue
+			}
+			be := pktio.NewUDP(spec.local, spec.peer)
+			dev, err := pktio.OpenDevice(name, be)
+			if err != nil {
+				return nil, err
+			}
+			b.backends = append(b.backends, be)
+			env["device:"+name] = dev
+			used[name] = true
+			fmt.Fprintf(os.Stderr, "click: %s bound to %s\n", name, be.LocalAddr())
+		}
+		for name := range b.udp {
+			if !used[name] {
+				return nil, fmt.Errorf("-udp-map: device %q not in configuration", name)
+			}
+		}
+	}
+	return env, nil
+}
+
+// Close shuts down socket pumps and flushes capture files, reporting
+// each capture's frame count.
+func (b *backendSet) Close() error {
+	var first error
+	for _, be := range b.backends {
+		if err := be.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, sf := range b.sinks {
+		n := sf.sink.Frames()
+		if err := sf.sink.Close(); err != nil && first == nil {
+			first = err
+		}
+		fmt.Fprintf(os.Stderr, "click: captured %d frames to %s\n", n, sf.path)
+	}
+	b.backends, b.sinks = nil, nil
+	return first
 }
 
 // provisionDevices builds a router environment containing an idle

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedBenchArtifacts audits every benchmark JSON committed at
+// the repository root, not just the scaling file: each artifact must
+// parse (JSON has no NaN/Inf, so a corrupted run cannot hide one), must
+// carry its required top-level keys, and must hold a non-empty points
+// list in which every per-packet cost measurement is a positive finite
+// number. A benchmark that measured zero cycles per packet did not
+// measure anything.
+func TestCommittedBenchArtifacts(t *testing.T) {
+	files, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no committed benchmark artifacts")
+	}
+	required := map[string][]string{
+		"BENCH_adaptive.json":  {"points", "passes_applied", "improvement_pct"},
+		"BENCH_flowcache.json": {"points", "improvement", "flows", "trace_packets"},
+		"BENCH_fusion.json":    {"points"},
+		"BENCH_parallel.json":  {"points", "elements"},
+		"BENCH_scaling.json":   {"points", "cpus", "speedup_claims_valid"},
+	}
+	// Point fields that are per-run or per-packet measurements: zero or
+	// negative means the benchmark recorded nothing.
+	positive := map[string]bool{
+		"packets":           true,
+		"cycles":            true,
+		"cycles_per_packet": true,
+		"ns_per_packet":     true,
+		"pps":               true,
+	}
+	for _, path := range files {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc map[string]interface{}
+			if err := json.Unmarshal(blob, &doc); err != nil {
+				t.Fatalf("%s does not parse: %v", name, err)
+			}
+			keys, known := required[name]
+			if !known {
+				// New artifacts must at minimum carry measurement points.
+				keys = []string{"points"}
+			}
+			for _, k := range keys {
+				if _, ok := doc[k]; !ok {
+					t.Errorf("%s is missing required key %q", name, k)
+				}
+			}
+			pts, _ := doc["points"].([]interface{})
+			if len(pts) == 0 {
+				t.Fatalf("%s has no measurement points", name)
+			}
+			for i, raw := range pts {
+				pt, ok := raw.(map[string]interface{})
+				if !ok {
+					t.Errorf("%s point %d is not an object", name, i)
+					continue
+				}
+				for key, v := range pt {
+					f, isNum := v.(float64)
+					if !isNum {
+						continue
+					}
+					if math.IsNaN(f) || math.IsInf(f, 0) {
+						t.Errorf("%s point %d: %s is not finite", name, i, key)
+					}
+					if positive[key] && f <= 0 {
+						t.Errorf("%s point %d: %s = %v, want > 0", name, i, key, f)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,366 @@
+package io
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	stdio "io"
+	"os"
+)
+
+// Record is one captured frame: its timestamp, the captured bytes, and
+// the original wire length (larger than len(Data) when the capture's
+// snap length truncated the frame).
+type Record struct {
+	TSNanos int64
+	Data    []byte
+	OrigLen int
+}
+
+// Capture-format limits. Real captures use snap lengths of 64 KiB or
+// less; the hard caps below bound what a hostile or corrupt file can
+// make the reader allocate, turning overflow into an error instead of
+// an out-of-memory crash.
+const (
+	// DefaultSnapLen is the snap length the writer records and the
+	// reader assumes when a capture declares none.
+	DefaultSnapLen = 65535
+	// maxCaptureLen bounds a single record's captured length.
+	maxCaptureLen = 1 << 21
+	// maxBlockLen bounds a single pcapng block.
+	maxBlockLen = 1 << 21
+	// maxTSNanos is the largest timestamp classic pcap represents
+	// (32-bit seconds plus a nanosecond fraction); timestamps are
+	// clamped into [0, maxTSNanos] so every record the reader accepts
+	// re-encodes exactly.
+	maxTSNanos = (1<<32-1)*1_000_000_000 + 999_999_999
+)
+
+// clampTS clamps a timestamp into the classic-pcap-representable range.
+func clampTS(ts int64) int64 {
+	if ts < 0 {
+		return 0
+	}
+	if ts > maxTSNanos {
+		return maxTSNanos
+	}
+	return ts
+}
+
+// Classic pcap magic numbers (host-order variants detected by trying
+// both byte orders) and the pcapng section header block type.
+const (
+	magicMicros  = 0xa1b2c3d4
+	magicNanos   = 0xa1b23c4d
+	ngBlockSHB   = 0x0a0d0d0a
+	ngByteOrder  = 0x1a2b3c4d
+	ngBlockIDB   = 0x00000001
+	ngBlockSPB   = 0x00000003
+	ngBlockEPB   = 0x00000006
+	linkEthernet = 1
+)
+
+// Reader decodes a pcap or pcapng stream into Records. The format is
+// detected from the first four bytes: classic pcap in either byte
+// order and either timestamp precision, or a pcapng section. For
+// pcapng, enhanced and simple packet blocks yield records and all
+// other block types are skipped; interface timestamps are interpreted
+// at the default microsecond resolution.
+type Reader struct {
+	br      *bufio.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	ng      bool
+	snaplen uint32
+}
+
+// NewReader reads the stream's file header (or first section header)
+// and returns a Reader positioned at the first record. It errors on
+// unknown magic, truncated headers, and non-Ethernet link types.
+func NewReader(r stdio.Reader) (*Reader, error) {
+	rd := &Reader{br: bufio.NewReader(r)}
+	var head [4]byte
+	if _, err := stdio.ReadFull(rd.br, head[:]); err != nil {
+		return nil, fmt.Errorf("pcap: truncated file header: %w", err)
+	}
+	le := binary.LittleEndian.Uint32(head[:])
+	be := binary.BigEndian.Uint32(head[:])
+	switch {
+	case le == magicMicros || le == magicNanos:
+		rd.order = binary.LittleEndian
+		rd.nanos = le == magicNanos
+	case be == magicMicros || be == magicNanos:
+		rd.order = binary.BigEndian
+		rd.nanos = be == magicNanos
+	case le == ngBlockSHB: // block type is order-independent (palindrome)
+		rd.ng = true
+		return rd, rd.readSectionHeader()
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#08x", be)
+	}
+	var rest [20]byte
+	if _, err := stdio.ReadFull(rd.br, rest[:]); err != nil {
+		return nil, fmt.Errorf("pcap: truncated file header: %w", err)
+	}
+	// version(4) zone(4) sigfigs(4) snaplen(4) network(4)
+	rd.snaplen = rd.order.Uint32(rest[12:16])
+	if rd.snaplen == 0 {
+		rd.snaplen = DefaultSnapLen
+	}
+	if network := rd.order.Uint32(rest[16:20]); network != linkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", network)
+	}
+	return rd, nil
+}
+
+// readSectionHeader parses a pcapng SHB whose 4-byte type has already
+// been consumed, establishing the section's byte order.
+func (rd *Reader) readSectionHeader() error {
+	var fixed [8]byte // total length + byte-order magic
+	if _, err := stdio.ReadFull(rd.br, fixed[:]); err != nil {
+		return fmt.Errorf("pcapng: truncated section header: %w", err)
+	}
+	switch binary.LittleEndian.Uint32(fixed[4:8]) {
+	case ngByteOrder:
+		rd.order = binary.LittleEndian
+	default:
+		if binary.BigEndian.Uint32(fixed[4:8]) != ngByteOrder {
+			return fmt.Errorf("pcapng: bad byte-order magic")
+		}
+		rd.order = binary.BigEndian
+	}
+	total := rd.order.Uint32(fixed[0:4])
+	if total < 28 || total%4 != 0 || total > maxBlockLen {
+		return fmt.Errorf("pcapng: bad section header length %d", total)
+	}
+	// Remaining body (version, section length, options) plus trailing
+	// total length; 12 bytes are already consumed.
+	if err := rd.skip(int(total) - 12); err != nil {
+		return fmt.Errorf("pcapng: truncated section header: %w", err)
+	}
+	rd.snaplen = 0 // set by the section's interface description
+	return nil
+}
+
+func (rd *Reader) skip(n int) error {
+	_, err := rd.br.Discard(n)
+	if err == stdio.EOF {
+		err = stdio.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+// Truncated records, oversized lengths, and malformed blocks error.
+func (rd *Reader) Next() (Record, error) {
+	if rd.ng {
+		return rd.nextNG()
+	}
+	var head [16]byte
+	if _, err := stdio.ReadFull(rd.br, head[:]); err != nil {
+		if err == stdio.EOF {
+			return Record{}, stdio.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: truncated record header: %w", err)
+	}
+	sec := rd.order.Uint32(head[0:4])
+	frac := rd.order.Uint32(head[4:8])
+	incl := rd.order.Uint32(head[8:12])
+	orig := rd.order.Uint32(head[12:16])
+	if incl > rd.snaplen || incl > maxCaptureLen {
+		return Record{}, fmt.Errorf("pcap: record length %d exceeds snap length %d", incl, rd.snaplen)
+	}
+	if orig < incl {
+		return Record{}, fmt.Errorf("pcap: original length %d below captured length %d", orig, incl)
+	}
+	if (rd.nanos && frac >= 1_000_000_000) || (!rd.nanos && frac >= 1_000_000) {
+		return Record{}, fmt.Errorf("pcap: bad timestamp fraction %d", frac)
+	}
+	data := make([]byte, incl)
+	if _, err := stdio.ReadFull(rd.br, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: truncated record body: %w", err)
+	}
+	ts := int64(sec) * 1e9
+	if rd.nanos {
+		ts += int64(frac)
+	} else {
+		ts += int64(frac) * 1e3
+	}
+	return Record{TSNanos: ts, Data: data, OrigLen: int(orig)}, nil
+}
+
+// nextNG walks pcapng blocks until a packet block yields a record.
+func (rd *Reader) nextNG() (Record, error) {
+	for {
+		var head [8]byte
+		if _, err := stdio.ReadFull(rd.br, head[:]); err != nil {
+			if err == stdio.EOF {
+				return Record{}, stdio.EOF
+			}
+			return Record{}, fmt.Errorf("pcapng: truncated block header: %w", err)
+		}
+		btype := rd.order.Uint32(head[0:4])
+		if btype == ngBlockSHB {
+			// A new section: re-establish byte order (the type field is
+			// byte-order independent, the rest is not).
+			if err := rd.readSectionHeader(); err != nil {
+				return Record{}, err
+			}
+			continue
+		}
+		total := rd.order.Uint32(head[4:8])
+		if total < 12 || total%4 != 0 || total > maxBlockLen {
+			return Record{}, fmt.Errorf("pcapng: bad block length %d", total)
+		}
+		body := make([]byte, total-12)
+		if _, err := stdio.ReadFull(rd.br, body); err != nil {
+			return Record{}, fmt.Errorf("pcapng: truncated block: %w", err)
+		}
+		var trail [4]byte
+		if _, err := stdio.ReadFull(rd.br, trail[:]); err != nil {
+			return Record{}, fmt.Errorf("pcapng: truncated block trailer: %w", err)
+		}
+		if rd.order.Uint32(trail[:]) != total {
+			return Record{}, fmt.Errorf("pcapng: block trailer disagrees with header")
+		}
+		switch btype {
+		case ngBlockIDB:
+			if len(body) < 8 {
+				return Record{}, fmt.Errorf("pcapng: short interface description")
+			}
+			if lt := rd.order.Uint16(body[0:2]); lt != linkEthernet {
+				return Record{}, fmt.Errorf("pcapng: unsupported link type %d", lt)
+			}
+			rd.snaplen = rd.order.Uint32(body[4:8])
+		case ngBlockEPB:
+			if len(body) < 20 {
+				return Record{}, fmt.Errorf("pcapng: short enhanced packet block")
+			}
+			capLen := rd.order.Uint32(body[12:16])
+			orig := rd.order.Uint32(body[16:20])
+			if capLen > maxCaptureLen || int(capLen) > len(body)-20 {
+				return Record{}, fmt.Errorf("pcapng: captured length %d exceeds block", capLen)
+			}
+			if orig < capLen {
+				return Record{}, fmt.Errorf("pcapng: original length %d below captured length %d", orig, capLen)
+			}
+			micros := uint64(rd.order.Uint32(body[4:8]))<<32 | uint64(rd.order.Uint32(body[8:12]))
+			var ts int64
+			if micros > maxTSNanos/1000 {
+				ts = maxTSNanos
+			} else {
+				ts = int64(micros) * 1000
+			}
+			data := make([]byte, capLen)
+			copy(data, body[20:20+capLen])
+			return Record{TSNanos: ts, Data: data, OrigLen: int(orig)}, nil
+		case ngBlockSPB:
+			if len(body) < 4 {
+				return Record{}, fmt.Errorf("pcapng: short simple packet block")
+			}
+			orig := rd.order.Uint32(body[0:4])
+			capLen := orig
+			if rd.snaplen != 0 && capLen > rd.snaplen {
+				capLen = rd.snaplen
+			}
+			if capLen > maxCaptureLen || int(capLen) > len(body)-4 {
+				return Record{}, fmt.Errorf("pcapng: captured length %d exceeds block", capLen)
+			}
+			data := make([]byte, capLen)
+			copy(data, body[4:4+capLen])
+			return Record{Data: data, OrigLen: int(orig)}, nil
+		default:
+			// Name resolution, statistics, custom blocks: skipped.
+		}
+	}
+}
+
+// ReadAll drains the reader, returning every remaining record.
+func (rd *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == stdio.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ReadPcap decodes an entire pcap or pcapng stream.
+func ReadPcap(r stdio.Reader) ([]Record, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return rd.ReadAll()
+}
+
+// ReadPcapFile decodes a capture file.
+func ReadPcapFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadPcap(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Writer encodes records as a classic little-endian pcap stream with
+// nanosecond timestamps (magic 0xa1b23c4d), so a read-write-read round
+// trip preserves timestamps exactly.
+type Writer struct {
+	w       stdio.Writer
+	snaplen uint32
+}
+
+// NewWriter writes the 24-byte file header and returns a Writer. A
+// zero snaplen uses DefaultSnapLen.
+func NewWriter(w stdio.Writer, snaplen uint32) (*Writer, error) {
+	if snaplen == 0 {
+		snaplen = DefaultSnapLen
+	}
+	var head [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(head[0:4], magicNanos)
+	le.PutUint16(head[4:6], 2) // version 2.4
+	le.PutUint16(head[6:8], 4)
+	le.PutUint32(head[16:20], snaplen)
+	le.PutUint32(head[20:24], linkEthernet)
+	if _, err := w.Write(head[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, snaplen: snaplen}, nil
+}
+
+// WriteRecord appends one record, truncating its data to the snap
+// length and recording the original length.
+func (wr *Writer) WriteRecord(rec Record) error {
+	data := rec.Data
+	orig := rec.OrigLen
+	if orig < len(data) {
+		orig = len(data)
+	}
+	ts := clampTS(rec.TSNanos)
+	if uint32(len(data)) > wr.snaplen {
+		data = data[:wr.snaplen]
+	}
+	var head [16]byte
+	le := binary.LittleEndian
+	le.PutUint32(head[0:4], uint32(ts/1e9))
+	le.PutUint32(head[4:8], uint32(ts%1e9))
+	le.PutUint32(head[8:12], uint32(len(data)))
+	le.PutUint32(head[12:16], uint32(orig))
+	if _, err := wr.w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(data)
+	return err
+}

@@ -1,0 +1,139 @@
+package io
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// udpRingDepth is the receive ring between the socket pump goroutine
+// and the router's task loop. Frames arriving while the ring is full
+// are dropped and counted, like a NIC FIFO overflow.
+const udpRingDepth = 1024
+
+// UDP is a Backend that carries frames as UDP payloads: the device
+// binds a local socket, received datagrams become received frames, and
+// sent frames are datagrams addressed to a fixed peer. Two routers in
+// separate processes (or one process, or a router and a test harness)
+// exchange real packets over localhost with no privileges.
+//
+// A pump goroutine blocks in ReadFromUDP and feeds a bounded ring the
+// non-blocking Recv drains, so the router's cooperative task loop
+// never blocks in a syscall.
+type UDP struct {
+	localSpec string
+	peerSpec  string
+
+	conn *net.UDPConn
+	peer *net.UDPAddr
+	ring chan []byte
+	wg   sync.WaitGroup
+
+	// RxDropped counts datagrams discarded because the receive ring
+	// was full; PeerLess counts frames sent with no peer configured.
+	RxDropped int64
+	PeerLess  int64
+}
+
+// NewUDP creates a UDP backend bound to the local address (host:port;
+// an empty host binds loopback-reachable wildcard, port 0 picks a free
+// port) sending to peer (empty for a receive-only device).
+func NewUDP(local, peer string) *UDP {
+	return &UDP{localSpec: local, peerSpec: peer, ring: make(chan []byte, udpRingDepth)}
+}
+
+// Open implements Backend: binds the socket and starts the pump.
+func (u *UDP) Open() error {
+	laddr, err := net.ResolveUDPAddr("udp", u.localSpec)
+	if err != nil {
+		return fmt.Errorf("udp backend: local %q: %w", u.localSpec, err)
+	}
+	if u.peerSpec != "" {
+		u.peer, err = net.ResolveUDPAddr("udp", u.peerSpec)
+		if err != nil {
+			return fmt.Errorf("udp backend: peer %q: %w", u.peerSpec, err)
+		}
+	}
+	u.conn, err = net.ListenUDP("udp", laddr)
+	if err != nil {
+		return fmt.Errorf("udp backend: %w", err)
+	}
+	u.wg.Add(1)
+	go u.pump()
+	return nil
+}
+
+// LocalAddr returns the bound address (useful with port 0). Only valid
+// after Open.
+func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// SetPeer (re)targets the send side; it must be called before the
+// router runs. It lets loopback rigs bind every socket on port 0
+// first, then point the devices at each other.
+func (u *UDP) SetPeer(peer string) error {
+	addr, err := net.ResolveUDPAddr("udp", peer)
+	if err != nil {
+		return fmt.Errorf("udp backend: peer %q: %w", peer, err)
+	}
+	u.peer = addr
+	return nil
+}
+
+// pump blocks in the kernel receive path and fills the ring.
+func (u *UDP) pump() {
+	defer u.wg.Done()
+	for {
+		buf := make([]byte, DefaultSnapLen+1)
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		select {
+		case u.ring <- buf[:n]:
+		default:
+			atomic.AddInt64(&u.RxDropped, 1)
+		}
+	}
+}
+
+// Recv implements Backend: drain up to len(buf) pending frames without
+// blocking.
+func (u *UDP) Recv(buf [][]byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		select {
+		case f := <-u.ring:
+			buf[n] = f
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// Send implements Backend: each frame becomes one datagram to the
+// peer.
+func (u *UDP) Send(frames [][]byte) (int, error) {
+	if u.peer == nil {
+		atomic.AddInt64(&u.PeerLess, int64(len(frames)))
+		return len(frames), nil
+	}
+	for i, f := range frames {
+		if _, err := u.conn.WriteToUDP(f, u.peer); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+// Close implements Backend: closes the socket and reaps the pump.
+func (u *UDP) Close() error {
+	var err error
+	if u.conn != nil {
+		err = u.conn.Close()
+		u.wg.Wait()
+	}
+	return err
+}

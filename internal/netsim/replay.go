@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	pktio "repro/internal/io"
+	"repro/internal/packet"
+)
+
+// ReplaySource injects a recorded frame sequence into a NIC at a fixed
+// rate, driving the simulated testbed from a real capture instead of a
+// synthetic generator. Recorded inter-arrival times are deliberately
+// ignored: replay experiments sweep offered load, and the capture
+// supplies the packet mix, not the pacing.
+type ReplaySource struct {
+	sim      *Sim
+	nic      *NIC
+	frames   [][]byte
+	pos      int
+	interval float64
+	loop     bool
+	// Emitted counts frames delivered to the NIC.
+	Emitted int64
+	stopped bool
+}
+
+// NewReplaySource creates a source replaying frames at pps packets per
+// second (clamped to the wire rate for minimum-size frames, like
+// Source). With loop set the sequence repeats; otherwise the source
+// stops after the last frame.
+func NewReplaySource(sim *Sim, nic *NIC, frames [][]byte, pps float64, loop bool) *ReplaySource {
+	interval := 1e9 / pps
+	if min := nic.params.WireNS(60); interval < min {
+		interval = min
+	}
+	return &ReplaySource{sim: sim, nic: nic, frames: frames, interval: interval, loop: loop}
+}
+
+// Start begins replay at the given simulated time.
+func (s *ReplaySource) Start(at float64) {
+	s.sim.Schedule(at, s.emit)
+}
+
+// Stop halts the replay after the current event.
+func (s *ReplaySource) Stop() { s.stopped = true }
+
+// Done reports whether a non-looping replay has delivered every frame.
+func (s *ReplaySource) Done() bool { return !s.loop && s.pos >= len(s.frames) }
+
+func (s *ReplaySource) emit() {
+	if s.stopped || len(s.frames) == 0 {
+		return
+	}
+	if s.pos >= len(s.frames) {
+		if !s.loop {
+			return
+		}
+		s.pos = 0
+	}
+	s.Emitted++
+	s.nic.Arrive(packet.New(s.frames[s.pos]))
+	s.pos++
+	if s.pos < len(s.frames) || s.loop {
+		s.sim.After(s.interval, s.emit)
+	}
+}
+
+// AddReplay attaches a replay source feeding the named interface's NIC
+// at pps packets per second, starting at simulated time 0. It returns
+// the source so callers can Stop it or poll Done.
+func (tb *Testbed) AddReplay(iface string, frames [][]byte, pps float64, loop bool) *ReplaySource {
+	for i, itf := range tb.Ifs {
+		if itf.Device != iface {
+			continue
+		}
+		s := NewReplaySource(tb.Sim, tb.NICs[i], frames, pps, loop)
+		tb.replays = append(tb.replays, s)
+		s.Start(0)
+		return s
+	}
+	return nil
+}
+
+// AddReplayPcap is AddReplay fed from a capture file.
+func (tb *Testbed) AddReplayPcap(iface, path string, pps float64, loop bool) (*ReplaySource, error) {
+	recs, err := pktio.ReadPcapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([][]byte, len(recs))
+	for i, r := range recs {
+		frames[i] = r.Data
+	}
+	s := tb.AddReplay(iface, frames, pps, loop)
+	return s, nil
+}

@@ -25,6 +25,7 @@ type Testbed struct {
 	Ifs    []iprouter.Interface
 
 	sources []*Source
+	replays []*ReplaySource
 	// env and burst are kept from construction so a hot-swapped
 	// replacement router binds to the same simulated NICs with the same
 	// batching configuration.
@@ -241,6 +242,9 @@ type Outcomes struct {
 func (tb *Testbed) snapshot() Outcomes {
 	var o Outcomes
 	for _, s := range tb.sources {
+		o.Offered += s.Emitted
+	}
+	for _, s := range tb.replays {
 		o.Offered += s.Emitted
 	}
 	for _, nic := range tb.NICs {

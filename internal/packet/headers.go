@@ -7,8 +7,9 @@ import (
 
 // Protocol numbers and EtherTypes used by the element library.
 const (
-	EtherTypeIP  = 0x0800
-	EtherTypeARP = 0x0806
+	EtherTypeIP   = 0x0800
+	EtherTypeARP  = 0x0806
+	EtherTypeVLAN = 0x8100
 
 	IPProtoICMP = 1
 	IPProtoTCP  = 6

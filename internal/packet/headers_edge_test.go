@@ -1,0 +1,248 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildFrame assembles a packet from raw bytes with an unset network
+// offset, the shape a frame has when it arrives from a real backend
+// (pcap replay, UDP socket) rather than from BuildUDP4.
+func rawFrame(data []byte) *Packet {
+	p := New(data)
+	p.Anno.NetworkOffset = -1
+	return p
+}
+
+// validFrame is a well-formed 64-byte Ethernet+IPv4+UDP frame.
+func validFrame() []byte {
+	p := BuildUDP4(EtherAddr{1, 2, 3, 4, 5, 6}, EtherAddr{6, 5, 4, 3, 2, 1},
+		MakeIP4(10, 0, 0, 2), MakeIP4(10, 0, 1, 2), 1024, 53, make([]byte, 18))
+	defer p.Kill()
+	return append([]byte(nil), p.Data()...)
+}
+
+// vlanFrame inserts an 802.1Q tag into a valid frame.
+func vlanFrame() []byte {
+	f := validFrame()
+	tagged := make([]byte, 0, len(f)+4)
+	tagged = append(tagged, f[:12]...)
+	tagged = append(tagged, 0x81, 0x00, 0x00, 0x2a)
+	tagged = append(tagged, f[12:]...)
+	return tagged
+}
+
+// optionsFrame widens a valid frame's IP header to IHL 6 with padding
+// options (NOP NOP NOP EOL) and fixes lengths and checksum.
+func optionsFrame() []byte {
+	f := validFrame()
+	opt := make([]byte, 0, len(f)+4)
+	opt = append(opt, f[:EtherHeaderLen+IPHeaderMinLen]...)
+	opt = append(opt, 0x01, 0x01, 0x01, 0x00)
+	opt = append(opt, f[EtherHeaderLen+IPHeaderMinLen:]...)
+	h := IP4Header(opt[EtherHeaderLen:])
+	h.SetVersionIHL(4, IPHeaderMinLen+4)
+	h.SetTotalLen(len(opt) - EtherHeaderLen)
+	h.UpdateChecksum()
+	return opt
+}
+
+func TestEtherHeaderTruncated(t *testing.T) {
+	full := validFrame()
+	for _, n := range []int{0, 1, 6, 13} {
+		p := rawFrame(full[:n])
+		if _, ok := p.EtherHeader(); ok {
+			t.Errorf("EtherHeader accepted a %d-byte frame", n)
+		}
+		p.Kill()
+	}
+	p := rawFrame(full[:EtherHeaderLen])
+	if h, ok := p.EtherHeader(); !ok {
+		t.Error("EtherHeader rejected an exactly-14-byte frame")
+	} else if h.Type() != EtherTypeIP {
+		t.Errorf("EtherType %#04x, want %#04x", h.Type(), EtherTypeIP)
+	}
+	p.Kill()
+}
+
+func TestIPHeaderEdges(t *testing.T) {
+	full := validFrame()
+	corruptIHL := append([]byte(nil), full...)
+	corruptIHL[EtherHeaderLen] = 0x44 // IHL 4: 16 bytes, below the minimum
+	bigIHL := append([]byte(nil), full...)
+	bigIHL[EtherHeaderLen] = 0x4f // IHL 15: 60 bytes, runs past the frame
+	zeroIHL := append([]byte(nil), full...)
+	zeroIHL[0] = 0x40 // offset unset → byte 0 is the "header": IHL 0
+
+	cases := []struct {
+		name   string
+		data   []byte
+		offset int // network offset annotation; -1 = unset
+		ok     bool
+		hlen   int
+	}{
+		{"valid", full, EtherHeaderLen, true, IPHeaderMinLen},
+		// An unset offset reads from byte 0: here the Ethernet bytes
+		// declare IHL 0, which the accessor must reject rather than
+		// slice out of bounds.
+		{"unset offset IHL 0", zeroIHL, -1, false, 0},
+		{"truncated at ethernet", full[:EtherHeaderLen], EtherHeaderLen, false, 0},
+		{"truncated mid-ip", full[:EtherHeaderLen+10], EtherHeaderLen, false, 0},
+		{"one byte short", full[:EtherHeaderLen+IPHeaderMinLen-1], EtherHeaderLen, false, 0},
+		{"exactly the header", full[:EtherHeaderLen+IPHeaderMinLen], EtherHeaderLen, true, IPHeaderMinLen},
+		{"IHL below minimum", corruptIHL, EtherHeaderLen, false, 0},
+		{"IHL past frame end", bigIHL, EtherHeaderLen, false, 0},
+		{"options IHL 6", optionsFrame(), EtherHeaderLen, true, IPHeaderMinLen + 4},
+		{"vlan shifted offset", vlanFrame(), EtherHeaderLen + 4, true, IPHeaderMinLen},
+		{"empty", nil, -1, false, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := rawFrame(c.data)
+			defer p.Kill()
+			p.Anno.NetworkOffset = c.offset
+			h, ok := p.IPHeader()
+			if ok != c.ok {
+				t.Fatalf("IPHeader ok=%v, want %v", ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if h.HeaderLen() != c.hlen {
+				t.Errorf("HeaderLen %d, want %d", h.HeaderLen(), c.hlen)
+			}
+			if !h.ChecksumOK() {
+				t.Error("valid header fails ChecksumOK")
+			}
+		})
+	}
+}
+
+func TestVLANFrameFields(t *testing.T) {
+	p := rawFrame(vlanFrame())
+	defer p.Kill()
+	h, ok := p.EtherHeader()
+	if !ok {
+		t.Fatal("no ethernet header")
+	}
+	if h.Type() != EtherTypeVLAN {
+		t.Fatalf("EtherType %#04x, want %#04x (802.1Q)", h.Type(), EtherTypeVLAN)
+	}
+	// The encapsulated type sits after the 4-byte tag.
+	d := p.Data()
+	if inner := uint16(d[16])<<8 | uint16(d[17]); inner != EtherTypeIP {
+		t.Errorf("inner EtherType %#04x, want %#04x", inner, EtherTypeIP)
+	}
+	// With the offset adjusted past the tag, the IP and UDP views work.
+	p.Anno.NetworkOffset = EtherHeaderLen + 4
+	ih, ok := p.IPHeader()
+	if !ok {
+		t.Fatal("no IP header past the VLAN tag")
+	}
+	if ih.Dst() != MakeIP4(10, 0, 1, 2) {
+		t.Errorf("dst %v through VLAN tag", ih.Dst())
+	}
+	uh, ok := p.UDPHeader()
+	if !ok {
+		t.Fatal("no UDP header past the VLAN tag")
+	}
+	if uh.DstPort() != 53 {
+		t.Errorf("dst port %d, want 53", uh.DstPort())
+	}
+}
+
+func TestUDPHeaderEdges(t *testing.T) {
+	// Zero-length payload: the minimum 42-byte frame still parses and
+	// the UDP length field covers only the header.
+	p := BuildUDP4(EtherAddr{1, 2, 3, 4, 5, 6}, EtherAddr{6, 5, 4, 3, 2, 1},
+		MakeIP4(1, 1, 1, 1), MakeIP4(2, 2, 2, 2), 7, 9, nil)
+	defer p.Kill()
+	if p.Len() != EtherHeaderLen+IPHeaderMinLen+UDPHeaderLen {
+		t.Fatalf("zero-payload frame is %d bytes, want %d", p.Len(), EtherHeaderLen+IPHeaderMinLen+UDPHeaderLen)
+	}
+	uh, ok := p.UDPHeader()
+	if !ok {
+		t.Fatal("no UDP header on zero-payload frame")
+	}
+	if uh.Length() != UDPHeaderLen {
+		t.Errorf("UDP length %d, want %d", uh.Length(), UDPHeaderLen)
+	}
+	if uh.SrcPort() != 7 || uh.DstPort() != 9 {
+		t.Errorf("ports %d→%d, want 7→9", uh.SrcPort(), uh.DstPort())
+	}
+
+	// A frame cut inside the UDP header has an IP view but no UDP view.
+	full := validFrame()
+	short := rawFrame(full[:EtherHeaderLen+IPHeaderMinLen+3])
+	defer short.Kill()
+	short.Anno.NetworkOffset = EtherHeaderLen
+	// Patch the total length so the IP header itself stays plausible.
+	if _, ok := short.IPHeader(); !ok {
+		t.Fatal("truncated-UDP frame lost its IP header")
+	}
+	if _, ok := short.UDPHeader(); ok {
+		t.Error("UDPHeader accepted a frame cut mid-UDP-header")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	f := validFrame()
+	p := rawFrame(f)
+	defer p.Kill()
+	p.Anno.NetworkOffset = EtherHeaderLen
+	h, ok := p.IPHeader()
+	if !ok {
+		t.Fatal("no IP header")
+	}
+	if !h.ChecksumOK() {
+		t.Fatal("pristine frame fails checksum")
+	}
+	for _, bit := range []int{0, 8, 19*8 + 7} { // first byte, TOS, last address byte
+		h[bit/8] ^= 1 << (bit % 8)
+		if h.ChecksumOK() {
+			t.Errorf("flipping header bit %d went undetected", bit)
+		}
+		h[bit/8] ^= 1 << (bit % 8)
+	}
+	// Incremental TTL decrement preserves checksum validity.
+	before := h.TTL()
+	h.DecTTLIncremental()
+	if h.TTL() != before-1 {
+		t.Errorf("TTL %d after decrement, want %d", h.TTL(), before-1)
+	}
+	if !h.ChecksumOK() {
+		t.Error("DecTTLIncremental broke the checksum")
+	}
+}
+
+func TestOptionsFrameChecksumCoversOptions(t *testing.T) {
+	f := optionsFrame()
+	p := rawFrame(f)
+	defer p.Kill()
+	p.Anno.NetworkOffset = EtherHeaderLen
+	h, ok := p.IPHeader()
+	if !ok {
+		t.Fatal("no IP header with options")
+	}
+	if !h.ChecksumOK() {
+		t.Fatal("options frame fails checksum")
+	}
+	// Corrupting an option byte must be caught: the checksum spans the
+	// full IHL, not just the fixed 20 bytes.
+	h[IPHeaderMinLen] ^= 0xff
+	if h.ChecksumOK() {
+		t.Error("corrupted option byte went undetected")
+	}
+	h[IPHeaderMinLen] ^= 0xff
+	// The UDP header sits after the options.
+	uh, ok := p.UDPHeader()
+	if !ok {
+		t.Fatal("no UDP header after options")
+	}
+	if uh.DstPort() != 53 {
+		t.Errorf("dst port %d through options, want 53", uh.DstPort())
+	}
+	if !bytes.Equal(h[IPHeaderMinLen:IPHeaderMinLen+4], []byte{0x01, 0x01, 0x01, 0x00}) {
+		t.Errorf("options bytes %x", h[IPHeaderMinLen:IPHeaderMinLen+4])
+	}
+}

@@ -32,3 +32,8 @@ go test -race -run 'Fuse|Fusion|SpecializeFDD|Splice' ./internal/classifier ./in
 # because the per-shard caches and guard generations are read on the
 # fast path while write handlers bump them from other goroutines.
 go test -race -run 'FlowCache|AdaptiveFuseSurvives' ./internal/opt ./internal/experiments
+# Backend tier: real packet I/O under the race detector — the UDP
+# socket pump feeding the router's task loop from another goroutine,
+# the pcap replay/capture devices inside the parallel scheduler, and
+# the golden-trace byte-equality matrix across passes and modes.
+go test -race -run 'UDPLoopback|UDPBackend|PcapBackend|Replay' ./internal/io ./internal/opt ./internal/netsim

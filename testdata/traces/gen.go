@@ -1,0 +1,192 @@
+//go:build ignore
+
+// Command gen regenerates the committed golden-trace fixtures. It is
+// fully deterministic (seeded rand, counter timestamps), so running it
+// again reproduces the committed files byte for byte:
+//
+//	go run testdata/traces/gen.go
+//
+// ip_mixed.pcap targets the 8-interface IP router (iprouter8.click /
+// iprouter.Interfaces(8)): transit UDP to every subnet plus the edge
+// traffic a real port sees — an ARP request, a TTL-expired packet, IP
+// options, a corrupted checksum, a truncated header, a non-IP
+// ethertype, a VLAN tag, an unresolved-host destination, a zero-length
+// payload, and a route miss.
+//
+// udp_ports.pcap carries the random-configuration corpus trace: UDP
+// frames whose destination-port low byte steers Classifier(37/01,
+// 37/02, -) and whose payload carries a sequence number.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	pktio "repro/internal/io"
+	"repro/internal/iprouter"
+	"repro/internal/packet"
+)
+
+func main() {
+	dir := "testdata/traces"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	write(filepath.Join(dir, "ip_mixed.pcap"), ipMixed())
+	write(filepath.Join(dir, "udp_ports.pcap"), udpPorts())
+}
+
+func write(path string, frames [][]byte) {
+	sink, err := pktio.CreateCaptureFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range frames {
+		if err := sink.WriteFrame(f); err != nil {
+			fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d frames\n", path, len(frames))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}
+
+// frame extracts a packet's bytes and kills it.
+func frame(p *packet.Packet) []byte {
+	f := append([]byte(nil), p.Data()...)
+	p.Kill()
+	return f
+}
+
+// rechecksum rewrites the IP header checksum of an Ethernet frame.
+func rechecksum(f []byte) {
+	ihl := int(f[packet.EtherHeaderLen]&0x0f) * 4
+	h := f[packet.EtherHeaderLen : packet.EtherHeaderLen+ihl]
+	h[10], h[11] = 0, 0
+	sum := packet.InternetChecksum(h)
+	h[10], h[11] = byte(sum>>8), byte(sum)
+}
+
+func ipMixed() [][]byte {
+	ifs := iprouter.Interfaces(8)
+	var out [][]byte
+	seq := 0
+	transit := func(dst packet.IP4, dport uint16, payload int) []byte {
+		seq++
+		pl := make([]byte, payload)
+		if payload >= 2 {
+			pl[0], pl[1] = byte(seq>>8), byte(seq)
+		}
+		return frame(packet.BuildUDP4(ifs[0].HostEth, ifs[0].Ether,
+			ifs[0].HostAddr, dst, uint16(1024+seq), dport, pl))
+	}
+
+	// Plain transit traffic: host 0 across the router to every other
+	// subnet's host, varied ports and sizes.
+	for j := 1; j < 8; j++ {
+		for k := 0; k < 4; k++ {
+			out = append(out, transit(ifs[j].HostAddr, uint16(j*10+k), 14+7*k))
+		}
+	}
+
+	// ARP request from host 0 for the router's eth0 address; the
+	// responder answers out the same port.
+	arp := make([]byte, packet.EtherHeaderLen+packet.ARPHeaderLen)
+	for i := 0; i < 6; i++ {
+		arp[i] = 0xff
+	}
+	copy(arp[6:12], ifs[0].HostEth[:])
+	arp[12], arp[13] = 0x08, 0x06
+	a := arp[packet.EtherHeaderLen:]
+	a[0], a[1] = 0, 1 // Ethernet
+	a[2], a[3] = 0x08, 0x00
+	a[4], a[5] = 6, 4
+	a[6], a[7] = 0, 1 // request
+	copy(a[8:14], ifs[0].HostEth[:])
+	copy(a[14:18], ifs[0].HostAddr[:])
+	copy(a[24:28], ifs[0].Addr[:])
+	out = append(out, arp)
+
+	// TTL 1: expires at the router, which answers with an ICMP time
+	// exceeded back toward the source.
+	ttl1 := transit(ifs[4].HostAddr, 7777, 18)
+	ttl1[packet.EtherHeaderLen+8] = 1
+	rechecksum(ttl1)
+	out = append(out, ttl1)
+
+	// IP options: IHL 6, four bytes of padding options (NOP NOP NOP
+	// EOL). Built by widening a plain frame's header.
+	plain := transit(ifs[2].HostAddr, 4242, 14)
+	opt := make([]byte, 0, len(plain)+4)
+	opt = append(opt, plain[:packet.EtherHeaderLen+packet.IPHeaderMinLen]...)
+	opt = append(opt, 0x01, 0x01, 0x01, 0x00)
+	opt = append(opt, plain[packet.EtherHeaderLen+packet.IPHeaderMinLen:]...)
+	ip := opt[packet.EtherHeaderLen:]
+	ip[0] = 0x46 // version 4, IHL 6
+	tot := len(ip)
+	ip[2], ip[3] = byte(tot>>8), byte(tot)
+	rechecksum(opt)
+	out = append(out, opt)
+
+	// Corrupted IP checksum: must die in CheckIPHeader.
+	bad := transit(ifs[3].HostAddr, 5555, 14)
+	bad[packet.EtherHeaderLen+10] ^= 0xff
+	out = append(out, bad)
+
+	// Truncated IP header: the frame ends mid-header.
+	trunc := transit(ifs[5].HostAddr, 6666, 14)
+	out = append(out, trunc[:packet.EtherHeaderLen+10])
+
+	// Non-IP ethertype (IPv6): the port classifier has no arm for it.
+	v6 := make([]byte, 60)
+	copy(v6[0:6], ifs[0].Ether[:])
+	copy(v6[6:12], ifs[0].HostEth[:])
+	v6[12], v6[13] = 0x86, 0xdd
+	v6[14] = 0x60
+	out = append(out, v6)
+
+	// VLAN-tagged IP frame: 802.1Q tag between the addresses and the
+	// IP payload.
+	inner := transit(ifs[6].HostAddr, 8888, 14)
+	vlan := make([]byte, 0, len(inner)+4)
+	vlan = append(vlan, inner[:12]...)
+	vlan = append(vlan, 0x81, 0x00, 0x00, 0x2a)
+	vlan = append(vlan, inner[12:]...)
+	out = append(out, vlan)
+
+	// Destination inside subnet 3 but not the known host: routes to
+	// eth3 and leaves the router as an ARP query for the unknown
+	// address.
+	out = append(out, transit(packet.MakeIP4(10, 0, 3, 77), 3077, 14))
+
+	// Zero-length UDP payload: minimum 42-byte frame.
+	out = append(out, transit(ifs[7].HostAddr, 9999, 0))
+
+	// Route miss: no route covers 192.168.9.9, the lookup drops it.
+	out = append(out, transit(packet.MakeIP4(192, 168, 9, 9), 1111, 14))
+
+	return out
+}
+
+func udpPorts() [][]byte {
+	r := rand.New(rand.NewSource(7))
+	src := packet.EtherAddr{0, 160, 201, 1, 1, 1}
+	dst := packet.EtherAddr{0, 160, 201, 2, 2, 2}
+	var out [][]byte
+	for i := 0; i < 60; i++ {
+		payload := make([]byte, 14+r.Intn(32))
+		payload[0], payload[1] = byte(i>>8), byte(i)
+		out = append(out, frame(packet.BuildUDP4(src, dst,
+			packet.MakeIP4(10, 0, 0, 2), packet.MakeIP4(10, 0, 2, 2),
+			uint16(1024+r.Intn(64)), uint16(r.Intn(3)+1), payload)))
+	}
+	return out
+}
