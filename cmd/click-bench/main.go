@@ -2,13 +2,13 @@
 // (§4, §8) on the simulated testbed. Run with -experiment all for the
 // full evaluation, or name one of: fastclassifier, vcall, fig8, fig9,
 // fig10, fig11, fig12, fig13, ablation, parallel, scaling, adaptive,
-// fusion, flowcache.
+// fusion, flowcache, tenants.
 //
-// The parallel, scaling, adaptive, fusion, and flowcache experiments
-// also write machine-readable results when given -json (e.g.
-// -experiment scaling -json BENCH_scaling.json, or -experiment
-// flowcache -json BENCH_flowcache.json for the Zipf-traffic flow
-// fast-path sweep).
+// The parallel, scaling, adaptive, fusion, flowcache, and tenants
+// experiments also write machine-readable results when given -json
+// (e.g. -experiment scaling -json BENCH_scaling.json, or -experiment
+// tenants -json BENCH_tenants.json for the multi-tenant isolation
+// sweep).
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, the usual way to see where the wall-clock experiments

@@ -9,7 +9,7 @@
 //
 //	click [-f config] [-rounds n] [-batch n] [-workers n] [-trace n] [-fuse]
 //	      [-flowcache] [-hotswap config] [-hotswap-after n] [-adapt]
-//	      [-adapt-interval n] [-adapt-flowcache]
+//	      [-adapt-interval n] [-adapt-flowcache] [-serve addr]
 //	      [-backend sim|pcap|udp] [-pcap-in [dev=]file]... [-pcap-out [dev=]file]...
 //	      [-udp-map dev=local[/peer]]... [-duration d]
 //	      [-h element.handler]... [-counters] [-report] [config]
@@ -41,6 +41,14 @@
 // the re-optimized configuration in. -adapt-flowcache additionally lets
 // the controller install the flow fast path once the router runs hot.
 //
+// -serve runs the driver as a multi-tenant server instead: tenant
+// configurations are created, inspected, hot-swapped, and deleted over
+// an HTTP/JSON management API on the given address (POST/PUT/DELETE
+// /tenants/{id}, GET /tenants/{id}/report, GET/POST
+// /tenants/{id}/elements/{name}/{handler}). Each tenant's elements live
+// in a combined router under a "{id}/" name prefix; a configuration
+// named on the command line is installed as tenant "default".
+//
 // Device elements (PollDevice, FromDevice, ToDevice) referencing devices
 // that no caller provided are bound to idle in-memory devices, so
 // hardware-facing configurations can be load-checked and reported on
@@ -58,6 +66,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,6 +79,7 @@ import (
 	"repro/internal/graph"
 	pktio "repro/internal/io"
 	"repro/internal/lang"
+	"repro/internal/mgmt"
 	"repro/internal/opt"
 	"repro/internal/packet"
 	"repro/internal/tool"
@@ -95,6 +105,7 @@ func main() {
 	adapt := flag.Bool("adapt", false, "run the adaptive re-optimization controller")
 	adaptEvery := flag.Int("adapt-interval", 2000, "active rounds between adaptive telemetry samples")
 	adaptFlowCache := flag.Bool("adapt-flowcache", false, "let the adaptive controller install the flow fast path when the router runs hot")
+	serveAddr := flag.String("serve", "", "run as a multi-tenant server: listen on ADDR for the HTTP/JSON management API instead of running one configuration")
 	backend := flag.String("backend", "sim", "device backend: sim (idle in-memory), pcap (replay/capture files), udp (localhost sockets)")
 	duration := flag.Duration("duration", time.Second, "wall-clock bound for -backend udp runs (ignored by sim and pcap)")
 	var reads, pcapIns, pcapOuts, udpMaps stringList
@@ -108,6 +119,12 @@ func main() {
 	}
 	if flag.NArg() == 1 {
 		*file = flag.Arg(0)
+	}
+	if *serveAddr != "" {
+		if err := runServe(*serveAddr, *file, *workers, *batch); err != nil {
+			tool.Fail("click", err)
+		}
+		return
 	}
 
 	reg := tool.Registry()
@@ -260,6 +277,49 @@ func main() {
 	}
 }
 
+// runServe runs the multi-tenant management plane: an empty combined
+// router pumped in the background, administered entirely over the
+// HTTP/JSON API. A configuration file named on the command line (but
+// not the "-" stdin default, so a bare "click -serve :8080" starts
+// empty) is installed as tenant "default" before serving.
+func runServe(addr, file string, workers, batch int) error {
+	p, err := mgmt.NewPlane(mgmt.Options{
+		Registry: tool.Registry(),
+		Workers:  workers,
+		Burst:    batch,
+	})
+	if err != nil {
+		return err
+	}
+	if file != "-" {
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		if err := p.Create("default", string(text), mgmt.Limits{}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "click: serving %s as tenant \"default\"\n", file)
+	}
+	p.Start()
+	defer p.Stop()
+
+	srv := &http.Server{Addr: addr, Handler: p.Handler()}
+	// SIGINT/SIGTERM stop the listener so the deferred plane shutdown
+	// quiesces the dataplane cleanly.
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		srv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "click: management API on %s\n", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
 // buildReplacement reads and assembles a hot-swap replacement router.
 // Devices the running router already provisioned keep their identity
 // (the replacement binds the same rings); device names only the new
@@ -326,7 +386,10 @@ func printCounters(rt *core.Router) {
 			case "class", "config", "name", "program", "table":
 				continue // verbose or implicit
 			}
-			v, err := rt.ReadHandler(name + "." + h)
+			// HandlerPath escapes element names containing handler-path
+			// metacharacters ('.', '%'), so combined configurations whose
+			// element names carry prefixes round-trip unambiguously.
+			v, err := rt.ReadHandler(core.HandlerPath(name, h))
 			if err != nil {
 				continue // write-only
 			}

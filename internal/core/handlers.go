@@ -25,6 +25,98 @@ type HandlerProvider interface {
 	Handlers() []Handler
 }
 
+// Element names are not flat identifiers: combine emits names such as
+// "link@a/eth0@b/eth1" and tenant namespacing prefixes "tenant/". The
+// config language never produces a name containing '.', but the graph
+// API does not forbid it, and a path built by naive concatenation is
+// then ambiguous. The resolution rule is longest match: the element
+// name is the longest prefix of the path that names a live element and
+// is followed by '.'. Handler names never contain '.' or '/', so for
+// every name the language can produce this degenerates to the old
+// split-at-last-dot rule. Contexts that compose paths blindly (tools,
+// the management API) escape the element name first — EscapeElementName
+// maps '%' to %25, '.' to %2E and '/' to %2F — and findHandler also
+// tries the unescaped form of each candidate prefix, so escaped paths
+// resolve even when the raw name happens to collide with another
+// element.
+
+// EscapeElementName escapes an element name for embedding in a handler
+// path or URL path segment: '%' → %25, '.' → %2E, '/' → %2F. Names
+// produced by the config language pass through unchanged except for
+// '/' (which is legal in identifiers and harmless in dot-paths, so
+// HandlerPath keeps it raw).
+func EscapeElementName(name string) string {
+	if !strings.ContainsAny(name, "%./") {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; c {
+		case '%':
+			b.WriteString("%25")
+		case '.':
+			b.WriteString("%2E")
+		case '/':
+			b.WriteString("%2F")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeElementName reverses EscapeElementName. It reports ok=false
+// when s contains a '%' not followed by two hex digits.
+func UnescapeElementName(s string) (string, bool) {
+	if !strings.ContainsRune(s, '%') {
+		return s, true
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", false
+		}
+		hi, ok1 := unhex(s[i+1])
+		lo, ok2 := unhex(s[i+2])
+		if !ok1 || !ok2 {
+			return "", false
+		}
+		b.WriteByte(hi<<4 | lo)
+		i += 2
+	}
+	return b.String(), true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// HandlerPath composes an unambiguous "element.handler" path. Element
+// names containing '.' or '%' are escaped; everything else (including
+// combine's '/'- and '@'-bearing link names) passes through raw, so
+// paths for language-produced names look exactly like before.
+func HandlerPath(element, handler string) string {
+	if strings.ContainsAny(element, ".%") {
+		element = EscapeElementName(element)
+	}
+	return element + "." + handler
+}
+
 // ReadHandler reads "element.handler" (e.g. "q.length"). Every element
 // also gets implicit "class" and "config" handlers.
 func (rt *Router) ReadHandler(path string) (string, error) {
@@ -76,44 +168,66 @@ func (rt *Router) HandlerNames(element string) ([]string, error) {
 	return names, nil
 }
 
+// findHandler resolves a handler path by longest match: scanning dots
+// right to left, the element name is the longest prefix naming a live
+// element (tried raw, then %-unescaped), and the rest is the handler
+// name. Resolution is deterministic — the longest matching element
+// wins even if it lacks the requested handler.
 func (rt *Router) findHandler(path string) (Element, Handler, error) {
-	dot := strings.LastIndexByte(path, '.')
-	if dot <= 0 || dot == len(path)-1 {
+	last := strings.LastIndexByte(path, '.')
+	if last <= 0 || last == len(path)-1 {
 		return nil, Handler{}, fmt.Errorf("core: bad handler path %q (want element.handler)", path)
 	}
-	elemName, hName := path[:dot], path[dot+1:]
-	e := rt.Find(elemName)
-	if e == nil {
-		return nil, Handler{}, fmt.Errorf("core: no element %q", elemName)
+	for dot := last; dot > 0; dot = strings.LastIndexByte(path[:dot], '.') {
+		name, hName := path[:dot], path[dot+1:]
+		e := rt.Find(name)
+		if e == nil && strings.ContainsRune(name, '%') {
+			if un, ok := UnescapeElementName(name); ok {
+				e = rt.Find(un)
+			}
+		}
+		if e == nil {
+			continue
+		}
+		if h, ok := rt.elementHandler(e, hName); ok {
+			return e, h, nil
+		}
+		return nil, Handler{}, fmt.Errorf("core: element %q has no handler %q", e.base().name, hName)
 	}
-	// Implicit handlers.
+	return nil, Handler{}, fmt.Errorf("core: no element %q", path[:last])
+}
+
+// elementHandler looks up one handler on a resolved element: implicit
+// class/name/config, then the element's own providers, then the
+// implicit telemetry counters.
+func (rt *Router) elementHandler(e Element, hName string) (Handler, bool) {
 	switch hName {
 	case "class":
-		return e, Handler{Name: "class", Read: func() string { return e.base().class }}, nil
+		return Handler{Name: "class", Read: func() string { return e.base().class }}, true
 	case "name":
-		return e, Handler{Name: "name", Read: func() string { return e.base().name }}, nil
+		return Handler{Name: "name", Read: func() string { return e.base().name }}, true
 	case "config":
-		idx := rt.Graph.FindElement(elemName)
-		return e, Handler{Name: "config", Read: func() string {
+		idx := rt.Graph.FindElement(e.base().name)
+		return Handler{Name: "config", Read: func() string {
 			if idx < 0 {
 				return ""
 			}
 			return rt.Graph.Element(idx).Config
-		}}, nil
+		}}, true
 	}
 	if hp, ok := e.(HandlerProvider); ok {
 		for _, h := range hp.Handlers() {
 			if h.Name == hName {
-				return e, h, nil
+				return h, true
 			}
 		}
 	}
 	// Implicit telemetry handlers, after the provider loop so an
 	// element's own counter of the same name (e.g. Queue's drops) wins.
 	if read, ok := statsHandler(e.base().Stats(), hName); ok {
-		return e, Handler{Name: hName, Read: read}, nil
+		return Handler{Name: hName, Read: read}, true
 	}
-	return nil, Handler{}, fmt.Errorf("core: element %q has no handler %q", elemName, hName)
+	return Handler{}, false
 }
 
 // statsHandlerNames are the implicit telemetry read handlers every

@@ -137,6 +137,111 @@ func TestStatsHandlers(t *testing.T) {
 	}
 }
 
+// TestHostileElementNames pins the longest-match resolution rule:
+// combine emits names containing '@' and '/', the graph API permits
+// names containing '.', and handler paths built from any of them must
+// resolve to the right element. Mirrors the PR 3 Pretty anchor fix.
+func TestHostileElementNames(t *testing.T) {
+	g := graph.New()
+	g.MustAddElement("link@a/eth0@b/eth1", "TPass", "", "t")
+	g.MustAddElement("a", "TPass", "", "t")
+	g.MustAddElement("a.b", "TPass", "", "t")
+	g.MustAddElement("a.b.c", "TPass", "", "t")
+	g.MustAddElement("x%2Ey", "TPass", "", "t") // literally contains an escape
+	g.MustAddElement("x.y", "TPass", "", "t")
+	g.MustAddElement("s", "TSink", "", "t")
+	for i := 0; i < 6; i++ {
+		g.Connect(i, 0, i+1, 0)
+	}
+	rt, err := Build(g, testRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reads := map[string]string{
+		// Combined link names resolve in-process with raw paths.
+		"link@a/eth0@b/eth1.class": "TPass",
+		"link@a/eth0@b/eth1.drops": "0",
+		// Longest match: "a.b" and "a.b.c" win over the shorter "a".
+		"a.class":        "TPass",
+		"a.b.name":       "a.b",
+		"a.b.config":     "",
+		"a.b.c.name":     "a.b.c",
+		"a.b.packets_in": "0",
+		// Escaped paths resolve to the dotted names.
+		HandlerPath("a.b", "name"):   "a.b",
+		HandlerPath("a.b.c", "name"): "a.b.c",
+		// A raw name containing an escape sequence wins over the
+		// unescape; the dotted element is still reachable raw.
+		"x%2Ey.name": "x%2Ey",
+		"x.y.name":   "x.y",
+	}
+	for path, want := range reads {
+		if v, err := rt.ReadHandler(path); err != nil || v != want {
+			t.Errorf("ReadHandler(%q) = %q, %v (want %q)", path, v, err, want)
+		}
+	}
+
+	// The longest matching element wins even when a shorter prefix
+	// exists: "a.bogus" resolves element "a", not a ghost "a.bogus".
+	if _, err := rt.ReadHandler("a.bogus"); err == nil || !strings.Contains(err.Error(), `no handler "bogus"`) {
+		t.Errorf("a.bogus: %v", err)
+	}
+	// HandlerPath leaves language-producible names untouched.
+	if got := HandlerPath("link@a/eth0@b/eth1", "drops"); got != "link@a/eth0@b/eth1.drops" {
+		t.Errorf("HandlerPath(link) = %q", got)
+	}
+	if got := HandlerPath("q", "length"); got != "q.length" {
+		t.Errorf("HandlerPath(q) = %q", got)
+	}
+}
+
+// TestHostileNameWrites drives a write handler through an escaped path.
+func TestHostileNameWrites(t *testing.T) {
+	g := graph.New()
+	g.MustAddElement("t0/h.v1", "THandler", "", "t")
+	rt, err := Build(g, handlerTestRegistry(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := HandlerPath("t0/h.v1", "poke")
+	if path != "t0%2Fh%2Ev1.poke" {
+		t.Fatalf("HandlerPath = %q", path)
+	}
+	if err := rt.WriteHandler(path, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Find("t0/h.v1").(*tHandlerElem).wrote; got != "hi" {
+		t.Errorf("write through escaped path stored %q", got)
+	}
+	// The raw dotted path also resolves (longest match over live names).
+	if v, err := rt.ReadHandler("t0/h.v1.status"); err != nil || v != "ready" {
+		t.Errorf("raw dotted path = %q, %v", v, err)
+	}
+}
+
+func TestEscapeElementNameRoundTrip(t *testing.T) {
+	cases := []string{
+		"q", "a.b", "a/b", "a%b", "link@a/eth0@b/eth1", "%%..//", "", "t0/q.v2",
+	}
+	for _, name := range cases {
+		esc := EscapeElementName(name)
+		if strings.ContainsAny(esc, "./") {
+			t.Errorf("escape(%q) = %q still has metacharacters", name, esc)
+		}
+		got, ok := UnescapeElementName(esc)
+		if !ok || got != name {
+			t.Errorf("round trip %q → %q → %q, ok=%v", name, esc, got, ok)
+		}
+	}
+	if _, ok := UnescapeElementName("bad%2"); ok {
+		t.Error("truncated escape accepted")
+	}
+	if _, ok := UnescapeElementName("bad%zz"); ok {
+		t.Error("non-hex escape accepted")
+	}
+}
+
 func TestBaseDropCounts(t *testing.T) {
 	rt, err := BuildFromText("a :: TPass -> s :: TSink;", "t", testRegistry(), BuildOptions{})
 	if err != nil {

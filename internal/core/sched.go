@@ -57,6 +57,24 @@ type Scheduler struct {
 	parkMu     sync.Mutex
 	parkCond   *sync.Cond
 	parked     int
+
+	// Synchronized control operations (SyncDo): handler reads and
+	// writes, hot-swaps and other control-plane work submitted from
+	// other goroutines. Ops run only at quiescent points — at a round
+	// boundary, at an epoch rendezvous, or directly when no run is
+	// active — so they never race the dataplane. runMu is held for the
+	// whole of RunRound and runEpochs; a direct SyncDo drain holds it
+	// too, which is what makes "no run active" a real quiescent point.
+	runMu   sync.Mutex
+	opMu    sync.Mutex
+	ops     []*syncOp
+	opCount atomic.Int32
+}
+
+// syncOp is one queued control operation.
+type syncOp struct {
+	fn   func()
+	done chan struct{}
 }
 
 // passCounter is a cache-line padded per-worker counter, so the
@@ -288,6 +306,80 @@ func (s *Scheduler) Hotswap(next *Router) error {
 // Installation failures are reported through SwapErr.
 func (s *Scheduler) RequestHotswap(next *Router) { s.pending.Store(next) }
 
+// SyncDo runs fn at the scheduler's next quiescent point and blocks
+// until it has run. Safe to call from any goroutine while RunRound or
+// RunUntilIdle is executing: in round mode the op runs at the next
+// round boundary, in epoch mode the monitor rendezvouses the workers
+// first, and when no run is active at all the op runs immediately on
+// the calling goroutine. fn sees a dataplane with no task mid-flight,
+// so handler writes that restructure element state (Queue capacity,
+// RED thresholds) cannot tear against traffic. fn must not call back
+// into the scheduler's run or SyncDo entry points.
+func (s *Scheduler) SyncDo(fn func()) {
+	op := &syncOp{fn: fn, done: make(chan struct{})}
+	s.opMu.Lock()
+	s.ops = append(s.ops, op)
+	s.opCount.Add(1)
+	s.opMu.Unlock()
+	for {
+		select {
+		case <-op.done:
+			return
+		default:
+		}
+		if s.runMu.TryLock() {
+			// No run is active: this goroutine is the quiescent point.
+			s.drainOps()
+			s.runMu.Unlock()
+		}
+		select {
+		case <-op.done:
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// drainOps runs every queued control operation. Callers must hold
+// runMu (directly or by being inside a run) and be at a quiescent
+// point.
+func (s *Scheduler) drainOps() {
+	for {
+		s.opMu.Lock()
+		ops := s.ops
+		s.ops = nil
+		s.opMu.Unlock()
+		if len(ops) == 0 {
+			return
+		}
+		for _, op := range ops {
+			op.fn()
+			s.opCount.Add(-1)
+			close(op.done)
+		}
+	}
+}
+
+// ReadHandler reads "element.handler" at a quiescent point, so the
+// value is a consistent snapshot even under the free-running epoch
+// scheduler.
+func (s *Scheduler) ReadHandler(path string) (string, error) {
+	var v string
+	var err error
+	s.SyncDo(func() { v, err = s.rt.ReadHandler(path) })
+	return v, err
+}
+
+// WriteHandler writes "element.handler value" at a quiescent point.
+// This is the only safe way to drive state-restructuring write
+// handlers while the scheduler is running.
+func (s *Scheduler) WriteHandler(path, value string) error {
+	var err error
+	s.SyncDo(func() { err = s.rt.WriteHandler(path, value) })
+	return err
+}
+
 // applyPending installs a requested router, reporting whether one was
 // installed.
 func (s *Scheduler) applyPending() bool {
@@ -319,9 +411,13 @@ func (s *Scheduler) steal(self int) (*sharedEntry, bool) {
 // join at the end of the round, so callers may inspect or swap the
 // router between rounds.
 func (s *Scheduler) RunRound() bool {
-	// Round boundary: no worker exists here, so a requested hot-swap
-	// installs race-free. An applied swap counts as progress — the new
-	// router deserves at least one round before idle detection bites.
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	// Round boundary: no worker exists here, so queued control ops run
+	// and a requested hot-swap installs race-free. An applied swap
+	// counts as progress — the new router deserves at least one round
+	// before idle detection bites.
+	s.drainOps()
 	swapped := s.applyPending()
 	if s.workers == 1 {
 		return s.rt.RunTaskRound() || swapped
@@ -473,7 +569,7 @@ func (s *Scheduler) waitFullPass() bool {
 		if done {
 			return true
 		}
-		if s.pending.Load() != nil {
+		if s.pending.Load() != nil || s.opCount.Load() > 0 {
 			return false
 		}
 		runtime.Gosched()
@@ -487,6 +583,9 @@ func (s *Scheduler) waitFullPass() bool {
 // than RunRound rounds but has the same "0 means nothing happened"
 // meaning).
 func (s *Scheduler) runEpochs(maxEpochs int) int {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.drainOps()
 	s.stopFlag.Store(false)
 	s.rendezvous.Store(false)
 	s.progress.Store(0)
@@ -500,9 +599,12 @@ func (s *Scheduler) runEpochs(maxEpochs int) int {
 	}
 	productive := 0
 	for productive < maxEpochs {
-		if s.pending.Load() != nil {
+		if s.pending.Load() != nil || s.opCount.Load() > 0 {
 			swapped := false
-			s.quiesce(func() { swapped = s.applyPending() })
+			s.quiesce(func() {
+				s.drainOps()
+				swapped = s.applyPending()
+			})
 			if swapped {
 				// The new router deserves at least one epoch before
 				// idle detection bites.
@@ -525,6 +627,9 @@ func (s *Scheduler) runEpochs(maxEpochs int) int {
 	s.parkCond.Broadcast() // release anyone parked
 	s.parkMu.Unlock()
 	wg.Wait()
+	// Ops enqueued while shutdown raced the monitor run here, with all
+	// workers gone, so no SyncDo caller is left spinning.
+	s.drainOps()
 	return productive
 }
 

@@ -205,6 +205,29 @@ func (e *Switch) RestoreState(state interface{}) error {
 	return nil
 }
 
+// InfiniteSourceState is an InfiniteSource's transferable state: its
+// emission progress. Without it a hot-swap would restart every bounded
+// source in the router — in the multi-tenant plane, where one tenant's
+// swap reinstalls the whole combined configuration, that would make
+// other tenants' sources visibly re-emit, breaking swap independence.
+type InfiniteSourceState struct{ Emitted int64 }
+
+// SaveState hands the emission count over.
+func (e *InfiniteSource) SaveState() interface{} {
+	return &InfiniteSourceState{Emitted: e.Emitted}
+}
+
+// RestoreState adopts it; the replacement's configured limit still
+// governs, so a source already past the new limit simply stays quiet.
+func (e *InfiniteSource) RestoreState(state interface{}) error {
+	st, ok := state.(*InfiniteSourceState)
+	if !ok {
+		return fmt.Errorf("InfiniteSource: foreign state %T", state)
+	}
+	e.Emitted = st.Emitted
+	return nil
+}
+
 // PaintState is a Paint element's transferable state: its live color.
 type PaintState struct{ Color byte }
 

@@ -287,12 +287,17 @@ func TestRouterHotswapEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	next.RunUntilIdle(1000)
-	// The new source starts fresh (6 more packets); the 3 transplanted
-	// packets are still there: 9 total.
-	if got := next.Find("q").(*Queue).Len(); got != 9 {
-		t.Errorf("post-swap queue len = %d, want 9", got)
+	// The source's progress transplants (3 of 6 emitted), so it sends
+	// exactly the 3 it still owes; with the 3 transplanted packets the
+	// queue holds 6. A swap must not restart bounded sources — in the
+	// multi-tenant plane one tenant's swap reinstalls everyone.
+	if got := next.Find("q").(*Queue).Len(); got != 6 {
+		t.Errorf("post-swap queue len = %d, want 6", got)
 	}
-	if got := atomic.LoadInt64(&next.Find("c").(*Counter).Packets); got != 9 {
-		t.Errorf("post-swap counter = %d, want 9 (3 transplanted + 6 new)", got)
+	if got := atomic.LoadInt64(&next.Find("c").(*Counter).Packets); got != 6 {
+		t.Errorf("post-swap counter = %d, want 6 (3 transplanted + 3 new)", got)
+	}
+	if got := next.Find("src").(*InfiniteSource).Emitted; got != 6 {
+		t.Errorf("post-swap source emitted = %d, want 6", got)
 	}
 }

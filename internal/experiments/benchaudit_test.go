@@ -29,6 +29,15 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 		"BENCH_fusion.json":    {"points"},
 		"BENCH_parallel.json":  {"points", "elements"},
 		"BENCH_scaling.json":   {"points", "cpus", "speedup_claims_valid"},
+		"BENCH_tenants.json": {"points", "scaling", "isolation_ok",
+			"quiet_p99_solo_ns", "quiet_p99_beside_hog_ns"},
+	}
+	// Keys that are asserted claims, not measurements: the committed
+	// artifact must say the claim held. (BENCH_scaling.json's
+	// speedup_claims_valid is deliberately not here — it records an
+	// honest negative result.)
+	mustBeTrue := map[string][]string{
+		"BENCH_tenants.json": {"isolation_ok"},
 	}
 	// Point fields that are per-run or per-packet measurements: zero or
 	// negative means the benchmark recorded nothing.
@@ -38,6 +47,8 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 		"cycles_per_packet": true,
 		"ns_per_packet":     true,
 		"pps":               true,
+		"offered_pps":       true,
+		"forward_pps":       true,
 	}
 	for _, path := range files {
 		name := filepath.Base(path)
@@ -58,6 +69,11 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 			for _, k := range keys {
 				if _, ok := doc[k]; !ok {
 					t.Errorf("%s is missing required key %q", name, k)
+				}
+			}
+			for _, k := range mustBeTrue[name] {
+				if v, ok := doc[k].(bool); !ok || !v {
+					t.Errorf("%s: asserted claim %q = %v, want true", name, k, doc[k])
 				}
 			}
 			pts, _ := doc["points"].([]interface{})

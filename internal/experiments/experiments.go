@@ -570,5 +570,6 @@ var Experiments = map[string]func(io.Writer) error{
 	"adaptive":       AdaptiveBench,
 	"fusion":         FusionBench,
 	"flowcache":      FlowCacheBench,
+	"tenants":        TenantsBench,
 	"all":            All,
 }

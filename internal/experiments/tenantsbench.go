@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/netsim"
+	"repro/internal/simcpu"
+)
+
+// The tenants experiment measures the multi-tenant serving claim on
+// the netsim testbed: many tenant routers combined into one process
+// (zero combine links — exactly the management plane's namespacing)
+// must be performance-isolated at the queue level. One tenant driven
+// past its egress wire rate — two full 100 Mbit ingress wires
+// converging on one egress — saturates only its own queue, and a quiet
+// neighbor's p99 queue latency must not move relative to running
+// alone. Aggregate forwarded pps must also scale with tenant count
+// while the shared CPU has headroom.
+
+// TenantsPoint is one tenant's measurement inside one scenario.
+type TenantsPoint struct {
+	Scenario     string  `json:"scenario"`
+	Tenant       string  `json:"tenant"`
+	OfferedPPS   float64 `json:"offered_pps"`
+	ForwardPPS   float64 `json:"forward_pps"`
+	QueueDrops   int64   `json:"queue_drops"`
+	P99QueueLen  int     `json:"p99_queue_len"`
+	P99LatencyNS float64 `json:"p99_latency_ns"`
+}
+
+// TenantsScalingPoint is one aggregate-throughput measurement.
+type TenantsScalingPoint struct {
+	Tenants      int     `json:"tenants"`
+	AggregatePPS float64 `json:"aggregate_pps"`
+	PerTenantPPS float64 `json:"per_tenant_pps"`
+}
+
+// TenantsResults is the document click-bench -json writes for the
+// tenants experiment.
+type TenantsResults struct {
+	QuietPPS            float64               `json:"quiet_pps"`
+	Points              []TenantsPoint        `json:"points"`
+	Scaling             []TenantsScalingPoint `json:"scaling"`
+	QuietP99SoloNS      float64               `json:"quiet_p99_solo_ns"`
+	QuietP99BesideHogNS float64               `json:"quiet_p99_beside_hog_ns"`
+	HogOfferedPPS       float64               `json:"hog_offered_pps"`
+	HogForwardPPS       float64               `json:"hog_forward_pps"`
+	IsolationOK         bool                  `json:"isolation_ok"`
+}
+
+// Sweep sizes; variables so the smoke test can shrink them.
+var (
+	TenantsQuietPPS = 20000.0
+	TenantsWarmupNS = 5e6
+	TenantsWindowNS = 50e6
+	TenantsSampleNS = 0.5e6
+	TenantsScalingN = []int{1, 2, 4, 8}
+)
+
+func tenantsScenario(w io.Writer, results *TenantsResults, scenario string,
+	specs []netsim.TenantSpec) ([]netsim.TenantResult, error) {
+	bed, err := netsim.NewTenantBed(specs, netsim.TestbedOptions{
+		Platform: simcpu.P0, NIC: netsim.Tulip,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := bed.MeasureTenants(TenantsWarmupNS, TenantsWindowNS, TenantsSampleNS)
+	for _, r := range res {
+		results.Points = append(results.Points, TenantsPoint{
+			Scenario:     scenario,
+			Tenant:       r.Name,
+			OfferedPPS:   r.OfferedPPS,
+			ForwardPPS:   r.ForwardPPS,
+			QueueDrops:   r.QueueDrops,
+			P99QueueLen:  r.P99QueueLen,
+			P99LatencyNS: r.P99LatencyNS,
+		})
+		fmt.Fprintf(w, "%-10s %-6s %10.0f %10.0f %8d %6d %12.0f\n",
+			scenario, r.Name, r.OfferedPPS, r.ForwardPPS, r.QueueDrops,
+			r.P99QueueLen, r.P99LatencyNS)
+	}
+	return res, nil
+}
+
+// TenantsBench runs the isolation and scaling scenarios and checks the
+// claims the experiment exists to prove: an overloaded tenant keeps
+// its overload to itself, and aggregate throughput scales with tenant
+// count.
+func TenantsBench(w io.Writer) error {
+	results := TenantsResults{QuietPPS: TenantsQuietPPS}
+	fmt.Fprintf(w, "Multi-tenant isolation on the netsim testbed (quiet tenants at %.0f pps, P0, Tulip)\n",
+		TenantsQuietPPS)
+	fmt.Fprintf(w, "%-10s %-6s %10s %10s %8s %6s %12s\n",
+		"scenario", "tenant", "offered", "forward", "drops", "p99len", "p99lat(ns)")
+
+	quiet := func(name string) netsim.TenantSpec {
+		return netsim.TenantSpec{Name: name, PPS: TenantsQuietPPS, QueueCap: 128}
+	}
+
+	// Baseline: the quiet tenants alone.
+	solo, err := tenantsScenario(w, &results, "solo",
+		[]netsim.TenantSpec{quiet("q1"), quiet("q2")})
+	if err != nil {
+		return err
+	}
+	// The same quiet tenants beside an overloaded neighbor: two full
+	// ingress wires into one egress wire, offered load capped only by
+	// the links themselves.
+	mixed, err := tenantsScenario(w, &results, "overload",
+		[]netsim.TenantSpec{quiet("q1"), quiet("q2"),
+			{Name: "hog", PPS: 1e9, QueueCap: 128, Ingress: 2}})
+	if err != nil {
+		return err
+	}
+
+	hog := mixed[2]
+	results.HogOfferedPPS = hog.OfferedPPS
+	results.HogForwardPPS = hog.ForwardPPS
+	if hog.OfferedPPS < 1.5*hog.ForwardPPS {
+		return fmt.Errorf("tenants: hog not overloaded (offered %.0f pps, forwarded %.0f pps)",
+			hog.OfferedPPS, hog.ForwardPPS)
+	}
+	if hog.QueueDrops == 0 {
+		return fmt.Errorf("tenants: hog never tail-dropped under 2x egress overload")
+	}
+
+	// The isolation criterion: beside the hog, each quiet tenant keeps
+	// its forwarding rate, drops nothing, and its p99 queue occupancy
+	// moves by at most two packets from its solo baseline.
+	results.IsolationOK = true
+	for i := 0; i < 2; i++ {
+		sr, mr := solo[i], mixed[i]
+		if sr.P99LatencyNS > results.QuietP99SoloNS {
+			results.QuietP99SoloNS = sr.P99LatencyNS
+		}
+		if mr.P99LatencyNS > results.QuietP99BesideHogNS {
+			results.QuietP99BesideHogNS = mr.P99LatencyNS
+		}
+		if mr.QueueDrops != 0 {
+			results.IsolationOK = false
+			return fmt.Errorf("tenants: quiet %s dropped %d packets beside the hog",
+				mr.Name, mr.QueueDrops)
+		}
+		if mr.ForwardPPS < 0.99*sr.ForwardPPS {
+			results.IsolationOK = false
+			return fmt.Errorf("tenants: quiet %s forwards %.0f pps beside the hog vs %.0f solo",
+				mr.Name, mr.ForwardPPS, sr.ForwardPPS)
+		}
+		if mr.P99QueueLen > sr.P99QueueLen+2 {
+			results.IsolationOK = false
+			return fmt.Errorf("tenants: quiet %s p99 queue length %d beside the hog vs %d solo",
+				mr.Name, mr.P99QueueLen, sr.P99QueueLen)
+		}
+	}
+	fmt.Fprintf(w, "isolation: quiet p99 latency %.0f ns solo, %.0f ns beside hog (hog offered %.0f pps, forwarded %.0f)\n",
+		results.QuietP99SoloNS, results.QuietP99BesideHogNS,
+		results.HogOfferedPPS, results.HogForwardPPS)
+
+	// Aggregate scaling: N quiet tenants; total forwarded pps must
+	// grow with N while the CPU has headroom.
+	var perTenant float64
+	for _, n := range TenantsScalingN {
+		specs := make([]netsim.TenantSpec, n)
+		for i := range specs {
+			specs[i] = quiet(fmt.Sprintf("s%d", i))
+		}
+		res, err := tenantsScenario(w, &results, fmt.Sprintf("scale%d", n), specs)
+		if err != nil {
+			return err
+		}
+		var agg float64
+		for _, r := range res {
+			agg += r.ForwardPPS
+		}
+		sp := TenantsScalingPoint{Tenants: n, AggregatePPS: agg, PerTenantPPS: agg / float64(n)}
+		results.Scaling = append(results.Scaling, sp)
+		if n == 1 {
+			perTenant = agg
+		} else if agg < 0.95*float64(n)*perTenant {
+			return fmt.Errorf("tenants: aggregate %.0f pps at %d tenants, want >= %.0f (0.95 x %d x %.0f)",
+				agg, n, 0.95*float64(n)*perTenant, n, perTenant)
+		}
+	}
+	last := results.Scaling[len(results.Scaling)-1]
+	fmt.Fprintf(w, "scaling: %.0f pps aggregate at %d tenants (%.0f per tenant)\n",
+		last.AggregatePPS, last.Tenants, last.PerTenantPPS)
+
+	if JSONPath != "" {
+		blob, err := json.MarshalIndent(&results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", JSONPath)
+	}
+	return nil
+}

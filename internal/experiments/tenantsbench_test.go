@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTenantsBenchReport runs a shrunken tenants sweep; the bench's
+// own internal assertions (hog overloaded, quiet tenants unmoved,
+// aggregate scaling) are the real checks.
+func TestTenantsBenchReport(t *testing.T) {
+	oldWin, oldN := TenantsWindowNS, TenantsScalingN
+	TenantsWindowNS, TenantsScalingN = 20e6, []int{1, 2}
+	defer func() { TenantsWindowNS, TenantsScalingN = oldWin, oldN }()
+	var buf bytes.Buffer
+	if err := TenantsBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"overload", "hog", "isolation", "scaling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,602 @@
+// Package mgmt hosts many tenant router configurations inside one
+// process — the XORP-style management shape for the combine machinery:
+// every tenant's elements live in a single combined router under a
+// "tenant/" name prefix, the read/write handler tree is the uniform
+// control surface, and an HTTP/JSON API (http.go) exposes it. Tenants
+// are created, hot-swapped, and deleted independently: each change
+// rebuilds the combined configuration and installs it through the
+// scheduler's zero-loss hot-swap, so unchanged tenants keep their
+// queue contents, counters, and table state by name-based transplant.
+//
+// The plane charges zero model cycles: it never attaches the simulated
+// CPU, every control operation runs through Scheduler.SyncDo at
+// dataplane-quiescent points, and nothing here is on the packet path.
+package mgmt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elements"
+	"repro/internal/graph"
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/packet"
+)
+
+// Limits bound one tenant's resource footprint. Zero fields take the
+// defaults below.
+type Limits struct {
+	// MaxElements caps the tenant's live element count at admission.
+	MaxElements int
+	// MaxQueueCapacity caps the sum of the tenant's Queue capacities —
+	// its packet-buffer budget. Enforced at admission and again on
+	// every runtime "capacity" handler write.
+	MaxQueueCapacity int
+}
+
+// Default per-tenant limits.
+const (
+	DefaultMaxElements      = 512
+	DefaultMaxQueueCapacity = 1 << 16
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxElements <= 0 {
+		l.MaxElements = DefaultMaxElements
+	}
+	if l.MaxQueueCapacity <= 0 {
+		l.MaxQueueCapacity = DefaultMaxQueueCapacity
+	}
+	return l
+}
+
+// DeviceProvider supplies the device object bound for a tenant's named
+// device (anything implementing elements.Device). Returning nil falls
+// back to an idle in-memory device that receives nothing and accepts
+// every transmit.
+type DeviceProvider func(tenant, device string) interface{}
+
+// Options configure a Plane.
+type Options struct {
+	// Registry resolves element classes; nil uses the builtin registry.
+	Registry *core.Registry
+	// Workers is the dataplane worker count (default 1). With more
+	// than one the combined router runs on the free-running epoch
+	// scheduler; control operations rendezvous through SyncDo.
+	Workers int
+	// Burst is the router-wide batch size (0 or 1 = scalar).
+	Burst int
+	// Devices provides tenant device bindings; nil means every device
+	// is an idle in-memory one.
+	Devices DeviceProvider
+	// Limits are the default per-tenant limits.
+	Limits Limits
+}
+
+// TenantInfo is one tenant's control-plane view.
+type TenantInfo struct {
+	ID       string `json:"id"`
+	Elements int    `json:"elements"`
+	Swaps    int    `json:"swaps"`
+	Limits   Limits `json:"limits"`
+}
+
+// Report is one tenant's telemetry snapshot, taken at a quiescent
+// point so the counters are mutually consistent.
+type Report struct {
+	ID       string                    `json:"id"`
+	Elements []core.ElementStatsReport `json:"elements"`
+	Totals   core.StatsTotals          `json:"totals"`
+}
+
+// tenant is one admitted configuration.
+type tenant struct {
+	id      string
+	graph   *graph.Router // device-rewritten, pre-prefix
+	text    string        // original config text
+	limits  Limits
+	devices []string // original (unprefixed) device names
+	swaps   int
+}
+
+// Plane hosts the tenants. All control-plane methods are safe for
+// concurrent use; dataplane interaction happens only through the
+// scheduler's quiescent points.
+type Plane struct {
+	opts Options
+	reg  *core.Registry
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	order   []string // admission order, the combine input order
+	devs    map[string]interface{}
+	sched   *core.Scheduler
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewPlane builds an empty plane with a running (but idle) combined
+// router.
+func NewPlane(opts Options) (*Plane, error) {
+	if opts.Registry == nil {
+		opts.Registry = elements.NewRegistry()
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	opts.Limits = opts.Limits.withDefaults()
+	p := &Plane{
+		opts:    opts,
+		reg:     opts.Registry,
+		tenants: map[string]*tenant{},
+		devs:    map[string]interface{}{},
+	}
+	rt, err := p.buildCombined()
+	if err != nil {
+		return nil, err
+	}
+	p.sched, err = core.NewScheduler(rt, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Scheduler exposes the underlying scheduler (tests drive traffic
+// through it directly when the pump is not running).
+func (p *Plane) Scheduler() *core.Scheduler { return p.sched }
+
+// validTenantID enforces the namespace rules: the ID becomes an
+// element-name prefix (combine forbids '/', '.', and whitespace) and a
+// device-key prefix (':' is our separator), and must survive a URL
+// path segment unescaped.
+func validTenantID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("mgmt: bad tenant id %q", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return fmt.Errorf("mgmt: bad tenant id %q (want letters, digits, '_', '-')", id)
+		}
+	}
+	return nil
+}
+
+// deviceClasses are the element classes whose first config argument
+// names a device bound from the environment.
+var deviceClasses = map[string]bool{
+	"PollDevice": true,
+	"FromDevice": true,
+	"ToDevice":   true,
+}
+
+func isDeviceClass(class string) bool {
+	if deviceClasses[class] {
+		return true
+	}
+	if i := strings.LastIndex(class, "_dv"); i > 0 {
+		if _, err := strconv.Atoi(class[i+3:]); err == nil {
+			return deviceClasses[class[:i]]
+		}
+	}
+	return false
+}
+
+// admit parses and validates one tenant configuration: the graph is
+// checked against the limits, and every device reference is rewritten
+// to the tenant-scoped "tenant:dev" form so two tenants' "eth0" never
+// collide in the router environment.
+func (p *Plane) admit(id, text string, lim Limits) (*tenant, error) {
+	g, err := lang.ParseRouter(text, id+".click")
+	if err != nil {
+		return nil, fmt.Errorf("mgmt: tenant %s: %w", id, err)
+	}
+	lim = lim.withDefaults()
+	live := g.LiveIndices()
+	if len(live) > lim.MaxElements {
+		return nil, fmt.Errorf("mgmt: tenant %s: %d elements exceeds limit %d", id, len(live), lim.MaxElements)
+	}
+	queueBudget := 0
+	var devices []string
+	seenDev := map[string]bool{}
+	for _, i := range live {
+		e := g.Element(i)
+		if e.Class == "Queue" {
+			cap := elements.DefaultQueueCapacity
+			args := lang.SplitConfig(e.Config)
+			if len(args) >= 1 && strings.TrimSpace(args[0]) != "" {
+				n, err := strconv.Atoi(strings.TrimSpace(args[0]))
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("mgmt: tenant %s: bad Queue capacity %q", id, args[0])
+				}
+				cap = n
+			}
+			queueBudget += cap
+		}
+		if !isDeviceClass(e.Class) {
+			continue
+		}
+		args := lang.SplitConfig(e.Config)
+		if len(args) == 0 || strings.TrimSpace(args[0]) == "" {
+			continue
+		}
+		dev := strings.TrimSpace(args[0])
+		args[0] = id + ":" + dev
+		e.Config = strings.Join(args, ", ")
+		if !seenDev[dev] {
+			seenDev[dev] = true
+			devices = append(devices, dev)
+		}
+	}
+	if queueBudget > lim.MaxQueueCapacity {
+		return nil, fmt.Errorf("mgmt: tenant %s: queue capacity %d exceeds budget %d", id, queueBudget, lim.MaxQueueCapacity)
+	}
+	return &tenant{id: id, graph: g, text: text, limits: lim, devices: devices}, nil
+}
+
+// buildCombined assembles every admitted tenant into one router via
+// combine with zero links — pure namespacing, the §7.2 machinery run
+// at fleet scale. Callers hold p.mu (or are in NewPlane).
+func (p *Plane) buildCombined() (*core.Router, error) {
+	inputs := make([]opt.RouterInput, 0, len(p.order))
+	for _, id := range p.order {
+		inputs = append(inputs, opt.RouterInput{Name: id, Config: p.tenants[id].graph})
+	}
+	g, err := opt.Combine(inputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	env := make(map[string]interface{}, len(p.devs))
+	for k, v := range p.devs {
+		env[k] = v
+	}
+	return core.Build(g, p.reg, core.BuildOptions{Burst: p.opts.Burst, Env: env})
+}
+
+// install rebuilds the combined router and hot-swaps it in at a
+// quiescent point. Unchanged tenants' elements keep their state: the
+// transplant matches by (prefixed) name and Go type, and prefixes are
+// stable. Callers hold p.mu.
+func (p *Plane) install() error {
+	next, err := p.buildCombined()
+	if err != nil {
+		return err
+	}
+	var swapErr error
+	p.sched.SyncDo(func() { swapErr = p.sched.Hotswap(next) })
+	return swapErr
+}
+
+// provisionDevices binds a tenant's devices into the environment map.
+// Callers hold p.mu.
+func (p *Plane) provisionDevices(t *tenant) {
+	for _, dev := range t.devices {
+		scoped := t.id + ":" + dev
+		var obj interface{}
+		if p.opts.Devices != nil {
+			obj = p.opts.Devices(t.id, dev)
+		}
+		if obj == nil {
+			obj = &idleDevice{name: scoped}
+		}
+		p.devs["device:"+scoped] = obj
+	}
+}
+
+func (p *Plane) dropDevices(t *tenant) {
+	for _, dev := range t.devices {
+		delete(p.devs, "device:"+t.id+":"+dev)
+	}
+}
+
+// Create admits a new tenant and installs it. Zero-valued limits take
+// the plane defaults.
+func (p *Plane) Create(id, configText string, lim Limits) error {
+	if err := validTenantID(id); err != nil {
+		return err
+	}
+	if lim == (Limits{}) {
+		lim = p.opts.Limits
+	}
+	t, err := p.admit(id, configText, lim)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.tenants[id]; exists {
+		return fmt.Errorf("mgmt: tenant %q already exists", id)
+	}
+	p.tenants[id] = t
+	p.order = append(p.order, id)
+	p.provisionDevices(t)
+	if err := p.install(); err != nil {
+		// Roll back: the failed configuration must not strand the
+		// other tenants.
+		delete(p.tenants, id)
+		p.order = p.order[:len(p.order)-1]
+		p.dropDevices(t)
+		return err
+	}
+	return nil
+}
+
+// Swap replaces one tenant's configuration through a zero-loss
+// hot-swap: the tenant's same-name, same-type elements keep their
+// queue contents and counters, and every other tenant is untouched.
+func (p *Plane) Swap(id, configText string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old, ok := p.tenants[id]
+	if !ok {
+		return fmt.Errorf("mgmt: no tenant %q", id)
+	}
+	t, err := p.admit(id, configText, old.limits)
+	if err != nil {
+		return err
+	}
+	t.swaps = old.swaps + 1
+	p.tenants[id] = t
+	p.dropDevices(old)
+	p.provisionDevices(t)
+	if err := p.install(); err != nil {
+		p.tenants[id] = old
+		p.dropDevices(t)
+		p.provisionDevices(old)
+		return err
+	}
+	return nil
+}
+
+// Delete removes a tenant. Other tenants keep their state across the
+// installation.
+func (p *Plane) Delete(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[id]
+	if !ok {
+		return fmt.Errorf("mgmt: no tenant %q", id)
+	}
+	delete(p.tenants, id)
+	for i, o := range p.order {
+		if o == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	p.dropDevices(t)
+	if err := p.install(); err != nil {
+		// Reinstate: a failed rebuild must not leave the plane running
+		// a router that still contains the tenant while the control
+		// plane thinks it is gone.
+		p.tenants[id] = t
+		p.order = append(p.order, id)
+		p.provisionDevices(t)
+		return err
+	}
+	return nil
+}
+
+// Tenants lists the admitted tenants, sorted by ID.
+func (p *Plane) Tenants() []TenantInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TenantInfo, 0, len(p.tenants))
+	for id, t := range p.tenants {
+		out = append(out, TenantInfo{
+			ID:       id,
+			Elements: len(t.graph.LiveIndices()),
+			Swaps:    t.swaps,
+			Limits:   t.limits,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// tenantPrefix is the element-name prefix combine gives tenant id.
+func tenantPrefix(id string) string { return id + "/" }
+
+// path composes the combined-router handler path for a tenant-relative
+// element name.
+func (p *Plane) path(id, element, handler string) string {
+	return core.HandlerPath(tenantPrefix(id)+element, handler)
+}
+
+// checkTenant returns an error if id is not admitted.
+func (p *Plane) checkTenant(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.tenants[id]; !ok {
+		return fmt.Errorf("mgmt: no tenant %q", id)
+	}
+	return nil
+}
+
+// ReadHandler reads a tenant's element handler at a quiescent point.
+// element is tenant-relative ("q0", not "t1/q0").
+func (p *Plane) ReadHandler(id, element, handler string) (string, error) {
+	if err := p.checkTenant(id); err != nil {
+		return "", err
+	}
+	return p.sched.ReadHandler(p.path(id, element, handler))
+}
+
+// WriteHandler writes a tenant's element handler at a quiescent point.
+// Queue "capacity" writes are checked against the tenant's
+// MaxQueueCapacity budget atomically with the write itself.
+func (p *Plane) WriteHandler(id, element, handler, value string) error {
+	p.mu.Lock()
+	t, ok := p.tenants[id]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mgmt: no tenant %q", id)
+	}
+	full := p.path(id, element, handler)
+	if handler != "capacity" {
+		return p.sched.WriteHandler(full, value)
+	}
+	newCap, err := strconv.Atoi(strings.TrimSpace(value))
+	if err != nil || newCap <= 0 {
+		return fmt.Errorf("mgmt: bad capacity %q", value)
+	}
+	var werr error
+	p.sched.SyncDo(func() {
+		rt := p.sched.Router()
+		total := 0
+		target := tenantPrefix(id) + element
+		for _, i := range rt.Graph.LiveIndices() {
+			ge := rt.Graph.Element(i)
+			if ge.Class != "Queue" || !strings.HasPrefix(ge.Name, tenantPrefix(id)) || ge.Name == target {
+				continue
+			}
+			if v, err := rt.ReadHandler(core.HandlerPath(ge.Name, "capacity")); err == nil {
+				if n, err := strconv.Atoi(v); err == nil {
+					total += n
+				}
+			}
+		}
+		if total+newCap > t.limits.MaxQueueCapacity {
+			werr = fmt.Errorf("mgmt: tenant %s: capacity %d would exceed budget %d (others hold %d)",
+				id, newCap, t.limits.MaxQueueCapacity, total)
+			return
+		}
+		werr = rt.WriteHandler(full, value)
+	})
+	return werr
+}
+
+// ElementInfo is one element of a tenant's handler tree.
+type ElementInfo struct {
+	Name     string   `json:"name"`
+	Class    string   `json:"class"`
+	Handlers []string `json:"handlers"`
+}
+
+// Elements returns a tenant's handler tree: its elements (names
+// tenant-relative) and the handlers each exports.
+func (p *Plane) Elements(id string) ([]ElementInfo, error) {
+	if err := p.checkTenant(id); err != nil {
+		return nil, err
+	}
+	var out []ElementInfo
+	var lerr error
+	p.sched.SyncDo(func() {
+		rt := p.sched.Router()
+		pre := tenantPrefix(id)
+		for _, i := range rt.Graph.LiveIndices() {
+			ge := rt.Graph.Element(i)
+			if !strings.HasPrefix(ge.Name, pre) {
+				continue
+			}
+			names, err := rt.HandlerNames(ge.Name)
+			if err != nil {
+				lerr = err
+				return
+			}
+			out = append(out, ElementInfo{
+				Name:     strings.TrimPrefix(ge.Name, pre),
+				Class:    ge.Class,
+				Handlers: names,
+			})
+		}
+	})
+	return out, lerr
+}
+
+// TenantReport snapshots one tenant's telemetry at a quiescent point.
+func (p *Plane) TenantReport(id string) (*Report, error) {
+	if err := p.checkTenant(id); err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: id}
+	p.sched.SyncDo(func() {
+		pre := tenantPrefix(id)
+		for _, er := range p.sched.Router().StatsReport() {
+			if !strings.HasPrefix(er.Name, pre) {
+				continue
+			}
+			er.Name = strings.TrimPrefix(er.Name, pre)
+			rep.Elements = append(rep.Elements, er)
+		}
+	})
+	rep.Totals = core.Totals(rep.Elements)
+	return rep, nil
+}
+
+// Start launches the dataplane pump: a goroutine driving the combined
+// router until each burst of work drains, sleeping briefly when idle.
+// Control operations interleave at quiescent points automatically.
+func (p *Plane) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.running {
+		return
+	}
+	p.running = true
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.pump(p.stop, p.done)
+}
+
+// Stop halts the dataplane pump, waiting for it to exit.
+func (p *Plane) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (p *Plane) pump(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if p.sched.RunUntilIdle(4096) == 0 {
+			// Idle: no source had work. Sleep briefly rather than
+			// spin; control ops still run directly via SyncDo.
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
+}
+
+// idleDevice satisfies elements.Device with an empty RX ring and a
+// bottomless TX ring — the default binding when no DeviceProvider is
+// configured.
+type idleDevice struct{ name string }
+
+func (d *idleDevice) DeviceName() string { return d.name }
+
+func (d *idleDevice) RxDequeue() *packet.Packet { return nil }
+
+func (d *idleDevice) TxEnqueue(p *packet.Packet) bool {
+	p.Kill()
+	return true
+}
+
+func (d *idleDevice) TxRoom() bool { return true }
+
+func (d *idleDevice) TxClean() int { return 0 }

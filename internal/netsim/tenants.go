@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/elements"
+	"repro/internal/iprouter"
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/packet"
+)
+
+// The N-tenant testbed: many tenant forwarding configurations combined
+// into one router (zero links — pure namespacing, the management
+// plane's shape) on one simulated host, each tenant with its own pair
+// of NICs and its own offered load. This is the isolation instrument:
+// one tenant driven past its egress wire rate saturates only its own
+// queue, and the per-tenant queue-latency percentiles quantify how far
+// (if at all) a neighbor's overload moves a quiet tenant's tail.
+
+// TenantSpec describes one tenant in a combined testbed.
+type TenantSpec struct {
+	// Name is the tenant ID (element-name prefix).
+	Name string
+	// PPS is the offered load on each of the tenant's ingress
+	// interfaces. A source never exceeds its ingress link's wire rate.
+	PPS float64
+	// QueueCap overrides the tenant's queue capacity (0 = default).
+	QueueCap int
+	// Ingress is the number of ingress interfaces (0 means 1). With
+	// more than one, all ingress paths converge on the tenant's single
+	// egress queue — the overload configuration: two full ingress
+	// wires into one egress wire saturate the queue no matter how fast
+	// the CPU is.
+	Ingress int
+}
+
+func (sp TenantSpec) ingress() int {
+	if sp.Ingress <= 0 {
+		return 1
+	}
+	return sp.Ingress
+}
+
+// TenantBed is a combined N-tenant testbed.
+type TenantBed struct {
+	*Testbed
+	Specs []TenantSpec
+
+	// base[k] is tenant k's first interface index; its ingress NICs
+	// are base[k]..base[k]+ingress-1 and its egress NIC is
+	// base[k]+ingress.
+	base []int
+	// srcs[k] holds tenant k's sources, one per ingress interface
+	// (empty when the spec offered no load).
+	srcs [][]*Source
+	// samples[k] holds tenant k's queue-occupancy samples from the
+	// most recent MeasureTenants window.
+	samples [][]int
+}
+
+// TenantResult is one tenant's share of a measurement window.
+type TenantResult struct {
+	Name       string  `json:"name"`
+	OfferedPPS float64 `json:"offered_pps"`
+	ForwardPPS float64 `json:"forward_pps"`
+	QueueDrops int64   `json:"queue_drops"`
+	// P50QueueLen / P99QueueLen are queue-occupancy percentiles over
+	// the window's periodic samples.
+	P50QueueLen int `json:"p50_queue_len"`
+	P99QueueLen int `json:"p99_queue_len"`
+	// P99LatencyNS estimates the p99 queueing delay by Little's law:
+	// p99 occupancy over the tenant's forwarding rate.
+	P99LatencyNS float64 `json:"p99_latency_ns"`
+}
+
+// tenantIfs builds tenant k's n-interface addressing plan with
+// tenant-scoped device names, so N tenants coexist in one environment.
+func tenantIfs(name string, k, n int) []iprouter.Interface {
+	out := make([]iprouter.Interface, n)
+	for i := range out {
+		out[i] = iprouter.Interface{
+			Device:   fmt.Sprintf("%s_eth%d", name, i),
+			Addr:     packet.MakeIP4(10, byte(k+1), byte(i), 1),
+			Ether:    packet.EtherAddr{0x00, 0x02, 0xc0, byte(k + 1), byte(i), 0x01},
+			HostAddr: packet.MakeIP4(10, byte(k+1), byte(i), 2),
+			HostEth:  packet.EtherAddr{0x00, 0x02, 0xc0, byte(k + 1), byte(i), 0x02},
+		}
+	}
+	return out
+}
+
+// tenantForwarder writes one tenant's configuration: every ingress
+// interface polls into the single shared queue, which drains to the
+// egress device. With one ingress this is iprouter.SimpleConfig's
+// minimal forwarding path; with more it is the fan-in that can
+// overload the egress wire.
+func tenantForwarder(ifs []iprouter.Interface, queueCap int) string {
+	q := "Queue"
+	if queueCap > 0 {
+		q = fmt.Sprintf("Queue(%d)", queueCap)
+	}
+	egress := ifs[len(ifs)-1]
+	cfg := fmt.Sprintf("fd0 :: PollDevice(%s) -> q0 :: %s -> td0 :: ToDevice(%s);\n",
+		ifs[0].Device, q, egress.Device)
+	for i := 1; i < len(ifs)-1; i++ {
+		cfg += fmt.Sprintf("fd%d :: PollDevice(%s) -> q0;\n", i, ifs[i].Device)
+	}
+	return cfg
+}
+
+// NewTenantBed combines one forwarder per tenant (PollDevice -> Queue
+// -> ToDevice across its interfaces) into a single router — zero
+// links, exactly the management plane's namespacing — and wires it to
+// per-tenant NICs with per-tenant sources. Tenant k's elements are
+// named "<name>/fd0", "<name>/q0", "<name>/td0".
+func NewTenantBed(specs []TenantSpec, o TestbedOptions) (*TenantBed, error) {
+	var inputs []opt.RouterInput
+	var allIfs []iprouter.Interface
+	base := make([]int, len(specs))
+	for k, sp := range specs {
+		ifs := tenantIfs(sp.Name, k, sp.ingress()+1)
+		g, err := lang.ParseRouter(tenantForwarder(ifs, sp.QueueCap), sp.Name+".click")
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, opt.RouterInput{Name: sp.Name, Config: g})
+		base[k] = len(allIfs)
+		allIfs = append(allIfs, ifs...)
+	}
+	combined, err := opt.Combine(inputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	o.Ifs = allIfs
+	tb, err := NewTestbed(combined, o)
+	if err != nil {
+		return nil, err
+	}
+	bed := &TenantBed{Testbed: tb, Specs: specs, base: base, srcs: make([][]*Source, len(specs))}
+	// Per-tenant load: each ingress interface's host sends toward the
+	// tenant's egress host.
+	for k, sp := range specs {
+		if sp.PPS <= 0 {
+			continue
+		}
+		out := allIfs[base[k]+sp.ingress()]
+		for i := 0; i < sp.ingress(); i++ {
+			in := allIfs[base[k]+i]
+			seq := 0
+			build := func() *packet.Packet {
+				seq++
+				return packet.BuildUDP4(in.HostEth, in.Ether, in.HostAddr, out.HostAddr,
+					uint16(1024+seq%64), 1234, make([]byte, 14))
+			}
+			s := NewSource(tb.Sim, tb.NICs[base[k]+i], sp.PPS, build)
+			tb.sources = append(tb.sources, s)
+			bed.srcs[k] = append(bed.srcs[k], s)
+			s.Start(float64(k*7+i) * 100) // slight stagger
+		}
+	}
+	return bed, nil
+}
+
+// queueOf finds tenant k's queue element in the live router.
+func (bed *TenantBed) queueOf(k int) *elements.Queue {
+	e := bed.Router.Find(bed.Specs[k].Name + "/q0")
+	if e == nil {
+		return nil
+	}
+	q, _ := e.(*elements.Queue)
+	return q
+}
+
+// egressNIC is tenant k's output NIC.
+func (bed *TenantBed) egressNIC(k int) *NIC {
+	return bed.NICs[bed.base[k]+bed.Specs[k].ingress()]
+}
+
+// MeasureTenants runs warmup then a measurement window, sampling every
+// tenant's queue occupancy each sampleNS, and returns per-tenant
+// results.
+func (bed *TenantBed) MeasureTenants(warmupNS, windowNS, sampleNS float64) []TenantResult {
+	bed.Sim.RunUntil(bed.Sim.Now() + warmupNS)
+	n := len(bed.Specs)
+	bed.samples = make([][]int, n)
+	sent0 := make([]int64, n)
+	drops0 := make([]int64, n)
+	src0 := make([]int64, n)
+	for k := range bed.Specs {
+		sent0[k] = bed.egressNIC(k).SentWire
+		if q := bed.queueOf(k); q != nil {
+			drops0[k] = atomic.LoadInt64(&q.Drops)
+		}
+		for _, s := range bed.srcs[k] {
+			src0[k] += s.Emitted
+		}
+	}
+	start := bed.Sim.Now()
+	var tick func()
+	tick = func() {
+		for k := range bed.Specs {
+			if q := bed.queueOf(k); q != nil {
+				bed.samples[k] = append(bed.samples[k], q.Len())
+			}
+		}
+		if bed.Sim.Now()-start < windowNS {
+			bed.Sim.After(sampleNS, tick)
+		}
+	}
+	bed.Sim.After(sampleNS, tick)
+	bed.Sim.RunUntil(start + windowNS)
+
+	out := make([]TenantResult, n)
+	for k, sp := range bed.Specs {
+		sent := bed.egressNIC(k).SentWire - sent0[k]
+		res := TenantResult{
+			Name:       sp.Name,
+			ForwardPPS: float64(sent) * 1e9 / windowNS,
+		}
+		var emitted int64
+		for _, s := range bed.srcs[k] {
+			emitted += s.Emitted
+		}
+		res.OfferedPPS = float64(emitted-src0[k]) * 1e9 / windowNS
+		if q := bed.queueOf(k); q != nil {
+			res.QueueDrops = atomic.LoadInt64(&q.Drops) - drops0[k]
+		}
+		res.P50QueueLen = percentileInt(bed.samples[k], 50)
+		res.P99QueueLen = percentileInt(bed.samples[k], 99)
+		if res.ForwardPPS > 0 {
+			res.P99LatencyNS = float64(res.P99QueueLen) / res.ForwardPPS * 1e9
+		} else {
+			res.P99LatencyNS = math.Inf(1)
+			if res.P99QueueLen == 0 {
+				res.P99LatencyNS = 0
+			}
+		}
+		out[k] = res
+	}
+	return out
+}
+
+// percentileInt returns the pth percentile (nearest-rank) of xs.
+func percentileInt(xs []int, p int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

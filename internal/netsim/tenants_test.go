@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/simcpu"
+)
+
+// TestTenantBedIsolation is the tenancy claim at netsim fidelity: one
+// tenant driven past its egress wire rate (two full ingress wires
+// converging on one 100 Mbit egress) saturates its own queue and
+// tail-drops, while a quiet tenant's forwarding rate and p99 queue
+// occupancy stay at their solo baseline.
+func TestTenantBedIsolation(t *testing.T) {
+	const quietPPS = 20000
+	opts := TestbedOptions{Platform: simcpu.P0, NIC: Tulip}
+
+	// Baseline: the quiet tenants alone.
+	solo, err := NewTenantBed([]TenantSpec{
+		{Name: "q1", PPS: quietPPS, QueueCap: 128},
+		{Name: "q2", PPS: quietPPS, QueueCap: 128},
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloRes := solo.MeasureTenants(5e6, 50e6, 0.5e6)
+
+	// Same quiet tenants next to an overloaded neighbor.
+	mixed, err := NewTenantBed([]TenantSpec{
+		{Name: "q1", PPS: quietPPS, QueueCap: 128},
+		{Name: "q2", PPS: quietPPS, QueueCap: 128},
+		{Name: "hog", PPS: 1e9, QueueCap: 128, Ingress: 2},
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedRes := mixed.MeasureTenants(5e6, 50e6, 0.5e6)
+
+	hog := mixedRes[2]
+	// The hog is genuinely overloaded: offered well above forwarded,
+	// sustained tail drops, queue pinned at capacity.
+	if hog.OfferedPPS < 1.5*hog.ForwardPPS {
+		t.Errorf("hog not overloaded: offered %.0f pps vs forwarded %.0f pps",
+			hog.OfferedPPS, hog.ForwardPPS)
+	}
+	if hog.QueueDrops == 0 {
+		t.Error("hog queue never tail-dropped under 2x overload")
+	}
+	if hog.P99QueueLen < 100 {
+		t.Errorf("hog p99 queue length %d, want near capacity 128", hog.P99QueueLen)
+	}
+
+	// The quiet tenants are untouched: same forwarding rate and no
+	// tail inflation relative to running alone.
+	for i := 0; i < 2; i++ {
+		sr, mr := soloRes[i], mixedRes[i]
+		if mr.ForwardPPS < 0.99*sr.ForwardPPS {
+			t.Errorf("%s: forward %.0f pps beside hog vs %.0f solo",
+				mr.Name, mr.ForwardPPS, sr.ForwardPPS)
+		}
+		if mr.QueueDrops != 0 {
+			t.Errorf("%s: %d queue drops beside hog", mr.Name, mr.QueueDrops)
+		}
+		if mr.P99QueueLen > sr.P99QueueLen+2 {
+			t.Errorf("%s: p99 queue len %d beside hog vs %d solo",
+				mr.Name, mr.P99QueueLen, sr.P99QueueLen)
+		}
+	}
+}

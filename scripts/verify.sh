@@ -32,6 +32,14 @@ go test -race -run 'Fuse|Fusion|SpecializeFDD|Splice' ./internal/classifier ./in
 # because the per-shard caches and guard generations are read on the
 # fast path while write handlers bump them from other goroutines.
 go test -race -run 'FlowCache|AdaptiveFuseSurvives' ./internal/opt ./internal/experiments
+# Management tier: the multi-tenant plane under the race detector —
+# hierarchical handler paths with hostile element names, HTTP round
+# trips, tenant lifecycle (create/swap/delete with transplant), the
+# N-tenant isolation hammer, and write handlers mutating Queue and RED
+# settings from a second goroutine while parallel traffic runs. These
+# exercise the SyncDo rendezvous: control operations must only ever
+# run at a scheduler round boundary or epoch quiescent point.
+go test -race -run 'Hostile|HTTP|Tenant|Isolation|WriteHandlersDuringParallelTraffic' ./internal/core ./internal/mgmt ./internal/elements
 # Backend tier: real packet I/O under the race detector — the UDP
 # socket pump feeding the router's task loop from another goroutine,
 # the pcap replay/capture devices inside the parallel scheduler, and
