@@ -106,6 +106,8 @@ func main() {
 	adaptEvery := flag.Int("adapt-interval", 2000, "active rounds between adaptive telemetry samples")
 	adaptFlowCache := flag.Bool("adapt-flowcache", false, "let the adaptive controller install the flow fast path when the router runs hot")
 	serveAddr := flag.String("serve", "", "run as a multi-tenant server: listen on ADDR for the HTTP/JSON management API instead of running one configuration")
+	fullRebuild := flag.Bool("full-rebuild", false, "with -serve: rebuild the whole combined router on every tenant operation instead of patching incrementally")
+	noShare := flag.Bool("no-share", false, "with -serve: disable cross-tenant classifier sharing (private fused diagrams per tenant)")
 	backend := flag.String("backend", "sim", "device backend: sim (idle in-memory), pcap (replay/capture files), udp (localhost sockets)")
 	duration := flag.Duration("duration", time.Second, "wall-clock bound for -backend udp runs (ignored by sim and pcap)")
 	var reads, pcapIns, pcapOuts, udpMaps stringList
@@ -121,7 +123,7 @@ func main() {
 		*file = flag.Arg(0)
 	}
 	if *serveAddr != "" {
-		if err := runServe(*serveAddr, *file, *workers, *batch); err != nil {
+		if err := runServe(*serveAddr, *file, *workers, *batch, *fullRebuild, *noShare); err != nil {
 			tool.Fail("click", err)
 		}
 		return
@@ -282,11 +284,13 @@ func main() {
 // HTTP/JSON API. A configuration file named on the command line (but
 // not the "-" stdin default, so a bare "click -serve :8080" starts
 // empty) is installed as tenant "default" before serving.
-func runServe(addr, file string, workers, batch int) error {
+func runServe(addr, file string, workers, batch int, fullRebuild, noShare bool) error {
 	p, err := mgmt.NewPlane(mgmt.Options{
-		Registry: tool.Registry(),
-		Workers:  workers,
-		Burst:    batch,
+		Registry:    tool.Registry(),
+		Workers:     workers,
+		Burst:       batch,
+		FullRebuild: fullRebuild,
+		NoShare:     noShare,
 	})
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@ package classifier
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -164,13 +165,59 @@ func (pr *Program) Depth() int {
 	return depth(pr.Entry)
 }
 
+const hexDigits = "0123456789abcdef"
+
+// writeHex8 appends v as exactly eight lowercase hex digits (%08x).
+func writeHex8(b *strings.Builder, v uint32) {
+	for sh := 28; sh >= 0; sh -= 4 {
+		b.WriteByte(hexDigits[(v>>uint(sh))&0xf])
+	}
+}
+
+// writeTarget appends t in its textual form (drop, [port], step_N).
+func writeTarget(b *strings.Builder, t Target) {
+	if t == Drop {
+		b.WriteString("drop")
+		return
+	}
+	if p, ok := t.Port(); ok {
+		b.WriteByte('[')
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(']')
+		return
+	}
+	b.WriteString("step_")
+	b.WriteString(strconv.Itoa(int(t)))
+}
+
 // String renders the program in the human-readable form the
-// click-fastclassifier harness parses.
+// click-fastclassifier harness parses. The rendering is hand-rolled
+// rather than Fprintf-formatted: programs are serialized on every
+// archive write and intern-table lookup, which puts this on the
+// control plane's admission path.
 func (pr *Program) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "noutputs %d entry %d safe_length %d\n", pr.NOutputs, int(pr.Entry), pr.SafeLength)
+	b.Grow(40 + 48*len(pr.Exprs))
+	b.WriteString("noutputs ")
+	b.WriteString(strconv.Itoa(pr.NOutputs))
+	b.WriteString(" entry ")
+	b.WriteString(strconv.Itoa(int(pr.Entry)))
+	b.WriteString(" safe_length ")
+	b.WriteString(strconv.Itoa(pr.SafeLength))
+	b.WriteByte('\n')
 	for i, e := range pr.Exprs {
-		fmt.Fprintf(&b, "%d  %d/%08x%%%08x  yes->%s  no->%s\n", i, e.Offset, e.Value, e.Mask, e.Yes, e.No)
+		b.WriteString(strconv.Itoa(i))
+		b.WriteString("  ")
+		b.WriteString(strconv.Itoa(int(e.Offset)))
+		b.WriteByte('/')
+		writeHex8(&b, e.Value)
+		b.WriteByte('%')
+		writeHex8(&b, e.Mask)
+		b.WriteString("  yes->")
+		writeTarget(&b, e.Yes)
+		b.WriteString("  no->")
+		writeTarget(&b, e.No)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -185,34 +232,67 @@ func ParseProgram(s string) (*Program, error) {
 		return nil, fmt.Errorf("classifier: empty program text")
 	}
 	pr := &Program{}
-	var entry int
-	if _, err := fmt.Sscanf(lines[0], "noutputs %d entry %d safe_length %d", &pr.NOutputs, &entry, &pr.SafeLength); err != nil {
-		return nil, fmt.Errorf("classifier: bad program header %q: %v", lines[0], err)
+	hf := strings.Fields(lines[0])
+	headerOK := len(hf) == 6 && hf[0] == "noutputs" && hf[2] == "entry" && hf[4] == "safe_length"
+	if headerOK {
+		var e1, e2, e3 error
+		var entry int
+		pr.NOutputs, e1 = strconv.Atoi(hf[1])
+		entry, e2 = strconv.Atoi(hf[3])
+		pr.SafeLength, e3 = strconv.Atoi(hf[5])
+		pr.Entry = Target(entry)
+		headerOK = e1 == nil && e2 == nil && e3 == nil
 	}
-	pr.Entry = Target(entry)
+	if !headerOK {
+		return nil, fmt.Errorf("classifier: bad program header %q", lines[0])
+	}
 	for _, line := range lines[1:] {
-		line = strings.TrimSpace(line)
-		if line == "" {
+		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		var idx, off int
-		var val, mask uint32
-		var yesStr, noStr string
-		if _, err := fmt.Sscanf(line, "%d %d/%x%%%x yes->%s no->%s", &idx, &off, &val, &mask, &yesStr, &noStr); err != nil {
-			return nil, fmt.Errorf("classifier: bad program line %q: %v", line, err)
+		// Hand-rolled for the same reason String is: the format is
+		// four whitespace-separated tokens, "idx off/val%mask
+		// yes->T no->T", and Sscanf dominated admission profiles.
+		f := strings.Fields(line)
+		bad := func() (*Program, error) {
+			return nil, fmt.Errorf("classifier: bad program line %q", line)
 		}
-		yes, err := parseTarget(yesStr)
+		if len(f) != 4 || !strings.HasPrefix(f[2], "yes->") || !strings.HasPrefix(f[3], "no->") {
+			return bad()
+		}
+		idx, err := strconv.Atoi(f[0])
+		if err != nil {
+			return bad()
+		}
+		slash := strings.IndexByte(f[1], '/')
+		pct := strings.IndexByte(f[1], '%')
+		if slash < 0 || pct < slash {
+			return bad()
+		}
+		off, err := strconv.Atoi(f[1][:slash])
+		if err != nil {
+			return bad()
+		}
+		val, err := strconv.ParseUint(f[1][slash+1:pct], 16, 32)
+		if err != nil {
+			return bad()
+		}
+		mask, err := strconv.ParseUint(f[1][pct+1:], 16, 32)
+		if err != nil {
+			return bad()
+		}
+		yes, err := parseTarget(f[2][len("yes->"):])
 		if err != nil {
 			return nil, err
 		}
-		no, err := parseTarget(noStr)
+		no, err := parseTarget(f[3][len("no->"):])
 		if err != nil {
 			return nil, err
 		}
 		if idx != len(pr.Exprs) {
 			return nil, fmt.Errorf("classifier: out-of-order node %d", idx)
 		}
-		pr.Exprs = append(pr.Exprs, Expr{Offset: int32(off), Mask: mask, Value: val, Yes: yes, No: no})
+		pr.Exprs = append(pr.Exprs, Expr{Offset: int32(off), Mask: uint32(mask), Value: uint32(val), Yes: yes, No: no})
 	}
 	if err := pr.Validate(); err != nil {
 		return nil, err
@@ -225,17 +305,19 @@ func parseTarget(s string) (Target, error) {
 		return Drop, nil
 	}
 	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
-		var p int
-		if _, err := fmt.Sscanf(s, "[%d]", &p); err != nil {
+		p, err := strconv.Atoi(s[1 : len(s)-1])
+		if err != nil {
 			return 0, fmt.Errorf("classifier: bad leaf %q", s)
 		}
 		return LeafPort(p), nil
 	}
-	var n int
-	if _, err := fmt.Sscanf(s, "step_%d", &n); err != nil {
-		return 0, fmt.Errorf("classifier: bad target %q", s)
+	if rest, ok := strings.CutPrefix(s, "step_"); ok {
+		n, err := strconv.Atoi(rest)
+		if err == nil {
+			return Target(n), nil
+		}
 	}
-	return Target(n), nil
+	return 0, fmt.Errorf("classifier: bad target %q", s)
 }
 
 // Validate checks structural invariants: forward-only edges (hence

@@ -57,6 +57,9 @@ func (rt *Router) Hotswap(next *Router) error {
 	next.guards.CopyFrom(rt.guards)
 	var pairs []pair
 	for _, e := range rt.elements {
+		if e == nil {
+			continue // removed by an incremental tenant delete
+		}
 		b := e.base()
 		ne, ok := next.byName[b.name]
 		if !ok {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -37,9 +38,16 @@ type Scheduler struct {
 	workers int
 
 	// plan is the current task partition. It is rebuilt only at
-	// quiescent points (construction, hot-swap) and read through an
-	// atomic pointer by free-running workers.
+	// quiescent points (construction, hot-swap, tenant splice/remove)
+	// and read through an atomic pointer by free-running workers.
 	plan atomic.Pointer[schedPlan]
+
+	// aff is the per-task flow-affinity label table, parallel to
+	// rt.tasks; affLabels is the number of labels handed out so far.
+	// Incremental tenant operations extend and filter these instead of
+	// re-flooding the whole graph, so a splice costs O(tenant).
+	aff       []int
+	affLabels int
 
 	queues []workerQueue // per-round run queues for the RunRound path
 
@@ -185,6 +193,9 @@ func (s *Scheduler) SwapErr() error { return s.swapErr }
 func (s *Scheduler) arm(rt *Router, tr *taskReach) {
 	counts := tr.touchCounts(rt)
 	for i, e := range rt.elements {
+		if e == nil {
+			continue // removed by an incremental tenant delete
+		}
 		shared := counts[i] > 1
 		e.base().stats.shared = shared
 		if sy, ok := e.(Synchronizer); ok && shared {
@@ -200,14 +211,16 @@ func (s *Scheduler) arm(rt *Router, tr *taskReach) {
 // output: every task that consumes from a steered output's downstream
 // region — transitively, across further queues — shares that output's
 // label, so the whole per-flow path lands on one worker. Unsteered
-// tasks get -1.
-func flowAffinity(rt *Router, tr *taskReach) []int {
+// tasks get -1. The second result is the number of labels assigned, so
+// an incremental splice can offset a subrouter's labels past the ones
+// already in use.
+func flowAffinity(rt *Router, tr *taskReach) ([]int, int) {
 	aff := make([]int, len(rt.tasks))
 	for i := range aff {
 		aff[i] = -1
 	}
 	if tr == nil {
-		return aff
+		return aff, 0
 	}
 	label := 0
 	for ei, e := range rt.elements {
@@ -248,21 +261,28 @@ func flowAffinity(rt *Router, tr *taskReach) []int {
 		}
 		label += nout
 	}
-	return aff
+	return aff, label
 }
 
-// partition rebuilds the task partition from the current router:
-// flow-affine tasks are pinned to label-modulo-P workers and are not
-// stealable; the rest round-robin and may be stolen by idle workers.
+// partition recomputes the affinity table from scratch (construction
+// and hot-swap, where the whole router is new) and rebuilds the plan.
 func (s *Scheduler) partition(tr *taskReach) {
+	s.aff, s.affLabels = flowAffinity(s.rt, tr)
+	s.rebuildPlan()
+}
+
+// rebuildPlan rebuilds the task partition from the current router and
+// the stored affinity table: flow-affine tasks are pinned to
+// label-modulo-P workers and are not stealable; the rest round-robin
+// and may be stolen by idle workers.
+func (s *Scheduler) rebuildPlan() {
 	per := make([][]*sharedEntry, s.workers)
-	aff := flowAffinity(s.rt, tr)
 	next := 0
 	for i := range s.rt.tasks {
 		e := &sharedEntry{task: s.rt.tasks[i], runs: s.rt.weights[i], pinned: -1}
 		var w int
-		if aff[i] >= 0 {
-			w = aff[i] % s.workers
+		if s.aff[i] >= 0 {
+			w = s.aff[i] % s.workers
 			e.pinned = w
 		} else {
 			w = next % s.workers
@@ -271,6 +291,77 @@ func (s *Scheduler) partition(tr *taskReach) {
 		per[w] = append(per[w], e)
 	}
 	s.plan.Store(&schedPlan{perWorker: per})
+}
+
+// SpliceTenant splices a freshly built, disjoint subrouter into the
+// running router — the incremental counterpart of Hotswap for a tenant
+// create. In parallel mode the subrouter's elements are armed from its
+// own task-reach analysis first; because the subgraph is disjoint from
+// everything already installed (the management plane combines tenants
+// with zero links), the sub-local analysis is exact. The caller must
+// hold a quiescent point (call from inside SyncDo); the method must
+// not re-enter SyncDo.
+func (s *Scheduler) SpliceTenant(sub *Router) error {
+	if s.workers > 1 && sub.CPU != nil {
+		return fmt.Errorf("core: splice: parallel scheduler cannot adopt a router with the simulated CPU cost model attached")
+	}
+	var tr *taskReach
+	if s.workers > 1 {
+		tr = sub.analyzeTasks()
+		s.arm(sub, tr)
+	}
+	subAff, labels := flowAffinity(sub, tr)
+	if err := s.rt.Splice(sub); err != nil {
+		return err
+	}
+	for _, a := range subAff {
+		if a >= 0 {
+			a += s.affLabels
+		}
+		s.aff = append(s.aff, a)
+	}
+	s.affLabels += labels
+	s.rebuildPlan()
+	return nil
+}
+
+// RemoveTenant removes every element under the given name prefix from
+// the running router, returning the removed elements so the caller can
+// release external resources. Same quiescent-point contract as
+// SpliceTenant.
+func (s *Scheduler) RemoveTenant(prefix string) []Element {
+	removed, taskMask := s.rt.RemoveByPrefix(prefix)
+	kept := s.aff[:0]
+	for t, dead := range taskMask {
+		if !dead {
+			kept = append(kept, s.aff[t])
+		}
+	}
+	s.aff = kept
+	s.rebuildPlan()
+	return removed
+}
+
+// SwapTenant replaces the subgraph under prefix with sub, transplanting
+// state between same-named elements exactly as a full hot-swap would
+// (telemetry always, StateCarrier state on Go-type identity, guard
+// generations adopted). Sub's element names must all lie under prefix
+// or at least not collide with surviving elements; the check runs
+// before any mutation. Same quiescent-point contract as SpliceTenant.
+func (s *Scheduler) SwapTenant(prefix string, sub *Router) ([]Element, error) {
+	if s.workers > 1 && sub.CPU != nil {
+		return nil, fmt.Errorf("core: swap: parallel scheduler cannot adopt a router with the simulated CPU cost model attached")
+	}
+	for name := range sub.byName {
+		if _, clash := s.rt.byName[name]; clash && !strings.HasPrefix(name, prefix) {
+			return nil, fmt.Errorf("core: swap: element %q collides outside prefix %q", name, prefix)
+		}
+	}
+	if err := s.rt.TransplantInto(sub); err != nil {
+		return nil, err
+	}
+	removed := s.RemoveTenant(prefix)
+	return removed, s.SpliceTenant(sub)
 }
 
 // Hotswap replaces the scheduled router with next at a quiescent

@@ -386,7 +386,7 @@ fs [1] -> q1 :: TPuller -> d1 :: TDrain;`
 		t.Fatalf("no task for %s", name)
 		return -1
 	}
-	aff := flowAffinity(rt, rt.analyzeTasks())
+	aff, _ := flowAffinity(rt, rt.analyzeTasks())
 	src, d0, d1 := taskOf("src"), taskOf("d0"), taskOf("d1")
 	if aff[src] != -1 {
 		t.Errorf("source task labeled %d, want -1 (stealable)", aff[src])

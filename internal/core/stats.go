@@ -124,6 +124,9 @@ type ElementStatsReport struct {
 func (rt *Router) StatsReport() []ElementStatsReport {
 	reps := make([]ElementStatsReport, 0, len(rt.elements))
 	for _, e := range rt.elements {
+		if e == nil {
+			continue // removed by an incremental tenant delete
+		}
 		b := e.base()
 		s := &b.stats
 		reps = append(reps, ElementStatsReport{

@@ -75,6 +75,9 @@ func (t *Tracer) Paths() map[uint64][]string {
 func (rt *Router) EnableTracing(capacity int) *Tracer {
 	tr := NewTracer(capacity)
 	for _, e := range rt.elements {
+		if e == nil {
+			continue // removed by an incremental tenant delete
+		}
 		b := e.base()
 		for i := range b.outputs {
 			b.outputs[i].tracer = tr

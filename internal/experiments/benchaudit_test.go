@@ -28,9 +28,12 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 		"BENCH_flowcache.json": {"points", "improvement", "flows", "trace_packets"},
 		"BENCH_fusion.json":    {"points"},
 		"BENCH_parallel.json":  {"points", "elements"},
-		"BENCH_scaling.json":   {"points", "cpus", "speedup_claims_valid"},
+		"BENCH_scaling.json":   {"points", "cpus", "speedup_claims_valid", "udp"},
 		"BENCH_tenants.json": {"points", "scaling", "isolation_ok",
 			"quiet_p99_solo_ns", "quiet_p99_beside_hog_ns"},
+		"BENCH_mgmtscale.json": {"points", "threshold_speedup", "threshold_tenants",
+			"incremental_speedup", "incremental_speedup_ok", "sharing_sublinear",
+			"dataplane_live"},
 	}
 	// Keys that are asserted claims, not measurements: the committed
 	// artifact must say the claim held. (BENCH_scaling.json's
@@ -38,6 +41,8 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 	// honest negative result.)
 	mustBeTrue := map[string][]string{
 		"BENCH_tenants.json": {"isolation_ok"},
+		"BENCH_mgmtscale.json": {"incremental_speedup_ok", "sharing_sublinear",
+			"dataplane_live"},
 	}
 	// Point fields that are per-run or per-packet measurements: zero or
 	// negative means the benchmark recorded nothing.
@@ -49,6 +54,20 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 		"pps":               true,
 		"offered_pps":       true,
 		"forward_pps":       true,
+		"inc_create_ns":     true,
+		"inc_swap_ns":       true,
+		"inc_delete_ns":     true,
+		"full_create_ns":    true,
+		"full_swap_ns":      true,
+		"full_delete_ns":    true,
+		"create_speedup":    true,
+		"swap_speedup":      true,
+		"delete_speedup":    true,
+		"ctrl_ops_per_sec":  true,
+		"forwarded":         true,
+		"shared_programs":   true,
+		"resident_nodes":    true,
+		"unshared_nodes":    true,
 	}
 	for _, path := range files {
 		name := filepath.Base(path)
@@ -74,6 +93,36 @@ func TestCommittedBenchArtifacts(t *testing.T) {
 			for _, k := range mustBeTrue[name] {
 				if v, ok := doc[k].(bool); !ok || !v {
 					t.Errorf("%s: asserted claim %q = %v, want true", name, k, doc[k])
+				}
+			}
+			switch name {
+			case "BENCH_mgmtscale.json":
+				// The headline claim is a ratio against a threshold both
+				// recorded in the same file; the committed artifact must
+				// actually clear it, not just assert the boolean.
+				sp, _ := doc["incremental_speedup"].(float64)
+				th, _ := doc["threshold_speedup"].(float64)
+				if th <= 1 {
+					t.Errorf("%s: threshold_speedup = %v, want a real bar", name, th)
+				}
+				if sp < th {
+					t.Errorf("%s: incremental_speedup %.2f below threshold %.2f", name, sp, th)
+				}
+			case "BENCH_scaling.json":
+				// The real-socket point must either be a credible
+				// measurement or say why it is absent.
+				udp, _ := doc["udp"].(map[string]interface{})
+				if udp == nil {
+					t.Errorf("%s: udp point is not an object", name)
+				} else if ran, _ := udp["ran"].(bool); ran {
+					if pps, _ := udp["pps"].(float64); pps <= 0 {
+						t.Errorf("%s: udp point ran with pps %v", name, udp["pps"])
+					}
+					if wc, _ := udp["wallclock"].(bool); !wc {
+						t.Errorf("%s: udp point not flagged wallclock", name)
+					}
+				} else if s, _ := udp["error"].(string); s == "" {
+					t.Errorf("%s: udp point neither ran nor explains why", name)
 				}
 			}
 			pts, _ := doc["points"].([]interface{})

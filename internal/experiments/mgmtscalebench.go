@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/iprouter"
+	"repro/internal/mgmt"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// The mgmtscale experiment measures the control plane's scaling claim:
+// with incremental admission, a tenant create/swap/delete costs
+// O(tenant) — parse (cached), build one subgraph, patch it into the
+// running router at a quiescent point — instead of the O(fleet) full
+// rebuild, so per-operation latency stays flat as the fleet grows. The
+// population models a template fleet: tenants draw their classifier
+// ruleset from a pool of distinct templates that grows much slower
+// than the fleet (tenant i runs template i mod k), and the hot-swap
+// phase rolls tenants onto another template already deployed in the
+// fleet — the rollout/rollback case. Load is injected into every
+// tenant's dataplane while the control operations run, and both modes
+// of the same plane are measured in the same process: incremental (the
+// default) versus FullRebuild (the baseline the speedup is claimed
+// against).
+//
+// It also measures cross-tenant classifier sharing: with the hash-cons
+// table, the identical cohort's fused decision diagrams collapse to
+// one resident program no matter how many tenants run them, so
+// resident diagram nodes grow with distinct rulesets, not tenant
+// count. The committed artifact asserts both claims; benchaudit
+// refuses a BENCH_mgmtscale.json whose flags say otherwise.
+
+// Sweep parameters; variables so the smoke test can shrink them.
+var (
+	// MgmtScaleTenantCounts is the tenant-count sweep.
+	MgmtScaleTenantCounts = []int{8, 16, 32, 64, 128, 256}
+	// MgmtScaleSwapsPerPoint bounds the hot-swaps measured per point.
+	MgmtScaleSwapsPerPoint = 16
+	// MgmtScaleFramesPerTenant is the dataplane load injected per
+	// tenant per phase.
+	MgmtScaleFramesPerTenant = 4
+	// MgmtScaleSpeedupThreshold is the asserted incremental-vs-rebuild
+	// speedup floor.
+	MgmtScaleSpeedupThreshold = 10.0
+	// MgmtScaleSpeedupTenants is the fleet size from which the
+	// threshold is asserted.
+	MgmtScaleSpeedupTenants = 128
+)
+
+// mgmtScaleTemplates is the ruleset-template pool size for an n-tenant
+// fleet: distinct configurations grow far slower than tenants, which
+// is the population cross-tenant sharing is for.
+func mgmtScaleTemplates(n int) int {
+	k := n / 16
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// MgmtScalePoint is one tenant count's measurement. The *NS fields are
+// average per-operation control latencies.
+type MgmtScalePoint struct {
+	Tenants          int `json:"tenants"`
+	DistinctRulesets int `json:"distinct_rulesets"`
+
+	IncCreateNS float64 `json:"inc_create_ns"`
+	IncSwapNS   float64 `json:"inc_swap_ns"`
+	IncDeleteNS float64 `json:"inc_delete_ns"`
+
+	FullCreateNS float64 `json:"full_create_ns"`
+	FullSwapNS   float64 `json:"full_swap_ns"`
+	FullDeleteNS float64 `json:"full_delete_ns"`
+
+	CreateSpeedup float64 `json:"create_speedup"`
+	SwapSpeedup   float64 `json:"swap_speedup"`
+	DeleteSpeedup float64 `json:"delete_speedup"`
+
+	// CtrlOpsPerSec is the incremental plane's control throughput over
+	// the point's create+swap+delete phases, dataplane under load.
+	CtrlOpsPerSec float64 `json:"ctrl_ops_per_sec"`
+	// Forwarded counts frames the incremental plane's dataplane
+	// emitted while the control operations ran.
+	Forwarded int64 `json:"forwarded"`
+
+	// Sharing snapshot at full population (before swaps): resident is
+	// what the hash-cons table holds, unshared is what per-tenant
+	// private copies would hold.
+	SharedPrograms int `json:"shared_programs"`
+	ResidentNodes  int `json:"resident_nodes"`
+	UnsharedNodes  int `json:"unshared_nodes"`
+
+	ConfigCacheHits int64 `json:"config_cache_hits"`
+}
+
+// MgmtScaleResults is the document click-bench -json writes for the
+// mgmtscale experiment.
+type MgmtScaleResults struct {
+	ThresholdSpeedup float64          `json:"threshold_speedup"`
+	ThresholdTenants int              `json:"threshold_tenants"`
+	Points           []MgmtScalePoint `json:"points"`
+	// IncrementalSpeedup is the worst create/swap speedup over every
+	// point at or past ThresholdTenants.
+	IncrementalSpeedup   float64 `json:"incremental_speedup"`
+	IncrementalSpeedupOK bool    `json:"incremental_speedup_ok"`
+	// SharingSublinear asserts resident programs tracked the template
+	// pool, not the fleet size, at every point.
+	SharingSublinear bool `json:"sharing_sublinear"`
+	// DataplaneLive asserts every injected frame was forwarded while
+	// the control churn ran.
+	DataplaneLive bool `json:"dataplane_live"`
+}
+
+// mgmtScaleRules returns the tenant ruleset for a variant: variant 0
+// is the shared baseline (the §4 screened-host firewall), nonzero
+// variants perturb one middle rule's port constant so the fused
+// decision diagram differs while the measurement packet (UDP :53 to
+// the bastion host, rule 16) still passes.
+func mgmtScaleRules(variant int) []string {
+	rules := append([]string(nil), iprouter.FirewallRules()...)
+	if variant > 0 {
+		rules[10] = fmt.Sprintf("deny udp && dst port %d", 2000+variant%60000)
+	}
+	return rules
+}
+
+// mgmtScaleConfig is one tenant's dataplane: poll, a fusable
+// classifier chain (IPFilter -> IPClassifier), queue, transmit.
+func mgmtScaleConfig(variant int) string {
+	return fmt.Sprintf(`pd :: PollDevice(eth0) -> flt :: IPFilter(%s) -> fc :: IPClassifier(udp, tcp, -);
+fc [0] -> q :: Queue(64) -> td :: ToDevice(eth1);
+fc [1] -> q;
+fc [2] -> ds :: Discard;
+`, strings.Join(mgmtScaleRules(variant), ", "))
+}
+
+// mgmtScaleFrame is the rule-16 packet every ruleset admits.
+func mgmtScaleFrame() []byte {
+	return netsim.IPFrame(packet.MakeIP4(192, 0, 2, 7), packet.MakeIP4(10, 0, 0, 2), 3456, 53, 26)
+}
+
+func mgmtScaleTenantID(i int) string { return fmt.Sprintf("t%03d", i) }
+
+// mgmtScaleRun drives one plane (incremental or full-rebuild) through
+// the point's operation sequence under dataplane load and returns the
+// plane's report plus the op-phase wall time, the sharing snapshot
+// taken at full population, and the forwarded-frame count.
+type mgmtScaleRunResult struct {
+	createNS, swapNS, deleteNS float64
+	opWall                     time.Duration
+	ops                        int64
+	forwarded                  int64
+	sharedPrograms             int
+	residentNodes              int
+	unsharedNodes              int
+	cacheHits                  int64
+	distinct                   int
+}
+
+func mgmtScaleRun(n int, fullRebuild bool) (*mgmtScaleRunResult, error) {
+	bed, err := netsim.NewPlaneBed(netsim.PlaneBedOptions{FullRebuild: fullRebuild})
+	if err != nil {
+		return nil, err
+	}
+	bed.Plane.Start()
+	defer bed.Plane.Stop()
+
+	frame := mgmtScaleFrame()
+	inject := func(i int) {
+		frames := make([][]byte, MgmtScaleFramesPerTenant)
+		for k := range frames {
+			frames[k] = frame
+		}
+		bed.Device(mgmtScaleTenantID(i), "eth0").Inject(frames...)
+	}
+	waitForwarded := func(want int64) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if bed.TotalTx() >= want {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return fmt.Errorf("mgmtscale: dataplane stalled: forwarded %d of %d frames", bed.TotalTx(), want)
+	}
+
+	res := &mgmtScaleRunResult{}
+	res.distinct = mgmtScaleTemplates(n)
+
+	// Create phase: tenant i draws template i mod k from the pool, with
+	// load injected as each tenant lands. Each template's first arrival
+	// pays the parse+fuse cost; the rest of its cohort hits the config
+	// cache and shares its fused diagram.
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := bed.Plane.Create(mgmtScaleTenantID(i), mgmtScaleConfig(i%res.distinct), mgmt.Limits{}); err != nil {
+			return nil, err
+		}
+		inject(i)
+	}
+	res.opWall += time.Since(start)
+	want := int64(n * MgmtScaleFramesPerTenant)
+	if err := waitForwarded(want); err != nil {
+		return nil, err
+	}
+
+	// Sharing snapshot at full population, before swaps muddy the
+	// cohorts.
+	rep := bed.Plane.Report()
+	res.createNS = float64(rep.Create.TotalNS) / float64(rep.Create.Count)
+	res.sharedPrograms = rep.Sharing.Programs
+	res.residentNodes = rep.Sharing.ResidentNodes
+	res.unsharedNodes = rep.Sharing.UnsharedNodes
+	res.cacheHits = rep.ConfigCacheHits
+
+	// Swap phase: roll a bounded slice of the fleet onto the next
+	// template in the pool — a config rollout onto an
+	// already-deployed version — each swap followed by more load (the
+	// swap must keep forwarding).
+	swaps := MgmtScaleSwapsPerPoint
+	if swaps > n {
+		swaps = n
+	}
+	start = time.Now()
+	for j := 0; j < swaps; j++ {
+		if err := bed.Plane.Swap(mgmtScaleTenantID(j), mgmtScaleConfig((j+1)%res.distinct)); err != nil {
+			return nil, err
+		}
+		inject(j)
+	}
+	res.opWall += time.Since(start)
+	want += int64(swaps * MgmtScaleFramesPerTenant)
+	if err := waitForwarded(want); err != nil {
+		return nil, err
+	}
+
+	// Delete phase: tear the whole fleet down.
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if err := bed.Plane.Delete(mgmtScaleTenantID(i)); err != nil {
+			return nil, err
+		}
+	}
+	res.opWall += time.Since(start)
+
+	rep = bed.Plane.Report()
+	res.swapNS = float64(rep.Swap.TotalNS) / float64(rep.Swap.Count)
+	res.deleteNS = float64(rep.Delete.TotalNS) / float64(rep.Delete.Count)
+	res.ops = rep.Create.Count + rep.Swap.Count + rep.Delete.Count
+	res.forwarded = bed.TotalTx()
+	if res.forwarded != want {
+		return nil, fmt.Errorf("mgmtscale: forwarded %d frames, want exactly %d", res.forwarded, want)
+	}
+	return res, nil
+}
+
+// MgmtScaleBench runs the sweep and prints (and optionally JSON-dumps)
+// the results.
+func MgmtScaleBench(w io.Writer) error {
+	results := MgmtScaleResults{
+		ThresholdSpeedup:   MgmtScaleSpeedupThreshold,
+		ThresholdTenants:   MgmtScaleSpeedupTenants,
+		SharingSublinear:   true,
+		DataplaneLive:      true,
+		IncrementalSpeedup: 0,
+	}
+	fmt.Fprintf(w, "Control-plane scaling: incremental admission vs full rebuild (wall clock)\n")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %9s %9s %10s %9s %9s\n",
+		"tenants", "inc create", "inc swap", "full create", "full swap",
+		"crt spd", "swp spd", "ops/sec", "programs", "nodes")
+	thresholdSeen := false
+	for _, n := range MgmtScaleTenantCounts {
+		inc, err := mgmtScaleRun(n, false)
+		if err != nil {
+			return err
+		}
+		full, err := mgmtScaleRun(n, true)
+		if err != nil {
+			return err
+		}
+		pt := MgmtScalePoint{
+			Tenants:          n,
+			DistinctRulesets: inc.distinct,
+			IncCreateNS:      inc.createNS,
+			IncSwapNS:        inc.swapNS,
+			IncDeleteNS:      inc.deleteNS,
+			FullCreateNS:     full.createNS,
+			FullSwapNS:       full.swapNS,
+			FullDeleteNS:     full.deleteNS,
+			CreateSpeedup:    full.createNS / inc.createNS,
+			SwapSpeedup:      full.swapNS / inc.swapNS,
+			DeleteSpeedup:    full.deleteNS / inc.deleteNS,
+			CtrlOpsPerSec:    float64(inc.ops) / inc.opWall.Seconds(),
+			Forwarded:        inc.forwarded,
+			SharedPrograms:   inc.sharedPrograms,
+			ResidentNodes:    inc.residentNodes,
+			UnsharedNodes:    inc.unsharedNodes,
+			ConfigCacheHits:  inc.cacheHits,
+		}
+		results.Points = append(results.Points, pt)
+
+		// Resident programs must track the template pool, not the
+		// fleet size — that is the sublinearity claim.
+		if inc.sharedPrograms != pt.DistinctRulesets || inc.residentNodes >= inc.unsharedNodes {
+			results.SharingSublinear = false
+		}
+		if inc.forwarded <= 0 || full.forwarded <= 0 {
+			results.DataplaneLive = false
+		}
+		if n >= MgmtScaleSpeedupTenants {
+			worst := pt.CreateSpeedup
+			if pt.SwapSpeedup < worst {
+				worst = pt.SwapSpeedup
+			}
+			if !thresholdSeen || worst < results.IncrementalSpeedup {
+				results.IncrementalSpeedup = worst
+			}
+			thresholdSeen = true
+		}
+		fmt.Fprintf(w, "%-8d %12.0f %12.0f %12.0f %12.0f %8.1fx %8.1fx %10.0f %9d %9d\n",
+			n, pt.IncCreateNS, pt.IncSwapNS, pt.FullCreateNS, pt.FullSwapNS,
+			pt.CreateSpeedup, pt.SwapSpeedup, pt.CtrlOpsPerSec, pt.SharedPrograms, pt.ResidentNodes)
+	}
+	if !thresholdSeen {
+		// A shrunk sweep (smoke test) never reaches the threshold
+		// fleet size; use the largest point so the field is honest
+		// about what was measured.
+		last := results.Points[len(results.Points)-1]
+		results.IncrementalSpeedup = last.CreateSpeedup
+		if last.SwapSpeedup < results.IncrementalSpeedup {
+			results.IncrementalSpeedup = last.SwapSpeedup
+		}
+		results.ThresholdTenants = last.Tenants
+	}
+	results.IncrementalSpeedupOK = results.IncrementalSpeedup >= results.ThresholdSpeedup
+	fmt.Fprintf(w, "incremental speedup at >=%d tenants: %.1fx (threshold %.0fx, ok=%v); sharing sublinear=%v\n",
+		results.ThresholdTenants, results.IncrementalSpeedup, results.ThresholdSpeedup,
+		results.IncrementalSpeedupOK, results.SharingSublinear)
+	if JSONPath != "" {
+		blob, err := json.MarshalIndent(&results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", JSONPath)
+	}
+	return nil
+}

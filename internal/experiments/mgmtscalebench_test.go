@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMgmtScaleBenchReport runs a shrunken mgmtscale sweep end to end:
+// both plane modes (incremental and full-rebuild) must complete every
+// create/swap/delete while forwarding every injected frame, the
+// sharing snapshot must show the identical cohort collapsed to one
+// program, and the JSON artifact must carry the asserted flags.
+func TestMgmtScaleBenchReport(t *testing.T) {
+	oldCounts, oldSwaps := MgmtScaleTenantCounts, MgmtScaleSwapsPerPoint
+	MgmtScaleTenantCounts, MgmtScaleSwapsPerPoint = []int{4, 8}, 4
+	defer func() { MgmtScaleTenantCounts, MgmtScaleSwapsPerPoint = oldCounts, oldSwaps }()
+	JSONPath = filepath.Join(t.TempDir(), "BENCH_mgmtscale.json")
+	defer func() { JSONPath = "" }()
+
+	var buf bytes.Buffer
+	if err := MgmtScaleBench(&buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"incremental speedup", "sharing sublinear"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	blob, err := os.ReadFile(JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results MgmtScaleResults
+	if err := json.Unmarshal(blob, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(results.Points))
+	}
+	if !results.SharingSublinear {
+		t.Error("sharing_sublinear = false: identical cohort did not share one program")
+	}
+	if !results.DataplaneLive {
+		t.Error("dataplane_live = false")
+	}
+	for _, pt := range results.Points {
+		if pt.Forwarded <= 0 {
+			t.Errorf("%d tenants: forwarded %d frames", pt.Tenants, pt.Forwarded)
+		}
+		if pt.SharedPrograms != pt.DistinctRulesets {
+			t.Errorf("%d tenants: %d shared programs, want %d (one per distinct ruleset)",
+				pt.Tenants, pt.SharedPrograms, pt.DistinctRulesets)
+		}
+		if pt.ConfigCacheHits <= 0 {
+			t.Errorf("%d tenants: no config-cache hits despite an identical cohort", pt.Tenants)
+		}
+	}
+}

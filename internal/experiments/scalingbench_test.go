@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCommittedScalingHonesty audits the benchmark JSON committed at
@@ -47,6 +48,37 @@ func TestCommittedScalingHonesty(t *testing.T) {
 	if anyInvalid && res.SpeedupClaimsValid {
 		t.Error("speedup_claims_valid is true despite oversubscribed points")
 	}
+	// The committed file must carry the real-socket wall-clock point:
+	// either a measurement (positive pps, flagged wallclock) or an
+	// explicit record of why it could not run — never a silent zero.
+	if res.UDP.Ran {
+		if !res.UDP.Wallclock || res.UDP.Packets <= 0 || res.UDP.PPS <= 0 || res.UDP.DurationNS <= 0 {
+			t.Errorf("udp point ran but is not a credible wall-clock measurement: %+v", res.UDP)
+		}
+	} else if res.UDP.Error == "" {
+		t.Error("udp point neither ran nor explains why")
+	}
+}
+
+// TestScalingUDPPoint drives the real-socket wall-clock point on a
+// short window: frames must traverse injector → UDP backend → router →
+// UDP backend → collector, and the reported pps must be wall-clock
+// arithmetic over what was actually delivered.
+func TestScalingUDPPoint(t *testing.T) {
+	pt := scalingUDPPoint(150 * time.Millisecond)
+	if !pt.Ran {
+		t.Fatalf("udp point did not run: %s", pt.Error)
+	}
+	if !pt.Wallclock {
+		t.Error("udp point not flagged wallclock")
+	}
+	if pt.Packets <= 0 || pt.DurationNS <= 0 {
+		t.Fatalf("udp point has no delivery evidence: %+v", pt)
+	}
+	want := float64(pt.Packets) / (float64(pt.DurationNS) / 1e9)
+	if diff := pt.PPS - want; diff > 1 || diff < -1 {
+		t.Errorf("pps %.2f inconsistent with packets/duration %.2f", pt.PPS, want)
+	}
 }
 
 func TestScalingBenchReport(t *testing.T) {
@@ -58,7 +90,7 @@ func TestScalingBenchReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"workers", "speedup", "Worker scaling"} {
+	for _, want := range []string{"workers", "speedup", "Worker scaling", "udp backend"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}

@@ -145,6 +145,73 @@ func (r *Router) RemoveElement(i int) {
 	r.Conns = kept
 }
 
+// RemoveElements marks every listed element dead in one pass: names are
+// dropped from the index and the connection list is filtered once,
+// instead of once per element as repeated RemoveElement calls would.
+// This is the bulk operation incremental installs use when a whole
+// name-prefixed subgraph (a management-plane tenant) leaves the router.
+func (r *Router) RemoveElements(idx []int) {
+	dead := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		e := r.Elements[i]
+		if e.dead {
+			continue
+		}
+		e.dead = true
+		delete(r.byName, e.Name)
+		dead[i] = true
+	}
+	if len(dead) == 0 {
+		return
+	}
+	kept := r.Conns[:0]
+	for _, c := range r.Conns {
+		if !dead[c.From] && !dead[c.To] {
+			kept = append(kept, c)
+		}
+	}
+	r.Conns = kept
+}
+
+// AppendFrom bulk-appends another graph's live elements and connections
+// to r, returning the index remap (sub index -> new index in r, -1 for
+// dead entries). Element names must not collide with r's — the caller
+// splices disjoint namespaces (e.g. "tenant/"-prefixed subgraphs) — and
+// the whole append is rejected before any mutation if one does. Unlike
+// per-element AddElement+Connect loops this never scans the existing
+// connection list: disjoint namespaces cannot introduce duplicates.
+func (r *Router) AppendFrom(sub *Router) ([]int, error) {
+	for _, e := range sub.Elements {
+		if e.dead {
+			continue
+		}
+		if _, exists := r.byName[e.Name]; exists {
+			return nil, fmt.Errorf("graph: splice collision on element %q", e.Name)
+		}
+	}
+	remap := make([]int, len(sub.Elements))
+	for i, e := range sub.Elements {
+		if e.dead {
+			remap[i] = -1
+			continue
+		}
+		cp := *e
+		remap[i] = len(r.Elements)
+		r.Elements = append(r.Elements, &cp)
+		r.byName[cp.Name] = remap[i]
+	}
+	for _, c := range sub.Conns {
+		if remap[c.From] < 0 || remap[c.To] < 0 {
+			continue
+		}
+		r.Conns = append(r.Conns, Connection{From: remap[c.From], FromPort: c.FromPort, To: remap[c.To], ToPort: c.ToPort})
+	}
+	for _, req := range sub.Requirements {
+		r.Require(req)
+	}
+	return remap, nil
+}
+
 // RemoveAndSplice removes element i, splicing each input connection on
 // port p to every output connection on port p. It is the edit used when
 // deleting a pass-through element (Null, redundant Align): packets that

@@ -12,6 +12,7 @@ import (
 
 // The management API exposes the handler tree over HTTP/JSON:
 //
+//	GET    /report                                   plane-wide report (op latency, cache, sharing)
 //	GET    /tenants                                  list tenants
 //	POST   /tenants/{id}                             create (body = config text)
 //	PUT    /tenants/{id}                             hot-swap (body = config text)
@@ -64,6 +65,14 @@ func (p *Plane) serve(w http.ResponseWriter, r *http.Request) {
 	// Work on the escaped path: %2F inside an element name must not
 	// split into segments, which r.URL.Path would already have done.
 	path := r.URL.EscapedPath()
+	if path == "/report" {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("mgmt: %s not allowed", r.Method))
+			return
+		}
+		writeJSON(w, http.StatusOK, p.Report())
+		return
+	}
 	if path == "/tenants" || path == "/tenants/" {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("mgmt: %s not allowed", r.Method))

@@ -210,3 +210,47 @@ func TestHTTPLifecycle(t *testing.T) {
 		t.Errorf("deleted tenant report: status %d", code)
 	}
 }
+
+// TestHTTPPlaneReport checks GET /report: the plane-wide snapshot —
+// op-latency counters, config-cache hits, and the sharing table —
+// round-trips over HTTP and reflects the operations performed.
+func TestHTTPPlaneReport(t *testing.T) {
+	p, err := NewPlane(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	cfg := tenantConfig(10, 32)
+	if code, body := httpDo(t, "POST", srv.URL+"/tenants/a", cfg); code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	if code, body := httpDo(t, "POST", srv.URL+"/tenants/b", cfg); code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	if code, body := httpDo(t, "DELETE", srv.URL+"/tenants/b", ""); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+
+	code, blob := httpDo(t, "GET", srv.URL+"/report", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /report: %d %s", code, blob)
+	}
+	var rep PlaneReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("/report does not parse: %v\n%s", err, blob)
+	}
+	if rep.Tenants != 1 || !rep.Incremental {
+		t.Errorf("report tenants=%d incremental=%v, want 1/true", rep.Tenants, rep.Incremental)
+	}
+	if rep.Create.Count != 2 || rep.Delete.Count != 1 || rep.Create.TotalNS <= 0 {
+		t.Errorf("report op stats create=%+v delete=%+v", rep.Create, rep.Delete)
+	}
+	if rep.ConfigCacheHits < 1 {
+		t.Errorf("report cache hits = %d, want >= 1 (b reused a's text)", rep.ConfigCacheHits)
+	}
+	if code, _ := httpDo(t, "POST", srv.URL+"/report", ""); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /report = %d, want 405", code)
+	}
+}

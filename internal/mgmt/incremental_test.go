@@ -1,0 +1,189 @@
+package mgmt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+)
+
+// TestIncrementalGuardIsolation checks the per-tenant guard-domain
+// property the incremental path provides: a runtime configuration
+// write in one tenant bumps only that tenant's guard generations, so a
+// neighbor's flow fast path is never invalidated by someone else's
+// churn. (A full rebuild collapses every tenant into one fresh guard
+// domain — that is exactly the cost the spliced path avoids.)
+func TestIncrementalGuardIsolation(t *testing.T) {
+	p, err := NewPlane(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, p, "a", tenantConfig(10, 32))
+	mustCreate(t, p, "b", tenantConfig(10, 32))
+
+	snap := func(id string) core.GuardSnapshot {
+		e := p.Scheduler().Router().Find(id + "/q")
+		if e == nil {
+			t.Fatalf("no %s/q in combined router", id)
+		}
+		return e.(interface{ GuardSnapshot() core.GuardSnapshot }).GuardSnapshot()
+	}
+	a0, b0 := snap("a"), snap("b")
+	if err := p.WriteHandler("a", "q", "capacity", "64"); err != nil {
+		t.Fatal(err)
+	}
+	if snap("a") == a0 {
+		t.Error("tenant a's guard generations did not move on its own config write")
+	}
+	if snap("b") != b0 {
+		t.Errorf("tenant b's guard generations moved on tenant a's write: %v -> %v", b0, snap("b"))
+	}
+
+	// The isolation must survive tenant a being hot-swapped: the
+	// replacement adopts a's generation history, not b's, and b still
+	// does not move.
+	if err := p.Swap("a", tenantConfig(20, 32)); err != nil {
+		t.Fatal(err)
+	}
+	b1 := snap("b")
+	if err := p.WriteHandler("a", "q", "capacity", "48"); err != nil {
+		t.Fatal(err)
+	}
+	if snap("b") != b1 {
+		t.Error("tenant b's guard generations moved on post-swap tenant a write")
+	}
+}
+
+// TestIncrementalCanonicalUnparse checks determinism of the combined
+// configuration: whatever create/swap/delete history produced a tenant
+// set, the canonical combined graph unparses byte-identically. This is
+// what makes config archives and diffs meaningful under an incremental
+// control plane.
+func TestIncrementalCanonicalUnparse(t *testing.T) {
+	cfgA, cfgB, cfgC := tenantConfig(10, 16), tenantConfig(20, 32), tenantConfig(30, 64)
+
+	// History 1: plain creates in ID order.
+	p1, err := NewPlane(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, p1, "a", cfgA)
+	mustCreate(t, p1, "b", cfgB)
+	mustCreate(t, p1, "c", cfgC)
+
+	// History 2: out-of-order creates, a deleted tenant, and swaps
+	// converging on the same (id, config) set.
+	p2, err := NewPlane(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, p2, "c", cfgA)
+	mustCreate(t, p2, "x", cfgB)
+	mustCreate(t, p2, "a", cfgB)
+	if err := p2.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, p2, "b", cfgB)
+	if err := p2.Swap("c", cfgC); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Swap("a", cfgA); err != nil {
+		t.Fatal(err)
+	}
+
+	unparse := func(p *Plane) string {
+		g, err := p.CombinedGraph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lang.Unparse(g)
+	}
+	u1, u2 := unparse(p1), unparse(p2)
+	if u1 != u2 {
+		t.Fatalf("combined unparse differs across histories:\n--- creates in order ---\n%s\n--- churned history ---\n%s", u1, u2)
+	}
+	for _, id := range []string{"a/", "b/", "c/"} {
+		if !strings.Contains(u1, id) {
+			t.Errorf("canonical unparse missing tenant prefix %q:\n%s", id, u1)
+		}
+	}
+}
+
+// TestIncrementalOpStatsAndCache checks the control-plane telemetry:
+// per-operation latency counters move, tenant reports carry their
+// admission and swap latencies, and re-admitting an identical
+// configuration hits the parse cache.
+func TestIncrementalOpStatsAndCache(t *testing.T) {
+	p, err := NewPlane(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tenantConfig(10, 32)
+	mustCreate(t, p, "a", cfg)
+	mustCreate(t, p, "b", cfg) // identical text: must hit the cache
+	if err := p.Swap("a", tenantConfig(20, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := p.Report()
+	if rep.Create.Count != 2 || rep.Swap.Count != 1 || rep.Delete.Count != 1 {
+		t.Fatalf("op counts = %d/%d/%d, want 2/1/1", rep.Create.Count, rep.Swap.Count, rep.Delete.Count)
+	}
+	if rep.Create.TotalNS <= 0 || rep.Swap.LastNS <= 0 || rep.Delete.LastNS <= 0 {
+		t.Errorf("op latencies not recorded: %+v %+v %+v", rep.Create, rep.Swap, rep.Delete)
+	}
+	if rep.ConfigCacheHits < 1 {
+		t.Errorf("config cache hits = %d, want >= 1 (tenant b re-used tenant a's text)", rep.ConfigCacheHits)
+	}
+	if !rep.Incremental {
+		t.Error("default plane reports Incremental = false")
+	}
+	if rep.Tenants != 1 {
+		t.Errorf("tenants = %d, want 1", rep.Tenants)
+	}
+
+	tr, err := p.TenantReport("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CreateNS <= 0 || tr.SwapNS <= 0 {
+		t.Errorf("tenant latencies create=%d swap=%d, want both > 0", tr.CreateNS, tr.SwapNS)
+	}
+	if tr.Swaps != 1 {
+		t.Errorf("tenant swaps = %d, want 1", tr.Swaps)
+	}
+}
+
+// TestIncrementalFullRebuildParity runs the same lifecycle on an
+// incremental plane and a FullRebuild plane and compares the surviving
+// tenants' conserved counters — the two installation strategies must
+// be observationally equivalent at the handler surface.
+func TestIncrementalFullRebuildParity(t *testing.T) {
+	run := func(fullRebuild bool) (int64, int64) {
+		p, err := NewPlane(Options{FullRebuild: fullRebuild})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustCreate(t, p, "a", tenantConfig(50, 16))
+		mustCreate(t, p, "b", tenantConfig(70, 16))
+		drain(p)
+		if err := p.Swap("a", tenantConfig(90, 16)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Delete("b"); err != nil {
+			t.Fatal(err)
+		}
+		mustCreate(t, p, "c", tenantConfig(30, 16))
+		drain(p)
+		return readInt(t, p, "a", "d", "count"), readInt(t, p, "c", "d", "count")
+	}
+	incA, incC := run(false)
+	fullA, fullC := run(true)
+	if incA != fullA || incC != fullC {
+		t.Errorf("incremental delivered a=%d c=%d, full rebuild a=%d c=%d", incA, incC, fullA, fullC)
+	}
+}

@@ -2,11 +2,29 @@
 // process — the XORP-style management shape for the combine machinery:
 // every tenant's elements live in a single combined router under a
 // "tenant/" name prefix, the read/write handler tree is the uniform
-// control surface, and an HTTP/JSON API (http.go) exposes it. Tenants
-// are created, hot-swapped, and deleted independently: each change
-// rebuilds the combined configuration and installs it through the
-// scheduler's zero-loss hot-swap, so unchanged tenants keep their
-// queue contents, counters, and table state by name-based transplant.
+// control surface, and an HTTP/JSON API (http.go) exposes it.
+//
+// Control operations are incremental by default: a tenant
+// create/swap/delete parses and optimizes only the affected tenant's
+// configuration (cached by config hash, so re-admitting a known config
+// skips even that), builds just its subgraph, and patches it into the
+// running combined router at a scheduler quiescent point
+// (Scheduler.SpliceTenant / SwapTenant / RemoveTenant) — O(tenant) per
+// operation instead of the O(fleet) full rebuild the plane launched
+// with, which survives as Options.FullRebuild for baselines and as the
+// RebuildFull escape hatch. Swaps keep the zero-loss hot-swap
+// semantics: same-name same-type elements carry their queue contents,
+// counters, and table state across.
+//
+// Tenants with identical rulesets share fused classifier decision
+// diagrams through a plane-wide hash-cons table
+// (classifier.InternTable): admission runs whole-path fusion on the
+// tenant's own subgraph and interns the resulting diagrams, so
+// resident diagram nodes grow with distinct rulesets, not tenant
+// count. Sharing is read-only — per-element counters stay private —
+// and each tenant's subgraph keeps its *own* guard-generation
+// counters (its build router's), so one tenant's route or config
+// writes never invalidate a neighbor's flow fast path.
 //
 // The plane charges zero model cycles: it never attaches the simulated
 // CPU, every control operation runs through Scheduler.SyncDo at
@@ -14,6 +32,7 @@
 package mgmt
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strconv"
@@ -21,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/elements"
 	"repro/internal/graph"
@@ -77,6 +97,15 @@ type Options struct {
 	Devices DeviceProvider
 	// Limits are the default per-tenant limits.
 	Limits Limits
+	// FullRebuild reverts every control operation to the O(fleet)
+	// path: rebuild the whole combined router and install it through a
+	// full hot-swap. It exists as the measured baseline for the
+	// incremental path and as a conservative fallback.
+	FullRebuild bool
+	// NoShare disables per-tenant classifier fusion and the
+	// cross-tenant shared-diagram table, admitting configurations
+	// exactly as written.
+	NoShare bool
 }
 
 // TenantInfo is one tenant's control-plane view.
@@ -88,21 +117,67 @@ type TenantInfo struct {
 }
 
 // Report is one tenant's telemetry snapshot, taken at a quiescent
-// point so the counters are mutually consistent.
+// point so the counters are mutually consistent. CreateNS and SwapNS
+// are the control-plane latencies of the tenant's admission and most
+// recent hot-swap.
 type Report struct {
 	ID       string                    `json:"id"`
 	Elements []core.ElementStatsReport `json:"elements"`
 	Totals   core.StatsTotals          `json:"totals"`
+	Swaps    int                       `json:"swaps"`
+	CreateNS int64                     `json:"create_ns"`
+	SwapNS   int64                     `json:"swap_ns"`
+}
+
+// OpStats aggregates one control-operation type's cost.
+type OpStats struct {
+	Count   int64 `json:"count"`
+	LastNS  int64 `json:"last_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+func (o *OpStats) record(d time.Duration) {
+	o.Count++
+	o.LastNS = d.Nanoseconds()
+	o.TotalNS += o.LastNS
+}
+
+// PlaneReport is the plane-wide control surface snapshot served at
+// GET /report.
+type PlaneReport struct {
+	Tenants     int  `json:"tenants"`
+	Elements    int  `json:"elements"`
+	Incremental bool `json:"incremental"`
+
+	Create OpStats `json:"create"`
+	Swap   OpStats `json:"swap"`
+	Delete OpStats `json:"delete"`
+
+	ConfigCacheHits   int64 `json:"config_cache_hits"`
+	ConfigCacheMisses int64 `json:"config_cache_misses"`
+
+	Sharing classifier.InternStats `json:"sharing"`
+}
+
+// cachedConfig is one parsed (and, unless NoShare, fused + interned)
+// configuration, keyed by the config text's hash. It is
+// tenant-neutral: device rewriting happens on a per-tenant clone.
+type cachedConfig struct {
+	graph  *graph.Router
+	shared []string // shared fused-class names the config uses
 }
 
 // tenant is one admitted configuration.
 type tenant struct {
-	id      string
-	graph   *graph.Router // device-rewritten, pre-prefix
-	text    string        // original config text
-	limits  Limits
-	devices []string // original (unprefixed) device names
-	swaps   int
+	id       string
+	graph    *graph.Router // device-rewritten, pre-prefix
+	text     string        // original config text
+	limits   Limits
+	devices  []string // original (unprefixed) device names
+	shared   []string // shared fused-class names (intern refcounts)
+	swaps    int
+	createNS int64
+	swapNS   int64
 }
 
 // Plane hosts the tenants. All control-plane methods are safe for
@@ -114,12 +189,19 @@ type Plane struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
-	order   []string // admission order, the combine input order
+	cache   map[[sha256.Size]byte]*cachedConfig
 	devs    map[string]interface{}
 	sched   *core.Scheduler
+	table   *classifier.InternTable
 	running bool
 	stop    chan struct{}
 	done    chan struct{}
+
+	stats struct {
+		create, swap, delete OpStats
+		cacheHits            int64
+		cacheMisses          int64
+	}
 }
 
 // NewPlane builds an empty plane with a running (but idle) combined
@@ -136,7 +218,9 @@ func NewPlane(opts Options) (*Plane, error) {
 		opts:    opts,
 		reg:     opts.Registry,
 		tenants: map[string]*tenant{},
+		cache:   map[[sha256.Size]byte]*cachedConfig{},
 		devs:    map[string]interface{}{},
+		table:   classifier.NewInternTable(),
 	}
 	rt, err := p.buildCombined()
 	if err != nil {
@@ -152,6 +236,9 @@ func NewPlane(opts Options) (*Plane, error) {
 // Scheduler exposes the underlying scheduler (tests drive traffic
 // through it directly when the pump is not running).
 func (p *Plane) Scheduler() *core.Scheduler { return p.sched }
+
+// SharingStats snapshots the cross-tenant classifier sharing table.
+func (p *Plane) SharingStats() classifier.InternStats { return p.table.Stats() }
 
 // validTenantID enforces the namespace rules: the ID becomes an
 // element-name prefix (combine forbids '/', '.', and whitespace) and a
@@ -192,15 +279,49 @@ func isDeviceClass(class string) bool {
 	return false
 }
 
-// admit parses and validates one tenant configuration: the graph is
-// checked against the limits, and every device reference is rewritten
-// to the tenant-scoped "tenant:dev" form so two tenants' "eth0" never
-// collide in the router environment.
+// parsedConfig parses and optimizes one configuration text, keyed by
+// its hash: a config the plane has seen before — the same tenant
+// re-swapped, or a different tenant running the identical ruleset —
+// costs one map lookup instead of a parse, a fusion pass, and a
+// diagram build. Unless NoShare, the graph's fused classifiers are
+// interned in the plane-wide table so equal diagrams are shared
+// tenant-to-tenant. Callers hold p.mu.
+func (p *Plane) parsedConfig(text string) (*cachedConfig, error) {
+	h := sha256.Sum256([]byte(text))
+	if c, ok := p.cache[h]; ok {
+		p.stats.cacheHits++
+		return c, nil
+	}
+	p.stats.cacheMisses++
+	g, err := lang.ParseRouter(text, "tenant.click")
+	if err != nil {
+		return nil, err
+	}
+	c := &cachedConfig{graph: g}
+	if !p.opts.NoShare {
+		if err := opt.Fuse(g, p.reg); err != nil {
+			return nil, err
+		}
+		c.shared, err = opt.ShareFusedPrograms(g, p.reg, p.table)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.cache[h] = c
+	return c, nil
+}
+
+// admit validates one tenant configuration against its limits and
+// rewrites every device reference to the tenant-scoped "tenant:dev"
+// form so two tenants' "eth0" never collide in the router environment.
+// The parsed+optimized base graph comes from the config cache; the
+// device rewrite happens on a per-tenant clone. Callers hold p.mu.
 func (p *Plane) admit(id, text string, lim Limits) (*tenant, error) {
-	g, err := lang.ParseRouter(text, id+".click")
+	base, err := p.parsedConfig(text)
 	if err != nil {
 		return nil, fmt.Errorf("mgmt: tenant %s: %w", id, err)
 	}
+	g := base.graph.Clone()
 	lim = lim.withDefaults()
 	live := g.LiveIndices()
 	if len(live) > lim.MaxElements {
@@ -241,18 +362,48 @@ func (p *Plane) admit(id, text string, lim Limits) (*tenant, error) {
 	if queueBudget > lim.MaxQueueCapacity {
 		return nil, fmt.Errorf("mgmt: tenant %s: queue capacity %d exceeds budget %d", id, queueBudget, lim.MaxQueueCapacity)
 	}
-	return &tenant{id: id, graph: g, text: text, limits: lim, devices: devices}, nil
+	return &tenant{id: id, graph: g, text: text, limits: lim, devices: devices, shared: base.shared}, nil
+}
+
+// sortedIDs returns the admitted tenant IDs in sorted order — the
+// canonical combine input order, stable across any operation history.
+// Callers hold p.mu.
+func (p *Plane) sortedIDs() []string {
+	ids := make([]string, 0, len(p.tenants))
+	for id := range p.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// combinedGraph builds the canonical combined configuration graph of
+// the current fleet: tenants in sorted-ID order regardless of the
+// create/swap/delete history that produced them, so unparses and
+// archive round trips are byte-identical whenever the tenant set is
+// equal. Callers hold p.mu.
+func (p *Plane) combinedGraph() (*graph.Router, error) {
+	ids := p.sortedIDs()
+	inputs := make([]opt.RouterInput, 0, len(ids))
+	for _, id := range ids {
+		inputs = append(inputs, opt.RouterInput{Name: id, Config: p.tenants[id].graph})
+	}
+	return opt.Combine(inputs, nil)
+}
+
+// CombinedGraph exports the canonical combined configuration graph
+// (see combinedGraph).
+func (p *Plane) CombinedGraph() (*graph.Router, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.combinedGraph()
 }
 
 // buildCombined assembles every admitted tenant into one router via
 // combine with zero links — pure namespacing, the §7.2 machinery run
 // at fleet scale. Callers hold p.mu (or are in NewPlane).
 func (p *Plane) buildCombined() (*core.Router, error) {
-	inputs := make([]opt.RouterInput, 0, len(p.order))
-	for _, id := range p.order {
-		inputs = append(inputs, opt.RouterInput{Name: id, Config: p.tenants[id].graph})
-	}
-	g, err := opt.Combine(inputs, nil)
+	g, err := p.combinedGraph()
 	if err != nil {
 		return nil, err
 	}
@@ -263,8 +414,28 @@ func (p *Plane) buildCombined() (*core.Router, error) {
 	return core.Build(g, p.reg, core.BuildOptions{Burst: p.opts.Burst, Env: env})
 }
 
+// buildSub assembles one tenant's subrouter: its graph alone through
+// the same combine pass (for the name prefix) and the same Build path,
+// with only its own devices in the environment. This is the O(tenant)
+// unit of work every incremental operation is built from.
+func (p *Plane) buildSub(t *tenant) (*core.Router, error) {
+	g, err := opt.Combine([]opt.RouterInput{{Name: t.id, Config: t.graph}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	env := make(map[string]interface{}, len(t.devices))
+	for _, dev := range t.devices {
+		key := "device:" + t.id + ":" + dev
+		if obj, ok := p.devs[key]; ok {
+			env[key] = obj
+		}
+	}
+	return core.Build(g, p.reg, core.BuildOptions{Burst: p.opts.Burst, Env: env})
+}
+
 // install rebuilds the combined router and hot-swaps it in at a
-// quiescent point. Unchanged tenants' elements keep their state: the
+// quiescent point — the full O(fleet) path, used by FullRebuild mode
+// and RebuildFull. Unchanged tenants' elements keep their state: the
 // transplant matches by (prefixed) name and Go type, and prefixes are
 // stable. Callers hold p.mu.
 func (p *Plane) install() error {
@@ -275,6 +446,19 @@ func (p *Plane) install() error {
 	var swapErr error
 	p.sched.SyncDo(func() { swapErr = p.sched.Hotswap(next) })
 	return swapErr
+}
+
+// RebuildFull rebuilds the whole fleet from scratch and installs it
+// through a full hot-swap — the O(fleet) baseline the incremental path
+// replaces. The mgmtscale benchmark calls it to measure both costs in
+// the same process; it is also the recovery path if an operator wants
+// a known-clean rebuild. Note that a full rebuild collapses per-tenant
+// guard domains into the new router's single guard set until tenants
+// are next swapped individually.
+func (p *Plane) RebuildFull() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.install()
 }
 
 // provisionDevices binds a tenant's devices into the environment map.
@@ -299,42 +483,77 @@ func (p *Plane) dropDevices(t *tenant) {
 	}
 }
 
+// closeRemoved releases external resources held by elements removed
+// from the live router (trace files and the like). Swapped-away
+// elements are not closed — their replacements took over by state
+// transplant, matching full hot-swap semantics — only deleted
+// tenants' are.
+func closeRemoved(removed []core.Element) {
+	for _, e := range removed {
+		if c, ok := e.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+}
+
 // Create admits a new tenant and installs it. Zero-valued limits take
-// the plane defaults.
+// the plane defaults. On the incremental path only the new tenant's
+// subgraph is parsed (or fetched from the config cache), built, and
+// spliced into the running router at a quiescent point; every other
+// tenant's elements are untouched.
 func (p *Plane) Create(id, configText string, lim Limits) error {
+	start := time.Now()
 	if err := validTenantID(id); err != nil {
 		return err
 	}
 	if lim == (Limits{}) {
 		lim = p.opts.Limits
 	}
-	t, err := p.admit(id, configText, lim)
-	if err != nil {
-		return err
-	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, exists := p.tenants[id]; exists {
 		return fmt.Errorf("mgmt: tenant %q already exists", id)
 	}
-	p.tenants[id] = t
-	p.order = append(p.order, id)
-	p.provisionDevices(t)
-	if err := p.install(); err != nil {
-		// Roll back: the failed configuration must not strand the
-		// other tenants.
-		delete(p.tenants, id)
-		p.order = p.order[:len(p.order)-1]
-		p.dropDevices(t)
+	t, err := p.admit(id, configText, lim)
+	if err != nil {
 		return err
 	}
+	p.tenants[id] = t
+	p.provisionDevices(t)
+	if p.opts.FullRebuild {
+		if err := p.install(); err != nil {
+			// Roll back: the failed configuration must not strand the
+			// other tenants.
+			delete(p.tenants, id)
+			p.dropDevices(t)
+			return err
+		}
+	} else {
+		sub, err := p.buildSub(t)
+		if err == nil {
+			var serr error
+			p.sched.SyncDo(func() { serr = p.sched.SpliceTenant(sub) })
+			err = serr
+		}
+		if err != nil {
+			delete(p.tenants, id)
+			p.dropDevices(t)
+			return err
+		}
+	}
+	p.table.Retain(t.shared)
+	t.createNS = time.Since(start).Nanoseconds()
+	p.stats.create.record(time.Since(start))
 	return nil
 }
 
 // Swap replaces one tenant's configuration through a zero-loss
 // hot-swap: the tenant's same-name, same-type elements keep their
 // queue contents and counters, and every other tenant is untouched.
+// On the incremental path only the tenant's subgraph is rebuilt and
+// exchanged (Scheduler.SwapTenant) at a quiescent point.
 func (p *Plane) Swap(id, configText string) error {
+	start := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	old, ok := p.tenants[id]
@@ -346,21 +565,44 @@ func (p *Plane) Swap(id, configText string) error {
 		return err
 	}
 	t.swaps = old.swaps + 1
+	t.createNS = old.createNS
 	p.tenants[id] = t
 	p.dropDevices(old)
 	p.provisionDevices(t)
-	if err := p.install(); err != nil {
-		p.tenants[id] = old
-		p.dropDevices(t)
-		p.provisionDevices(old)
-		return err
+	if p.opts.FullRebuild {
+		if err := p.install(); err != nil {
+			p.tenants[id] = old
+			p.dropDevices(t)
+			p.provisionDevices(old)
+			return err
+		}
+	} else {
+		sub, err := p.buildSub(t)
+		if err == nil {
+			var serr error
+			p.sched.SyncDo(func() { _, serr = p.sched.SwapTenant(tenantPrefix(id), sub) })
+			err = serr
+		}
+		if err != nil {
+			p.tenants[id] = old
+			p.dropDevices(t)
+			p.provisionDevices(old)
+			return err
+		}
 	}
+	p.table.Retain(t.shared)
+	p.table.Release(old.shared)
+	t.swapNS = time.Since(start).Nanoseconds()
+	p.stats.swap.record(time.Since(start))
 	return nil
 }
 
 // Delete removes a tenant. Other tenants keep their state across the
-// installation.
+// installation; on the incremental path their elements are not even
+// rebuilt — the tenant's subgraph is unlinked from the running router
+// at a quiescent point and its elements closed.
 func (p *Plane) Delete(id string) error {
+	start := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	t, ok := p.tenants[id]
@@ -368,22 +610,23 @@ func (p *Plane) Delete(id string) error {
 		return fmt.Errorf("mgmt: no tenant %q", id)
 	}
 	delete(p.tenants, id)
-	for i, o := range p.order {
-		if o == id {
-			p.order = append(p.order[:i], p.order[i+1:]...)
-			break
-		}
-	}
 	p.dropDevices(t)
-	if err := p.install(); err != nil {
-		// Reinstate: a failed rebuild must not leave the plane running
-		// a router that still contains the tenant while the control
-		// plane thinks it is gone.
-		p.tenants[id] = t
-		p.order = append(p.order, id)
-		p.provisionDevices(t)
-		return err
+	if p.opts.FullRebuild {
+		if err := p.install(); err != nil {
+			// Reinstate: a failed rebuild must not leave the plane running
+			// a router that still contains the tenant while the control
+			// plane thinks it is gone.
+			p.tenants[id] = t
+			p.provisionDevices(t)
+			return err
+		}
+	} else {
+		var removed []core.Element
+		p.sched.SyncDo(func() { removed = p.sched.RemoveTenant(tenantPrefix(id)) })
+		closeRemoved(removed)
 	}
+	p.table.Release(t.shared)
+	p.stats.delete.record(time.Since(start))
 	return nil
 }
 
@@ -516,10 +759,14 @@ func (p *Plane) Elements(id string) ([]ElementInfo, error) {
 
 // TenantReport snapshots one tenant's telemetry at a quiescent point.
 func (p *Plane) TenantReport(id string) (*Report, error) {
-	if err := p.checkTenant(id); err != nil {
-		return nil, err
+	p.mu.Lock()
+	t, ok := p.tenants[id]
+	if !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("mgmt: no tenant %q", id)
 	}
-	rep := &Report{ID: id}
+	rep := &Report{ID: id, Swaps: t.swaps, CreateNS: t.createNS, SwapNS: t.swapNS}
+	p.mu.Unlock()
 	p.sched.SyncDo(func() {
 		pre := tenantPrefix(id)
 		for _, er := range p.sched.Router().StatsReport() {
@@ -532,6 +779,28 @@ func (p *Plane) TenantReport(id string) (*Report, error) {
 	})
 	rep.Totals = core.Totals(rep.Elements)
 	return rep, nil
+}
+
+// Report snapshots the plane-wide control surface: tenant and element
+// counts, per-operation latency counters, config-cache effectiveness,
+// and the classifier-sharing table.
+func (p *Plane) Report() *PlaneReport {
+	p.mu.Lock()
+	rep := &PlaneReport{
+		Tenants:           len(p.tenants),
+		Incremental:       !p.opts.FullRebuild,
+		Create:            p.stats.create,
+		Swap:              p.stats.swap,
+		Delete:            p.stats.delete,
+		ConfigCacheHits:   p.stats.cacheHits,
+		ConfigCacheMisses: p.stats.cacheMisses,
+	}
+	for _, t := range p.tenants {
+		rep.Elements += len(t.graph.LiveIndices())
+	}
+	p.mu.Unlock()
+	rep.Sharing = p.table.Stats()
+	return rep
 }
 
 // Start launches the dataplane pump: a goroutine driving the combined

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/classifier"
 	"repro/internal/core"
@@ -116,7 +117,22 @@ func FastClassifier(g *graph.Router, reg *core.Registry) error {
 // back its decision tree. The harness contains only the classifier plus
 // generated boilerplate, avoiding side effects from running the input
 // configuration (§4).
+// extractCache memoizes extracted programs for the builtin classifier
+// classes, whose decision tree is a pure function of (class, config) —
+// unlike archive-generated classes, whose meaning depends on the
+// registry they ride in. Extraction builds a harness router and
+// round-trips the program through text, which is the dominant cost of
+// re-optimizing a configuration whose classifiers have been seen
+// before (the management plane admits hundreds of those).
+var extractCache sync.Map
+
 func extractProgram(class, config string, reg *core.Registry) (*classifier.Program, error) {
+	cacheKey := class + "\x00" + config
+	if classifierClasses[class] {
+		if v, ok := extractCache.Load(cacheKey); ok {
+			return v.(*classifier.Program).Clone(), nil
+		}
+	}
 	_, nout, ok := reg.PortCounts(class, config)
 	if !ok {
 		return nil, fmt.Errorf("unknown classifier class %q", class)
@@ -143,6 +159,9 @@ func extractProgram(class, config string, reg *core.Registry) (*classifier.Progr
 		return nil, fmt.Errorf("reparsing harness output: %v", err)
 	}
 	prog.Optimize()
+	if classifierClasses[class] {
+		extractCache.Store(cacheKey, prog.Clone())
+	}
 	return prog, nil
 }
 

@@ -1,0 +1,85 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ShareFusedPrograms rewrites a fused configuration to use a
+// process-wide hash-cons table: every generated FusedClassifier_N (or
+// previously shared) class in g is interned, renamed to the table's
+// content-addressed FusedShared_<hash> class, and registered in reg
+// against the table's single shared Compiled matcher. Tenants whose
+// rulesets compose to equal diagrams thereby share one read-only
+// decision diagram instead of carrying per-namespace copies, and —
+// because the shared names depend only on program content — the
+// rewritten graph is identical regardless of which tenant was admitted
+// first.
+//
+// It returns the sorted shared class names g uses, for the caller's
+// reference counting (classifier.InternTable.Retain/Release). A graph
+// with no fused programs returns nil, nil.
+func ShareFusedPrograms(g *graph.Router, reg *core.Registry, table *classifier.InternTable) ([]string, error) {
+	data, ok := g.Archive["fuse/programs"]
+	if !ok {
+		return nil, nil
+	}
+	progs, err := parseProgramsArchive(data)
+	if err != nil {
+		return nil, fmt.Errorf("opt: share: %v", err)
+	}
+	if len(progs) == 0 {
+		return nil, nil
+	}
+	rename := map[string]string{}
+	entry := map[string]*classifier.InternEntry{}
+	for _, np := range progs {
+		e := table.Intern(np.program)
+		rename[np.name] = e.Name
+		entry[e.Name] = e
+	}
+
+	// Rewrite element classes; only names actually instantiated count
+	// as used (the archive may carry programs from superseded runs).
+	used := map[string]bool{}
+	for _, i := range g.LiveIndices() {
+		el := g.Element(i)
+		if nn, ok := rename[el.Class]; ok {
+			el.Class = nn
+			used[nn] = true
+		}
+	}
+	names := make([]string, 0, len(used))
+	for n := range used {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		registerFusedSpec(reg, n, entry[n].Compiled)
+	}
+
+	// Rewrite the archive so InstallFused round-trips on the shared
+	// names: the programs member lists only the used canonical entries,
+	// and the per-class generated sources follow the rename.
+	var doc strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&doc, "class %s\n%send\n", n, entry[n].Program.String())
+	}
+	g.Archive["fuse/programs"] = []byte(doc.String())
+	for old, nn := range rename {
+		if src, ok := g.Archive["fuse/"+old+".go"]; ok {
+			delete(g.Archive, "fuse/"+old+".go")
+			if used[nn] {
+				if _, have := g.Archive["fuse/"+nn+".go"]; !have {
+					g.Archive["fuse/"+nn+".go"] = []byte(strings.ReplaceAll(string(src), old, nn))
+				}
+			}
+		}
+	}
+	return names, nil
+}

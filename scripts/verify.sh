@@ -45,3 +45,10 @@ go test -race -run 'Hostile|HTTP|Tenant|Isolation|WriteHandlersDuringParallelTra
 # the pcap replay/capture devices inside the parallel scheduler, and
 # the golden-trace byte-equality matrix across passes and modes.
 go test -race -run 'UDPLoopback|UDPBackend|PcapBackend|Replay' ./internal/io ./internal/opt ./internal/netsim
+# Incremental-admission tier: splice/remove/transplant against the
+# epoch scheduler, the randomized incremental-vs-full-rebuild and
+# shared-vs-private-FDD equivalence difftests, per-tenant guard
+# isolation, the intern table, and the multi-goroutine admission
+# hammer against a live pump. Runs under -race because every control
+# patch lands at a quiescent point while workers free-run.
+go test -race -run 'Incremental|MgmtScale|Equivalence|SharedFDD|InternTable' ./internal/core ./internal/mgmt ./internal/netsim ./internal/experiments ./internal/classifier
